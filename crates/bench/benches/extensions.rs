@@ -1,0 +1,95 @@
+//! Benches for the extension features: NETLOAD, the ablation pipeline,
+//! post-copy migration, SLA extraction, and consolidation planning /
+//! execution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use wavm3_bench::{bench_runner, reduced_campaign, sample_record};
+use wavm3_cluster::{hardware, vm_instances, Cluster, Link, MachineSet, VmId};
+use wavm3_consolidation::{ConsolidationManager, PolicyConfig, VmLoad};
+use wavm3_experiments::{ablation, netload};
+use wavm3_migration::{MigrationKind, SlaReport};
+use wavm3_models::paper;
+use wavm3_simkit::RngFactory;
+
+fn bench_netload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("netload_single_run_50pct", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(netload::run_netload_once(0.5, seed))
+        });
+    });
+    g.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    let dataset = reduced_campaign(MachineSet::M, 2);
+    g.bench_function("ablation_full_grid", |b| {
+        b.iter(|| black_box(ablation::run_ablation(&dataset)))
+    });
+    g.finish();
+}
+
+fn bench_postcopy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(20);
+    let scenario = wavm3_bench::baseline_scenario(MigrationKind::PostCopy);
+    g.bench_function("post_copy_migration_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.build(RngFactory::new(seed)).run())
+        });
+    });
+    g.finish();
+}
+
+fn bench_sla(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    let record = sample_record(MigrationKind::Live);
+    g.bench_function("sla_report_extraction", |b| {
+        b.iter(|| black_box(SlaReport::from_record(&record)))
+    });
+    g.finish();
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    // Three-host testbed with a consolidation candidate.
+    let mut cluster = Cluster::new(Link::gigabit());
+    let h0 = cluster.add_host(hardware::m01());
+    let h1 = cluster.add_host(hardware::m02());
+    let _h2 = cluster.add_host(hardware::m01());
+    let mut loads: BTreeMap<VmId, VmLoad> = BTreeMap::new();
+    let lonely = cluster.boot_vm(h0, vm_instances::migrating_cpu());
+    cluster.vm_mut(lonely).unwrap().set_cpu_demand(4.0);
+    loads.insert(lonely, VmLoad::cpu_bound(4.0));
+    for _ in 0..3 {
+        let id = cluster.boot_vm(h1, vm_instances::load_cpu());
+        cluster.vm_mut(id).unwrap().set_cpu_demand(4.0);
+        loads.insert(id, VmLoad::cpu_bound(4.0));
+    }
+    let model = paper::wavm3_live();
+    let mgr = ConsolidationManager::new(&model, PolicyConfig::default());
+    g.bench_function("consolidation_plan", |b| {
+        b.iter(|| black_box(mgr.plan_consolidation(&cluster, &loads)))
+    });
+    let _ = bench_runner(1);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_netload,
+    bench_ablation,
+    bench_postcopy,
+    bench_sla,
+    bench_consolidation
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! One bench per paper figure: the full regeneration pipeline (campaign +
+//! trace averaging + CSV rendering) at a single repetition per scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wavm3_bench::bench_runner;
+use wavm3_experiments::figures;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let cfg = bench_runner(1);
+    g.bench_function("fig2_phase_traces", |b| {
+        b.iter(|| black_box(figures::fig2(&cfg)))
+    });
+    g.bench_function("fig3_cpuload_source", |b| {
+        b.iter(|| black_box(figures::fig3(&cfg)))
+    });
+    g.bench_function("fig4_cpuload_target", |b| {
+        b.iter(|| black_box(figures::fig4(&cfg)))
+    });
+    g.bench_function("fig5_memload_vm", |b| {
+        b.iter(|| black_box(figures::fig5(&cfg)))
+    });
+    g.bench_function("fig6_memload_source", |b| {
+        b.iter(|| black_box(figures::fig6(&cfg)))
+    });
+    g.bench_function("fig7_memload_target", |b| {
+        b.iter(|| black_box(figures::fig7(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Hot-path microbenchmarks: the simulator, the real workload kernels,
+//! the regression solvers, model evaluation and the analytic planner.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wavm3_bench::{baseline_scenario, sample_record};
+use wavm3_cluster::{Link, MachineSet, MemoryImage};
+use wavm3_migration::{MigrationConfig, MigrationKind};
+use wavm3_models::{paper, EnergyModel, HostRole, PowerModel};
+use wavm3_simkit::RngFactory;
+use wavm3_stats::{fit_ols, levenberg_marquardt, LmOptions, Matrix};
+use wavm3_workloads::kernels::{PageDirtier, SquareMatrix};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.bench_function("live_migration_run", |b| {
+        let scenario = baseline_scenario(MigrationKind::Live);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.build(RngFactory::new(seed)).run())
+        });
+    });
+    g.bench_function("non_live_migration_run", |b| {
+        let scenario = baseline_scenario(MigrationKind::NonLive);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.build(RngFactory::new(seed)).run())
+        });
+    });
+    g.finish();
+}
+
+fn bench_workload_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_kernels");
+    let a = SquareMatrix::random(192, 1);
+    let bm = SquareMatrix::random(192, 2);
+    g.bench_function("matmul_naive_192", |b| {
+        b.iter(|| black_box(a.multiply_naive(&bm)))
+    });
+    g.bench_function("matmul_parallel_192", |b| {
+        b.iter(|| black_box(a.multiply_parallel(&bm)))
+    });
+    g.bench_function("pagedirtier_4k_pages_burst", |b| {
+        let mut d = PageDirtier::new(4096, 4096, 3);
+        b.iter(|| black_box(d.dirty_burst(1024)));
+    });
+    g.bench_function("dirty_bitmap_mark_1m", |b| {
+        let mut img = MemoryImage::new(1 << 20);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % (1 << 20);
+            black_box(img.mark_dirty(i));
+        });
+    });
+    g.finish();
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regression");
+    // A WAVM3-transfer-shaped design: 2000 rows × 5 columns.
+    let rows: Vec<Vec<f64>> = (0..2000)
+        .map(|i| {
+            let f = |k: u64| ((i as u64 * 2654435761 + k * 40503) >> 3) % 101;
+            vec![
+                f(1) as f64,
+                f(2) as f64,
+                f(3) as f64 * 1e6,
+                f(4) as f64,
+                1.0,
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 2.4 * r[0] + 0.4 * r[1] + 1.5e-6 * r[2] + 1.4 * r[3] + 430.0)
+        .collect();
+    let design = Matrix::from_nested(rows.clone());
+    g.bench_function("ols_qr_2000x5", |b| {
+        b.iter(|| black_box(fit_ols(&design, &y)))
+    });
+    g.bench_function("levenberg_marquardt_2000x5", |b| {
+        b.iter(|| {
+            let res = |p: &[f64]| -> Vec<f64> {
+                rows.iter()
+                    .zip(&y)
+                    .map(|(r, t)| r.iter().zip(p).map(|(a, b)| a * b).sum::<f64>() - t)
+                    .collect()
+            };
+            black_box(levenberg_marquardt(
+                res,
+                &[1.0, 1.0, 1e-6, 1.0, 400.0],
+                &LmOptions::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("models");
+    let record = sample_record(MigrationKind::Live);
+    let wavm3 = paper::wavm3_live();
+    let huang = paper::huang();
+    let liu = paper::liu();
+    let strunk = paper::strunk();
+    g.bench_function("wavm3_predict_power_sample", |b| {
+        let s = record.samples[record.samples.len() / 2];
+        b.iter(|| black_box(wavm3.predict_power(HostRole::Source, &s)))
+    });
+    g.bench_function("wavm3_predict_energy_record", |b| {
+        b.iter(|| black_box(wavm3.predict_energy(HostRole::Source, &record)))
+    });
+    g.bench_function("huang_predict_energy_record", |b| {
+        b.iter(|| black_box(huang.predict_energy(HostRole::Source, &record)))
+    });
+    g.bench_function("liu_predict_energy_record", |b| {
+        b.iter(|| black_box(liu.predict_energy(HostRole::Source, &record)))
+    });
+    g.bench_function("strunk_predict_energy_record", |b| {
+        b.iter(|| black_box(strunk.predict_energy(HostRole::Source, &record)))
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    use wavm3_consolidation::{plan_migration, PlannerInputs};
+    let mut g = c.benchmark_group("planner");
+    let inputs = PlannerInputs {
+        kind: MigrationKind::Live,
+        machine_set: MachineSet::M,
+        idle_power_w: 430.0,
+        ram_mib: 4096,
+        vcpus: 4,
+        vm_cpu_fraction: 1.0,
+        working_set_fraction: 0.95,
+        page_write_rate: 220_000.0,
+        source_other_cores: 16.0,
+        target_other_cores: 8.0,
+        source_capacity: 32.0,
+        target_capacity: 32.0,
+        link: Link::gigabit(),
+        config: MigrationConfig::live(),
+    };
+    g.bench_function("plan_hot_memory_migration", |b| {
+        b.iter(|| black_box(plan_migration(&inputs)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_workload_kernels,
+    bench_regression,
+    bench_models,
+    bench_planner
+);
+criterion_main!(benches);

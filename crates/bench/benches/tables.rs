@@ -1,0 +1,45 @@
+//! One bench per paper table: campaign + training + rendering, on the
+//! reduced (extreme-levels) campaign so an iteration stays sub-second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wavm3_bench::reduced_campaign;
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::tables;
+use wavm3_migration::MigrationKind;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    // Campaigns are the dominant cost and identical across tables; build
+    // them once and benchmark the analysis stage of each table, plus one
+    // end-to-end bench that includes the campaign itself.
+    let m = reduced_campaign(MachineSet::M, 2);
+    let o = reduced_campaign(MachineSet::O, 2);
+
+    g.bench_function("campaign_reduced_m_set", |b| {
+        b.iter(|| black_box(reduced_campaign(MachineSet::M, 1)))
+    });
+    g.bench_function("table1_workload_impact", |b| {
+        b.iter(|| black_box(tables::table1(&m)))
+    });
+    g.bench_function("table2_setup", |b| b.iter(|| black_box(tables::table2())));
+    g.bench_function("table3_wavm3_nonlive_fit", |b| {
+        b.iter(|| black_box(tables::table3_4(&m, MigrationKind::NonLive)))
+    });
+    g.bench_function("table4_wavm3_live_fit", |b| {
+        b.iter(|| black_box(tables::table3_4(&m, MigrationKind::Live)))
+    });
+    g.bench_function("table5_cross_set_nrmse", |b| {
+        b.iter(|| black_box(tables::table5(&m, &o)))
+    });
+    g.bench_function("table6_baseline_fits", |b| {
+        b.iter(|| black_box(tables::table6(&m)))
+    });
+    g.bench_function("table7_model_comparison", |b| {
+        b.iter(|| black_box(tables::table7(&m)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

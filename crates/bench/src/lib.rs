@@ -1,0 +1,61 @@
+//! Shared fixtures for the WAVM3 benchmark suite.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `kernels.rs` — hot-path microbenchmarks (simulator run, matmul,
+//!   pagedirtier, LM/OLS fits, model evaluation, planner);
+//! * `figures.rs` — one bench per paper figure (2–7): the full regeneration
+//!   pipeline at one repetition;
+//! * `tables.rs` — one bench per paper table (I, III–VII): campaign +
+//!   training + scoring.
+
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::{ExperimentDataset, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3_experiments::scenario::ExperimentFamily;
+use wavm3_migration::{MigrationKind, MigrationRecord};
+use wavm3_simkit::RngFactory;
+
+/// Deterministic runner configuration for benchmarking (fixed reps).
+pub fn bench_runner(reps: usize) -> RunnerConfig {
+    RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(reps),
+        base_seed: 0xBE7C_0DE5,
+    }
+}
+
+/// The cheapest meaningful scenario (idle hosts, CPU migrant).
+pub fn baseline_scenario(kind: MigrationKind) -> Scenario {
+    Scenario {
+        family: ExperimentFamily::CpuloadSource,
+        kind,
+        machine_set: MachineSet::M,
+        source_load_vms: 0,
+        target_load_vms: 0,
+        migrant_mem_ratio: None,
+        label: "0 VM".into(),
+    }
+}
+
+/// One pre-simulated record for model-evaluation benches.
+pub fn sample_record(kind: MigrationKind) -> MigrationRecord {
+    baseline_scenario(kind).build(RngFactory::new(1)).run()
+}
+
+/// A reduced campaign (extreme sweep levels only, fixed reps) that still
+/// exercises every family — used by the table benches so an iteration
+/// stays in the hundreds of milliseconds.
+pub fn reduced_campaign(set: MachineSet, reps: usize) -> ExperimentDataset {
+    let mut scenarios = Vec::new();
+    for fam in [
+        ExperimentFamily::CpuloadSource,
+        ExperimentFamily::CpuloadTarget,
+        ExperimentFamily::MemloadVm,
+        ExperimentFamily::MemloadSource,
+        ExperimentFamily::MemloadTarget,
+    ] {
+        let mut all = Scenario::family_scenarios(fam, set);
+        all.retain(|s| matches!(s.label.as_str(), "0 VM" | "8 VM" | "5%" | "95%"));
+        scenarios.extend(all);
+    }
+    ExperimentDataset::collect(scenarios, &bench_runner(reps))
+}

@@ -1,0 +1,160 @@
+//! Host CPU accounting — paper Eq. 2 with Xen-credit-style multiplexing.
+//!
+//! ```text
+//! CPU(h,t) = CPU_VMM(V(h,t)) + Σ_{v ∈ V(h,t)} CPU(v,t) + CPU_migr(h,t)
+//! ```
+//!
+//! Demands are expressed in cores-worth. When total demand exceeds the
+//! machine's capacity, the scheduler multiplexes: every consumer receives a
+//! proportional share. This is the mechanism behind the paper's key
+//! CPULOAD observation — a saturated source host cannot give the migration
+//! process the CPU it needs to drive the NIC at line rate, so effective
+//! bandwidth drops and the transfer phase stretches.
+
+use serde::{Deserialize, Serialize};
+
+/// A host's aggregate CPU demand, decomposed per paper Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpuAccounting {
+    /// Hypervisor (dom-0) demand for arbitrating shared hardware, cores.
+    pub vmm_cores: f64,
+    /// Sum of guest VM demands, cores.
+    pub vm_cores: f64,
+    /// Demand added by an in-flight migration, cores.
+    pub migration_cores: f64,
+}
+
+impl CpuAccounting {
+    /// Total demanded cores.
+    pub fn total_demand(&self) -> f64 {
+        self.vmm_cores + self.vm_cores + self.migration_cores
+    }
+
+    /// Resolve the demand against a machine of `capacity` cores.
+    pub fn allocate(&self, capacity: f64) -> CpuAllocation {
+        assert!(capacity > 0.0, "capacity must be positive");
+        let demand = self.total_demand();
+        let scale = if demand > capacity {
+            capacity / demand
+        } else {
+            1.0
+        };
+        CpuAllocation {
+            demand,
+            capacity,
+            scale,
+        }
+    }
+}
+
+/// Result of resolving CPU demand against capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuAllocation {
+    /// Total demanded cores (may exceed capacity).
+    pub demand: f64,
+    /// Machine capacity, cores.
+    pub capacity: f64,
+    /// Fraction of its demand each consumer actually receives, `(0, 1]`.
+    pub scale: f64,
+}
+
+impl CpuAllocation {
+    /// Host utilisation in `[0, 1]` — granted cores over capacity.
+    pub fn utilisation(&self) -> f64 {
+        (self.demand * self.scale / self.capacity).clamp(0.0, 1.0)
+    }
+
+    /// `true` when demand exceeded capacity (the paper's "multiplexing").
+    pub fn is_multiplexed(&self) -> bool {
+        self.scale < 1.0
+    }
+
+    /// Cores actually granted to a consumer demanding `cores`.
+    pub fn granted(&self, cores: f64) -> f64 {
+        cores * self.scale
+    }
+
+    /// Unused cores on the machine.
+    pub fn headroom_cores(&self) -> f64 {
+        (self.capacity - self.demand * self.scale).max(0.0)
+    }
+}
+
+/// Hypervisor CPU overhead `CPU_VMM(V(h,t))` as a function of the number of
+/// resident running VMs.
+///
+/// Dom-0 burns a small base amount plus a per-VM arbitration cost. The
+/// constants approximate a Xen 4.2 dom-0 with the paper's paravirtual
+/// guests.
+pub fn vmm_overhead_cores(running_vms: usize) -> f64 {
+    const BASE: f64 = 0.10;
+    const PER_VM: f64 = 0.04;
+    BASE + PER_VM * running_vms as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undersubscribed_grants_everything() {
+        let acc = CpuAccounting {
+            vmm_cores: 0.5,
+            vm_cores: 8.0,
+            migration_cores: 1.5,
+        };
+        let alloc = acc.allocate(32.0);
+        assert_eq!(alloc.scale, 1.0);
+        assert!(!alloc.is_multiplexed());
+        assert!((alloc.utilisation() - 10.0 / 32.0).abs() < 1e-12);
+        assert_eq!(alloc.granted(1.5), 1.5);
+        assert!((alloc.headroom_cores() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscribed_scales_proportionally() {
+        let acc = CpuAccounting {
+            vmm_cores: 2.0,
+            vm_cores: 36.0,
+            migration_cores: 2.0,
+        };
+        // Demand 40 against capacity 32 → scale 0.8.
+        let alloc = acc.allocate(32.0);
+        assert!((alloc.scale - 0.8).abs() < 1e-12);
+        assert!(alloc.is_multiplexed());
+        assert!((alloc.utilisation() - 1.0).abs() < 1e-12);
+        assert!((alloc.granted(2.0) - 1.6).abs() < 1e-12);
+        assert_eq!(alloc.headroom_cores(), 0.0);
+    }
+
+    #[test]
+    fn utilisation_saturates_at_one() {
+        let acc = CpuAccounting {
+            vmm_cores: 0.0,
+            vm_cores: 100.0,
+            migration_cores: 0.0,
+        };
+        assert_eq!(acc.allocate(32.0).utilisation(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        CpuAccounting::default().allocate(0.0);
+    }
+
+    #[test]
+    fn vmm_overhead_grows_with_vm_count() {
+        assert!(vmm_overhead_cores(0) > 0.0);
+        assert!(vmm_overhead_cores(8) > vmm_overhead_cores(1));
+        // Eight load VMs cost well under a core of arbitration.
+        assert!(vmm_overhead_cores(8) < 1.0);
+    }
+
+    #[test]
+    fn empty_accounting_is_idle() {
+        let alloc = CpuAccounting::default().allocate(32.0);
+        assert_eq!(alloc.utilisation(), 0.0);
+        assert_eq!(alloc.demand, 0.0);
+    }
+}

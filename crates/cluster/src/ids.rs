@@ -1,0 +1,41 @@
+//! Typed identifiers for hosts and VMs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a physical machine within a [`crate::Cluster`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HostId(pub u32);
+
+/// Identifier of a virtual machine within a [`crate::Cluster`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VmId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_order() {
+        assert_eq!(HostId(3).to_string(), "host3");
+        assert_eq!(VmId(7).to_string(), "vm7");
+        assert!(HostId(1) < HostId(2));
+        assert!(VmId(1) < VmId(2));
+    }
+}

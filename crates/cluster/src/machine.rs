@@ -1,0 +1,153 @@
+//! Physical machine specifications (paper Table IIc).
+//!
+//! The paper measures two pairs of homogeneous machines: `m01`–`m02`
+//! (AMD Opteron 8356, the training set) and `o1`–`o2` (Intel Xeon E5-2690,
+//! the validation set). A [`MachineSpec`] carries the capacity figures the
+//! resource model needs plus a [`PowerProfile`] that parameterises the
+//! ground-truth power synthesiser in `wavm3-power`.
+
+use serde::{Deserialize, Serialize};
+
+/// Which homogeneous pair a machine belongs to.
+///
+/// The paper trains on [`MachineSet::M`] and validates on [`MachineSet::O`]
+/// after swapping the idle-power bias (Table V; constants C1 vs C2 in
+/// Tables III/IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineSet {
+    /// m01–m02: 32 logical CPUs (16× Opteron 8356, dual-threaded), 32 GB RAM,
+    /// Broadcom BCM5704 NIC, Cisco Catalyst 3750 switch.
+    M,
+    /// o1–o2: 40 logical CPUs (20× Xeon E5-2690, dual-threaded), 128 GB RAM,
+    /// Intel 82574L NIC, HP 1810-8G switch.
+    O,
+}
+
+impl MachineSet {
+    /// Short label used in tables ("m01-m02" / "o1-o2").
+    pub fn label(&self) -> &'static str {
+        match self {
+            MachineSet::M => "m01-m02",
+            MachineSet::O => "o1-o2",
+        }
+    }
+}
+
+/// Parameters of the ground-truth instantaneous power draw of one machine.
+///
+/// The synthesiser in `wavm3-power` computes
+///
+/// ```text
+/// P(t) = idle_w
+///      + cpu_dynamic_w * util^cpu_exponent
+///      + nic_w_at_line_rate * (tx_rate / line_rate)
+///      + mem_contention_w * dirty_ratio
+///      + phase service constants (owned by the migration engine)
+///      + N(0, noise_std_w)
+/// ```
+///
+/// It is intentionally *richer* than any of the candidate regression models
+/// (mild CPU nonlinearity, distinct NIC and memory terms, noise) so that the
+/// model comparison of the paper remains meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Power at zero utilisation, watts.
+    pub idle_w: f64,
+    /// Additional power at 100 % host CPU utilisation, watts.
+    pub cpu_dynamic_w: f64,
+    /// Exponent of the CPU term (1.0 = linear; real servers are concave —
+    /// exponent < 1 — rising steeply at low utilisation).
+    pub cpu_exponent: f64,
+    /// Power of driving the NIC at full line rate, watts.
+    pub nic_w_at_line_rate: f64,
+    /// Power of full-rate memory dirtying (cache/memory-bus contention), watts.
+    pub mem_contention_w: f64,
+    /// Standard deviation of the measurement noise, watts.
+    pub noise_std_w: f64,
+}
+
+impl PowerProfile {
+    /// Power at a given host utilisation with no NIC or memory activity,
+    /// noise-free. Utilisation is clamped to `[0, 1]`.
+    pub fn cpu_power(&self, utilisation: f64) -> f64 {
+        let u = utilisation.clamp(0.0, 1.0);
+        self.idle_w + self.cpu_dynamic_w * u.powf(self.cpu_exponent)
+    }
+
+    /// The noise-free peak power (full CPU, full NIC, full dirtying).
+    pub fn peak_w(&self) -> f64 {
+        self.idle_w + self.cpu_dynamic_w + self.nic_w_at_line_rate + self.mem_contention_w
+    }
+}
+
+/// Static description of a physical machine (paper Table IIc).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Hostname, e.g. "m01".
+    pub name: String,
+    /// Which homogeneous pair this machine belongs to.
+    pub set: MachineSet,
+    /// Logical CPUs (hardware threads).
+    pub logical_cpus: u32,
+    /// Installed RAM in MiB.
+    pub ram_mib: u64,
+    /// NIC model string (descriptive only).
+    pub nic: String,
+    /// Nominal NIC line rate in bytes/second (1 Gbit/s on both testbeds).
+    pub nic_line_rate_bps: f64,
+    /// Ground-truth power parameters.
+    pub power: PowerProfile,
+}
+
+impl MachineSpec {
+    /// Capacity in "cores-worth" units (= logical CPUs as f64).
+    pub fn cpu_capacity(&self) -> f64 {
+        self.logical_cpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> PowerProfile {
+        PowerProfile {
+            idle_w: 400.0,
+            cpu_dynamic_w: 400.0,
+            cpu_exponent: 1.0,
+            nic_w_at_line_rate: 40.0,
+            mem_contention_w: 30.0,
+            noise_std_w: 2.0,
+        }
+    }
+
+    #[test]
+    fn cpu_power_is_clamped_and_monotone() {
+        let p = profile();
+        assert_eq!(p.cpu_power(0.0), 400.0);
+        assert_eq!(p.cpu_power(1.0), 800.0);
+        assert_eq!(p.cpu_power(2.0), 800.0);
+        assert_eq!(p.cpu_power(-1.0), 400.0);
+        assert!(p.cpu_power(0.5) > p.cpu_power(0.25));
+    }
+
+    #[test]
+    fn nonlinear_exponent_bends_the_curve() {
+        let mut p = profile();
+        p.cpu_exponent = 1.3;
+        // Superlinear: midpoint below the linear midpoint.
+        assert!(p.cpu_power(0.5) < 600.0);
+        assert_eq!(p.cpu_power(1.0), 800.0);
+    }
+
+    #[test]
+    fn peak_sums_all_terms() {
+        assert_eq!(profile().peak_w(), 870.0);
+    }
+
+    #[test]
+    fn set_labels_match_paper() {
+        assert_eq!(MachineSet::M.label(), "m01-m02");
+        assert_eq!(MachineSet::O.label(), "o1-o2");
+    }
+}

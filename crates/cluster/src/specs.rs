@@ -1,0 +1,201 @@
+//! The paper's concrete hardware and VM configurations (Tables IIb, IIc).
+//!
+//! Power-profile constants are *calibrated, not measured*: the paper's
+//! figures show the m-set machines idling around 420–450 W and peaking near
+//! 890 W, and the cross-set bias correction (C1 → C2 in Tables III/IV)
+//! implies the o-set idles several hundred watts lower. The profiles below
+//! encode those magnitudes; DESIGN.md §2 records the substitution.
+
+use crate::machine::{MachineSet, MachineSpec, PowerProfile};
+use crate::vm::VmSpec;
+
+/// Physical machines of paper Table IIc.
+pub mod hardware {
+    use super::*;
+
+    fn m_power() -> PowerProfile {
+        PowerProfile {
+            idle_w: 430.0,
+            cpu_dynamic_w: 390.0,
+            cpu_exponent: 0.85,
+            nic_w_at_line_rate: 12.0,
+            mem_contention_w: 85.0,
+            noise_std_w: 2.5,
+        }
+    }
+
+    fn o_power() -> PowerProfile {
+        PowerProfile {
+            // Sandy-Bridge Xeons idle far lower than the 2008-era Opterons;
+            // this gap is what forces the paper's C1→C2 bias swap.
+            idle_w: 165.0,
+            cpu_dynamic_w: 310.0,
+            cpu_exponent: 0.90,
+            nic_w_at_line_rate: 9.0,
+            mem_contention_w: 62.0,
+            noise_std_w: 2.0,
+        }
+    }
+
+    fn m_machine(name: &str) -> MachineSpec {
+        MachineSpec {
+            name: name.to_string(),
+            set: MachineSet::M,
+            logical_cpus: 32,
+            ram_mib: 32 * 1024,
+            nic: "Broadcom BCM5704".to_string(),
+            nic_line_rate_bps: 1.25e8,
+            power: m_power(),
+        }
+    }
+
+    fn o_machine(name: &str) -> MachineSpec {
+        MachineSpec {
+            name: name.to_string(),
+            set: MachineSet::O,
+            logical_cpus: 40,
+            ram_mib: 128 * 1024,
+            nic: "Intel 82574L".to_string(),
+            nic_line_rate_bps: 1.25e8,
+            power: o_power(),
+        }
+    }
+
+    /// m01 — 16× Opteron 8356 dual-threaded, 32 GB, training set.
+    pub fn m01() -> MachineSpec {
+        m_machine("m01")
+    }
+
+    /// m02 — homogeneous twin of m01.
+    pub fn m02() -> MachineSpec {
+        m_machine("m02")
+    }
+
+    /// o1 — 20× Xeon E5-2690 dual-threaded, 128 GB, validation set.
+    pub fn o1() -> MachineSpec {
+        o_machine("o1")
+    }
+
+    /// o2 — homogeneous twin of o1.
+    pub fn o2() -> MachineSpec {
+        o_machine("o2")
+    }
+
+    /// The machine pair for a set: `(source, target)`.
+    pub fn pair(set: MachineSet) -> (MachineSpec, MachineSpec) {
+        match set {
+            MachineSet::M => (m01(), m02()),
+            MachineSet::O => (o1(), o2()),
+        }
+    }
+}
+
+/// VM instance types of paper Table IIb.
+pub mod vm_instances {
+    use super::*;
+
+    /// `load-cpu`: 4 vCPU, 512 MB, matrixmult — used to load hosts.
+    pub fn load_cpu() -> VmSpec {
+        VmSpec {
+            name: "load-cpu".to_string(),
+            vcpus: 4,
+            kernel: "2.6.32".to_string(),
+            ram_mib: 512,
+            workload: "matrixmult".to_string(),
+            storage_gib: 1,
+        }
+    }
+
+    /// `migrating-cpu`: 4 vCPU, 4 GB, matrixmult — the CPU-loaded migrant.
+    pub fn migrating_cpu() -> VmSpec {
+        VmSpec {
+            name: "migrating-cpu".to_string(),
+            vcpus: 4,
+            kernel: "2.6.32".to_string(),
+            ram_mib: 4096,
+            workload: "matrixmult".to_string(),
+            storage_gib: 6,
+        }
+    }
+
+    /// `migrating-mem`: 1 vCPU, 4 GB, pagedirtier — the memory-loaded migrant.
+    pub fn migrating_mem() -> VmSpec {
+        VmSpec {
+            name: "migrating-mem".to_string(),
+            vcpus: 1,
+            kernel: "2.6.32".to_string(),
+            ram_mib: 4096,
+            workload: "pagedirtier".to_string(),
+            storage_gib: 6,
+        }
+    }
+
+    /// `dom-0`: the Xen control domain (descriptive; its CPU cost is modelled
+    /// by [`crate::cpu::vmm_overhead_cores`]).
+    pub fn dom0() -> VmSpec {
+        VmSpec {
+            name: "dom-0".to_string(),
+            vcpus: 1,
+            kernel: "3.11.4".to_string(),
+            ram_mib: 512,
+            workload: "VMM".to_string(),
+            storage_gib: 115,
+        }
+    }
+
+    /// Every instance type of Table IIb, in table order.
+    pub fn all() -> Vec<VmSpec> {
+        vec![load_cpu(), migrating_cpu(), migrating_mem(), dom0()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_pairs_are_homogeneous() {
+        let (s, t) = hardware::pair(MachineSet::M);
+        assert_eq!(s.logical_cpus, t.logical_cpus);
+        assert_eq!(s.power, t.power);
+        assert_ne!(s.name, t.name);
+        let (s, t) = hardware::pair(MachineSet::O);
+        assert_eq!(s.set, MachineSet::O);
+        assert_eq!(s.ram_mib, t.ram_mib);
+    }
+
+    #[test]
+    fn table_iic_capacities() {
+        assert_eq!(hardware::m01().logical_cpus, 32);
+        assert_eq!(hardware::m01().ram_mib, 32 * 1024);
+        assert_eq!(hardware::o1().logical_cpus, 40);
+        assert_eq!(hardware::o1().ram_mib, 128 * 1024);
+    }
+
+    #[test]
+    fn o_set_idles_lower_than_m_set() {
+        // This gap drives the paper's C1→C2 bias correction (Table V).
+        assert!(hardware::o1().power.idle_w + 100.0 < hardware::m01().power.idle_w);
+    }
+
+    #[test]
+    fn m_set_figures_band() {
+        // Fig. 3 shows the m-set tracing between roughly 400 and 900 W.
+        let p = hardware::m01().power;
+        assert!(p.idle_w >= 400.0 && p.idle_w <= 460.0);
+        assert!(p.peak_w() <= 950.0 && p.peak_w() >= 820.0);
+    }
+
+    #[test]
+    fn table_iib_instances() {
+        let all = vm_instances::all();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].name, "load-cpu");
+        assert_eq!(all[0].vcpus, 4);
+        assert_eq!(all[0].ram_mib, 512);
+        assert_eq!(all[1].ram_mib, 4096);
+        assert_eq!(all[2].vcpus, 1);
+        assert_eq!(all[2].workload, "pagedirtier");
+        assert_eq!(all[3].name, "dom-0");
+    }
+}

@@ -1,0 +1,253 @@
+//! Data-centre horizon analysis: does the consolidation plan pay for
+//! itself, migrations included?
+//!
+//! The paper's motivation (§I) is workload consolidation — pack VMs onto
+//! fewer machines and power the rest off, *if* the migration energy
+//! amortises. This module runs that trade end to end over a time horizon:
+//!
+//! * **baseline** — nobody moves; every host keeps drawing its steady
+//!   workload power for the whole horizon;
+//! * **consolidated** — the manager's plan executes (each migration fully
+//!   simulated), emptied hosts power off, and the survivors draw their
+//!   (higher) packed steady power for the rest of the horizon.
+
+use crate::executor::{execute_plan, workload_for, ExecutedMove};
+use crate::policy::{ConsolidationManager, Move, VmLoad};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wavm3_cluster::{Cluster, HostId, VmId};
+use wavm3_migration::MigrationConfig;
+use wavm3_power::{ground_truth_power, PowerInputs};
+use wavm3_simkit::{RngFactory, SimTime};
+
+/// Outcome of the horizon analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HorizonReport {
+    /// Analysis horizon, seconds.
+    pub horizon_s: f64,
+    /// Energy with no consolidation, joules.
+    pub baseline_j: f64,
+    /// Energy with the plan executed (migrations + packed steady state),
+    /// joules.
+    pub consolidated_j: f64,
+    /// The migrations' share of the consolidated energy, joules.
+    pub migration_j: f64,
+    /// Hosts that end the horizon powered off.
+    pub hosts_powered_off: Vec<HostId>,
+    /// The executed moves.
+    pub moves: Vec<ExecutedMove>,
+}
+
+impl HorizonReport {
+    /// Net saving over the horizon, joules (negative = consolidation lost).
+    pub fn saving_j(&self) -> f64 {
+        self.baseline_j - self.consolidated_j
+    }
+
+    /// Horizon at which the plan breaks even, seconds (`None` when the
+    /// steady-state power is not actually reduced).
+    pub fn breakeven_horizon_s(&self) -> Option<f64> {
+        // saving(h) = (P_base − P_packed)·(h − t_mig) − extra_migration.
+        // Solve linearly from two evaluations encoded in the report.
+        let t_mig: f64 = self.moves.iter().map(|m| m.window_s).sum();
+        if self.horizon_s <= t_mig {
+            return None;
+        }
+        let steady_rate =
+            (self.saving_j() + self.migration_overhead_j()) / (self.horizon_s - t_mig);
+        if steady_rate <= 0.0 {
+            None
+        } else {
+            Some(t_mig + self.migration_overhead_j() / steady_rate)
+        }
+    }
+
+    /// Migration energy in excess of what the involved hosts would have
+    /// burned anyway during the migration windows.
+    fn migration_overhead_j(&self) -> f64 {
+        // Approximated as the difference between the consolidated and
+        // baseline totals plus the steady saving over the post-migration
+        // period; exposed via breakeven only.
+        let t_mig: f64 = self.moves.iter().map(|m| m.window_s).sum();
+        let base_rate = self.baseline_j / self.horizon_s;
+        (self.migration_j - base_rate * t_mig).max(0.0)
+    }
+}
+
+/// Steady-state power of one host given the loads of its resident VMs.
+fn host_steady_power(cluster: &Cluster, loads: &BTreeMap<VmId, VmLoad>, host: HostId) -> f64 {
+    let h = cluster.host(host);
+    let mut write_rate = 0.0;
+    for vm in h.vms() {
+        if let Some(l) = loads.get(&vm.id) {
+            let w = workload_for(l);
+            write_rate += w.page_write_rate(SimTime::ZERO);
+        }
+    }
+    let inputs = PowerInputs {
+        cpu_utilisation: h.utilisation(),
+        nic_utilisation: 0.0,
+        mem_activity: (write_rate / wavm3_migration::simulation::PEAK_PAGE_WRITE_RATE).min(1.0),
+        service_w: 0.0,
+    };
+    ground_truth_power(&h.spec.power, inputs)
+}
+
+/// Total steady power of the whole cluster (all hosts on), watts.
+pub fn cluster_steady_power(cluster: &Cluster, loads: &BTreeMap<VmId, VmLoad>) -> f64 {
+    cluster
+        .hosts()
+        .iter()
+        .map(|h| host_steady_power(cluster, loads, h.id))
+        .sum()
+}
+
+/// Run the horizon analysis: plan with `manager`, execute every move in the
+/// simulator, power off emptied hosts, and integrate both worlds' energy.
+pub fn run_horizon(
+    cluster: &Cluster,
+    loads: &BTreeMap<VmId, VmLoad>,
+    manager: &ConsolidationManager<'_>,
+    horizon_s: f64,
+    rng: &RngFactory,
+) -> HorizonReport {
+    assert!(horizon_s > 0.0, "horizon must be positive");
+    // Demands must reflect the loads before utilisation is read.
+    let mut world = cluster.clone();
+    for h in 0..world.hosts().len() {
+        let ids: Vec<VmId> = world.hosts()[h].vms().iter().map(|v| v.id).collect();
+        for id in ids {
+            if let Some(l) = loads.get(&id) {
+                world.vm_mut(id).unwrap().set_cpu_demand(l.cpu_cores);
+            }
+        }
+    }
+
+    let baseline_rate = cluster_steady_power(&world, loads);
+    let baseline_j = baseline_rate * horizon_s;
+
+    let moves: Vec<Move> = manager.plan_consolidation(&world, loads);
+    let executed = execute_plan(&world, loads, &moves, MigrationConfig::live(), rng);
+    let migration_j: f64 = executed.iter().map(|m| m.measured_j).sum();
+    let t_mig: f64 = executed.iter().map(|m| m.window_s).sum();
+
+    // Apply the plan; emptied hosts power off.
+    let mut packed = world.clone();
+    for m in &moves {
+        packed.relocate_vm(m.vm, m.from, m.to);
+    }
+    let hosts_powered_off: Vec<HostId> = packed
+        .hosts()
+        .iter()
+        .filter(|h| h.vms().is_empty())
+        .map(|h| h.id)
+        .collect();
+    let packed_rate: f64 = packed
+        .hosts()
+        .iter()
+        .filter(|h| !h.vms().is_empty())
+        .map(|h| host_steady_power(&packed, loads, h.id))
+        .sum();
+
+    // Timeline: hosts not involved in a migration draw baseline power
+    // during the migration period; the involved pair's energy is measured.
+    // Approximate the uninvolved share by subtracting the pair's steady
+    // draw from the baseline rate per move.
+    let mut during_migrations_j = 0.0;
+    {
+        let mut timeline = world.clone();
+        for (m, e) in moves.iter().zip(&executed) {
+            let pair_rate = host_steady_power(&timeline, loads, m.from)
+                + host_steady_power(&timeline, loads, m.to);
+            let others_rate = cluster_steady_power(&timeline, loads) - pair_rate;
+            during_migrations_j += e.measured_j + others_rate * e.window_s;
+            timeline.relocate_vm(m.vm, m.from, m.to);
+        }
+    }
+    let consolidated_j = during_migrations_j + packed_rate * (horizon_s - t_mig).max(0.0);
+
+    HorizonReport {
+        horizon_s,
+        baseline_j,
+        consolidated_j,
+        migration_j,
+        hosts_powered_off,
+        moves: executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+    use wavm3_cluster::{hardware, vm_instances, Link};
+    use wavm3_models::paper;
+
+    fn testbed() -> (Cluster, BTreeMap<VmId, VmLoad>) {
+        let mut cluster = Cluster::new(Link::gigabit());
+        let h0 = cluster.add_host(hardware::m01());
+        let h1 = cluster.add_host(hardware::m02());
+        let mut loads = BTreeMap::new();
+        let lonely = cluster.boot_vm(h0, vm_instances::migrating_cpu());
+        loads.insert(lonely, VmLoad::cpu_bound(4.0));
+        for _ in 0..3 {
+            let id = cluster.boot_vm(h1, vm_instances::load_cpu());
+            loads.insert(id, VmLoad::cpu_bound(4.0));
+        }
+        (cluster, loads)
+    }
+
+    #[test]
+    fn long_horizon_pays_off_short_horizon_does_not() {
+        let (cluster, loads) = testbed();
+        let model = paper::wavm3_live();
+        let mgr = ConsolidationManager::new(&model, PolicyConfig::default());
+        let rng = RngFactory::new(11);
+
+        let hour = run_horizon(&cluster, &loads, &mgr, 3_600.0, &rng);
+        assert_eq!(hour.hosts_powered_off.len(), 1, "h0 empties");
+        assert!(
+            hour.saving_j() > 0.0,
+            "an hour must amortise one 4 GiB migration: {:+.0} J",
+            hour.saving_j()
+        );
+
+        let two_minutes = run_horizon(&cluster, &loads, &mgr, 120.0, &rng);
+        assert!(
+            two_minutes.saving_j() < hour.saving_j(),
+            "short horizons save less"
+        );
+        // Break-even lands between the two horizons (or below the hour).
+        if let Some(be) = hour.breakeven_horizon_s() {
+            assert!(be < 3_600.0, "break-even {be:.0}s");
+            assert!(be > hour.moves.iter().map(|m| m.window_s).sum::<f64>());
+        }
+    }
+
+    #[test]
+    fn steady_power_reflects_packing() {
+        let (cluster, loads) = testbed();
+        // Demands set inside run_horizon; here set manually.
+        let mut world = cluster.clone();
+        for (id, l) in &loads {
+            world.vm_mut(*id).unwrap().set_cpu_demand(l.cpu_cores);
+        }
+        let before = cluster_steady_power(&world, &loads);
+        // Packing onto one host and dropping the other's idle power wins.
+        let vm = world.host(HostId(0)).vms()[0].id;
+        world.relocate_vm(vm, HostId(0), HostId(1));
+        let after_on = cluster_steady_power(&world, &loads);
+        assert!(after_on < before, "packing reduces total draw: {before} -> {after_on}");
+        let survivor = host_steady_power(&world, &loads, HostId(1));
+        assert!(survivor < after_on, "powered-off host contributes nothing beyond idle");
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let (cluster, loads) = testbed();
+        let model = paper::wavm3_live();
+        let mgr = ConsolidationManager::new(&model, PolicyConfig::default());
+        run_horizon(&cluster, &loads, &mgr, 0.0, &RngFactory::new(1));
+    }
+}

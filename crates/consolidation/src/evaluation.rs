@@ -1,0 +1,193 @@
+//! Decision-quality evaluation: does a better energy model make better
+//! consolidation decisions?
+//!
+//! The paper's closing argument (§VIII) is that models ignoring workload
+//! "may not be able to provide the same accuracy in predictions" and hence
+//! mislead the consolidation manager. This module makes the claim
+//! measurable: for a set of candidate moves it compares each model's
+//! accept/reject decision (migration cost vs. break-even horizon) against
+//! an *oracle* that actually executes the move in the simulator and
+//! measures the true migration energy.
+
+use crate::planner::{plan_migration, PlannerInputs};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wavm3_cluster::{hardware, vm_instances, Cluster, Link, MachineSet, VmId};
+use wavm3_migration::{MigrationConfig, MigrationKind, MigrationSimulation};
+use wavm3_models::{EnergyModel, HostRole};
+use wavm3_simkit::RngFactory;
+use wavm3_workloads::{MatMulWorkload, PageDirtierWorkload, Workload};
+
+/// A candidate consolidation move to price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateMove {
+    /// Human label ("cpu idle", "mem95 loaded-src", …).
+    pub label: String,
+    /// `Some(ratio)` → memory-hot migrant; `None` → CPU-bound migrant.
+    pub mem_ratio: Option<f64>,
+    /// `load-cpu` VMs on the source beside the migrant.
+    pub source_load_vms: usize,
+}
+
+impl CandidateMove {
+    /// The default evaluation slate: cheap, loaded, and hot moves.
+    pub fn slate() -> Vec<CandidateMove> {
+        vec![
+            CandidateMove { label: "cpu idle".into(), mem_ratio: None, source_load_vms: 0 },
+            CandidateMove { label: "cpu loaded-src".into(), mem_ratio: None, source_load_vms: 7 },
+            CandidateMove { label: "mem 35%".into(), mem_ratio: Some(0.35), source_load_vms: 0 },
+            CandidateMove { label: "mem 95%".into(), mem_ratio: Some(0.95), source_load_vms: 0 },
+            CandidateMove { label: "mem 95% loaded-src".into(), mem_ratio: Some(0.95), source_load_vms: 7 },
+        ]
+    }
+
+    fn planner_inputs(&self) -> PlannerInputs {
+        PlannerInputs {
+            kind: MigrationKind::Live,
+            machine_set: MachineSet::M,
+            idle_power_w: hardware::m01().power.idle_w,
+            ram_mib: 4096,
+            vcpus: if self.mem_ratio.is_some() { 1 } else { 4 },
+            vm_cpu_fraction: 1.0,
+            working_set_fraction: self.mem_ratio.unwrap_or(0.015),
+            page_write_rate: if self.mem_ratio.is_some() { 220_000.0 } else { 400.0 },
+            source_other_cores: self.source_load_vms as f64 * 4.0,
+            target_other_cores: 0.0,
+            source_capacity: 32.0,
+            target_capacity: 32.0,
+            link: Link::gigabit(),
+            config: MigrationConfig::live(),
+        }
+    }
+
+    /// Execute the move for real and return the measured migration energy
+    /// `E_migr` over `[ms, me]`, both hosts, joules — the quantity the
+    /// paper's models predict and the consolidation manager budgets.
+    pub fn simulate_migration_energy(&self, seed: u64) -> f64 {
+        let (s_spec, t_spec) = hardware::pair(MachineSet::M);
+        let mut cluster = Cluster::new(Link::gigabit());
+        let src = cluster.add_host(s_spec);
+        let dst = cluster.add_host(t_spec);
+        let mut workloads: BTreeMap<VmId, Arc<dyn Workload>> = BTreeMap::new();
+        let migrant = match self.mem_ratio {
+            Some(r) => {
+                let id = cluster.boot_vm(src, vm_instances::migrating_mem());
+                workloads.insert(id, Arc::new(PageDirtierWorkload::with_ratio(r)));
+                id
+            }
+            None => {
+                let id = cluster.boot_vm(src, vm_instances::migrating_cpu());
+                workloads.insert(id, Arc::new(MatMulWorkload::full(4)));
+                id
+            }
+        };
+        for i in 0..self.source_load_vms {
+            let id = cluster.boot_vm(src, vm_instances::load_cpu());
+            workloads.insert(
+                id,
+                Arc::new(MatMulWorkload::full(4).with_phase(i as f64 * 0.137)),
+            );
+        }
+        let record = MigrationSimulation::new(
+            cluster,
+            workloads,
+            migrant,
+            src,
+            dst,
+            MigrationConfig::live(),
+            RngFactory::new(seed),
+        )
+        .run();
+        record.total_energy_j()
+    }
+}
+
+/// One model's verdict on one candidate, versus the oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionOutcome {
+    /// Candidate label.
+    pub candidate: String,
+    /// Model name.
+    pub model: String,
+    /// Model-predicted migration energy, joules.
+    pub predicted_j: f64,
+    /// Simulator-measured migration energy, joules.
+    pub simulated_j: f64,
+    /// Model's accept/reject under the break-even budget.
+    pub accept: bool,
+    /// Oracle's accept/reject (same budget, true energy).
+    pub oracle_accept: bool,
+}
+
+impl DecisionOutcome {
+    /// Did the model agree with the oracle?
+    pub fn agrees(&self) -> bool {
+        self.accept == self.oracle_accept
+    }
+}
+
+/// Price every candidate under `model` against a fixed energy budget
+/// (typically an idle-power saving times a break-even horizon).
+pub fn evaluate_decisions(
+    model: &dyn EnergyModel,
+    candidates: &[CandidateMove],
+    budget_j: f64,
+    seed: u64,
+) -> Vec<DecisionOutcome> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, cand)| {
+            let plan = plan_migration(&cand.planner_inputs());
+            let record = plan.to_record();
+            let predicted_j = model.predict_energy(HostRole::Source, &record)
+                + model.predict_energy(HostRole::Target, &record);
+            let simulated_j = cand.simulate_migration_energy(seed ^ (i as u64) << 20);
+            DecisionOutcome {
+                candidate: cand.label.clone(),
+                model: model.name().to_string(),
+                predicted_j,
+                simulated_j,
+                accept: predicted_j <= budget_j,
+                oracle_accept: simulated_j <= budget_j,
+            }
+        })
+        .collect()
+}
+
+/// Fraction of candidates on which the model agreed with the oracle.
+pub fn agreement_rate(outcomes: &[DecisionOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 1.0;
+    }
+    outcomes.iter().filter(|o| o.agrees()).count() as f64 / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slate_spans_cheap_and_expensive_moves() {
+        let slate = CandidateMove::slate();
+        assert!(slate.len() >= 4);
+        let cheap = slate[0].simulate_migration_energy(9);
+        let hot = slate
+            .iter()
+            .find(|c| c.label == "mem 95% loaded-src")
+            .unwrap()
+            .simulate_migration_energy(9);
+        assert!(
+            hot > 2.0 * cheap,
+            "the slate must discriminate: cheap {cheap:.0} J vs hot {hot:.0} J"
+        );
+    }
+
+    #[test]
+    fn oracle_outcome_depends_on_budget() {
+        let cand = &CandidateMove::slate()[0];
+        let actual = cand.simulate_migration_energy(4);
+        assert!(actual > 0.0, "migration always costs something: {actual}");
+    }
+}

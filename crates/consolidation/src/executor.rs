@@ -1,0 +1,196 @@
+//! Plan execution: carry out a consolidation plan move by move in the
+//! full simulator, comparing each model-predicted migration energy with
+//! the measured one.
+//!
+//! This is the last mile of the paper's use case — the manager planned
+//! with a model; the executor tells you what the plan actually cost.
+
+use crate::policy::{Move, VmLoad};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wavm3_cluster::{Cluster, VmId};
+use wavm3_migration::{MigrationConfig, MigrationRecord, MigrationSimulation};
+use wavm3_simkit::RngFactory;
+use wavm3_workloads::{MatMulWorkload, PageDirtierWorkload, Workload};
+
+/// Outcome of executing one planned move.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutedMove {
+    /// The planned move (with the assessment it was accepted under).
+    pub planned: Move,
+    /// Measured migration energy, both hosts, joules.
+    pub measured_j: f64,
+    /// Measured downtime, seconds.
+    pub downtime_s: f64,
+    /// Measured transfer duration, seconds.
+    pub transfer_s: f64,
+    /// Whole migration window `[ms, me]`, seconds.
+    pub window_s: f64,
+}
+
+/// Turn a monitoring-layer [`VmLoad`] into a simulator workload.
+pub fn workload_for(load: &VmLoad) -> Arc<dyn Workload> {
+    if load.page_write_rate >= 10_000.0 {
+        Arc::new(
+            PageDirtierWorkload::with_ratio(load.working_set_fraction)
+                .with_write_rate(load.page_write_rate),
+        )
+    } else {
+        Arc::new(MatMulWorkload::with_cores(load.cpu_cores))
+    }
+}
+
+/// Execute `moves` sequentially on a working copy of `cluster`, simulating
+/// each migration in full. Returns one [`ExecutedMove`] per input move, in
+/// order. Panics if a move references a VM that is not where the plan says
+/// (i.e. the plan is stale).
+pub fn execute_plan(
+    cluster: &Cluster,
+    loads: &BTreeMap<VmId, VmLoad>,
+    moves: &[Move],
+    config: MigrationConfig,
+    rng: &RngFactory,
+) -> Vec<ExecutedMove> {
+    let mut world = cluster.clone();
+    let mut out = Vec::with_capacity(moves.len());
+    for (i, mv) in moves.iter().enumerate() {
+        assert_eq!(
+            world.locate_vm(mv.vm),
+            Some(mv.from),
+            "plan is stale: {} not on {}",
+            mv.vm,
+            mv.from
+        );
+        let workloads: BTreeMap<VmId, Arc<dyn Workload>> = world
+            .hosts()
+            .iter()
+            .flat_map(|h| h.vms().iter())
+            .map(|vm| {
+                let load = loads.get(&vm.id).copied().unwrap_or(VmLoad::cpu_bound(0.0));
+                (vm.id, workload_for(&load))
+            })
+            .collect();
+        let record: MigrationRecord = MigrationSimulation::new(
+            world.clone(),
+            workloads,
+            mv.vm,
+            mv.from,
+            mv.to,
+            config,
+            rng.child(i as u64),
+        )
+        .run();
+        out.push(ExecutedMove {
+            planned: mv.clone(),
+            measured_j: record.total_energy_j(),
+            downtime_s: record.downtime.as_secs_f64(),
+            transfer_s: record.phases.transfer().as_secs_f64(),
+            window_s: record.phases.total().as_secs_f64(),
+        });
+        // Commit the move to the working copy for subsequent simulations.
+        world.relocate_vm(mv.vm, mv.from, mv.to);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ConsolidationManager, PolicyConfig};
+    use wavm3_cluster::{hardware, vm_instances, Link};
+    use wavm3_models::paper;
+
+    fn testbed() -> (Cluster, BTreeMap<VmId, VmLoad>) {
+        let mut cluster = Cluster::new(Link::gigabit());
+        let h0 = cluster.add_host(hardware::m01());
+        let h1 = cluster.add_host(hardware::m02());
+        let mut loads = BTreeMap::new();
+        let lonely = cluster.boot_vm(h0, vm_instances::migrating_cpu());
+        cluster.vm_mut(lonely).unwrap().set_cpu_demand(4.0);
+        loads.insert(lonely, VmLoad::cpu_bound(4.0));
+        for _ in 0..3 {
+            let id = cluster.boot_vm(h1, vm_instances::load_cpu());
+            cluster.vm_mut(id).unwrap().set_cpu_demand(4.0);
+            loads.insert(id, VmLoad::cpu_bound(4.0));
+        }
+        (cluster, loads)
+    }
+
+    #[test]
+    fn executes_a_plan_and_reports_energy() {
+        let (cluster, loads) = testbed();
+        let model = paper::wavm3_live();
+        let mgr = ConsolidationManager::new(&model, PolicyConfig::default());
+        let moves = mgr.plan_consolidation(&cluster, &loads);
+        assert!(!moves.is_empty());
+        let executed = execute_plan(
+            &cluster,
+            &loads,
+            &moves,
+            MigrationConfig::live(),
+            &RngFactory::new(3),
+        );
+        assert_eq!(executed.len(), moves.len());
+        for e in &executed {
+            assert!(e.measured_j > 1_000.0, "measured {e:?}");
+            assert!(e.transfer_s > 10.0);
+            assert!(e.downtime_s < 5.0, "live move of a CPU guest");
+        }
+    }
+
+    #[test]
+    fn prediction_tracks_execution_within_tolerance() {
+        let (cluster, loads) = testbed();
+        let model = paper::wavm3_live();
+        let mgr = ConsolidationManager::new(&model, PolicyConfig::default());
+        let moves = mgr.plan_consolidation(&cluster, &loads);
+        let executed = execute_plan(
+            &cluster,
+            &loads,
+            &moves,
+            MigrationConfig::live(),
+            &RngFactory::new(4),
+        );
+        for e in &executed {
+            // The paper-coefficient model prices a different testbed, so
+            // allow a generous envelope; the point is order-of-magnitude
+            // consistency of the whole pipeline.
+            let ratio = e.planned.assessment.migration_energy_j / e.measured_j;
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "predicted/measured ratio {ratio:.2} out of envelope: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan is stale")]
+    fn stale_plan_is_rejected() {
+        let (cluster, loads) = testbed();
+        let model = paper::wavm3_live();
+        let mgr = ConsolidationManager::new(&model, PolicyConfig::default());
+        let mut moves = mgr.plan_consolidation(&cluster, &loads);
+        assert!(!moves.is_empty());
+        // Corrupt the plan: pretend the VM is on the other host.
+        let (f, t) = (moves[0].from, moves[0].to);
+        moves[0].from = t;
+        moves[0].to = f;
+        execute_plan(
+            &cluster,
+            &loads,
+            &moves,
+            MigrationConfig::live(),
+            &RngFactory::new(5),
+        );
+    }
+
+    #[test]
+    fn workload_mapping_distinguishes_profiles() {
+        let cpu = workload_for(&VmLoad::cpu_bound(3.0));
+        assert_eq!(cpu.name(), "matrixmult");
+        let mem = workload_for(&VmLoad::memory_hot(0.8));
+        assert_eq!(mem.name(), "pagedirtier");
+        assert_eq!(mem.working_set_fraction(), 0.8);
+    }
+}

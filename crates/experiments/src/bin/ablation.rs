@@ -1,0 +1,11 @@
+//! Ablation study: retrain WAVM3 with each ingredient removed.
+
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::{ablation, tables};
+
+fn main() {
+    let opts = wavm3_experiments::cli::parse_args();
+    let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+    let rows = ablation::run_ablation(&dataset).expect("training failed");
+    print!("{}", ablation::render(&rows));
+}

@@ -1,0 +1,40 @@
+//! Run the full Table IIa campaign on both machine sets and export the
+//! datasets as JSON for external analysis.
+
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::tables;
+
+fn main() {
+    let opts = wavm3_experiments::cli::parse_args();
+    std::fs::create_dir_all(&opts.out_dir).expect("create output directory");
+    for set in [MachineSet::M, MachineSet::O] {
+        let dataset = tables::run_campaign(set, &opts.runner);
+        let path = opts
+            .out_dir
+            .join(format!("dataset_{}.json", set.label().replace('-', "_")));
+        let json = serde_json::to_string(&dataset).expect("serialise dataset");
+        std::fs::write(&path, json).expect("write dataset");
+        let runs_path = opts
+            .out_dir
+            .join(format!("runs_{}.csv", set.label().replace('-', "_")));
+        std::fs::write(&runs_path, wavm3_experiments::export::runs_csv(&dataset))
+            .expect("write runs CSV");
+        let readings_path = opts
+            .out_dir
+            .join(format!("readings_{}.csv", set.label().replace('-', "_")));
+        std::fs::write(
+            &readings_path,
+            wavm3_experiments::export::readings_csv(&dataset),
+        )
+        .expect("write readings CSV");
+        println!(
+            "{}: {} scenarios, {} migrations -> {}, {}, {}",
+            set.label(),
+            dataset.runs.len(),
+            dataset.record_count(),
+            path.display(),
+            runs_path.display(),
+            readings_path.display()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Paper Fig. 1 — the actors of the migration process (descriptive
+//! diagram; printed here with each actor's role as implemented by this
+//! reproduction, §III-B).
+
+fn main() {
+    println!(
+        r#"Fig 1: Summary of the migration process (actors and implementation map)
+
+  +------------------------+        selects VM + target, issues migration
+  | Consolidation Manager  | -----------------------------------------------+
+  +------------------------+   (wavm3-consolidation::ConsolidationManager)  |
+                                                                            v
+  +------------------+   1. connect / ack    +------------------+
+  |   SOURCE host    | <-------------------> |   TARGET host    |
+  |  (wavm3-cluster  |   2. VM state over    |  runs the VM     |
+  |   ::Host)        |      the network      |   after 'me'     |
+  |                  | ====================> |                  |
+  |  +------------+  |   (wavm3-migration)   |  +- - - - - -+   |
+  |  | Migrating  |  |                       |  : Migrating :   |
+  |  |    VM      |  |                       |  :    VM     :   |
+  |  +------------+  |                       |  +- - - - - -+   |
+  +------------------+                       +------------------+
+        |                    NETWORK                 |
+        +------------- (wavm3-cluster::Link) --------+
+                 single gigabit switch; constant switch power (§III-B)
+
+Actors modelled for energy (paper §III-B): migrating VM, source host,
+target host. The consolidation manager only initiates (not metered); the
+network's switch draw is constant and excluded. Per-actor workload impact
+is Table I (`cargo run -p wavm3-experiments --bin table1`)."#
+    );
+}

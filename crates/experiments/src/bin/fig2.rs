@@ -1,0 +1,7 @@
+//! Regenerate paper Fig. 2. See crate docs for flags.
+
+fn main() {
+    let opts = wavm3_experiments::cli::parse_args();
+    let fig = wavm3_experiments::figures::fig2(&opts.runner);
+    wavm3_experiments::cli::emit_figure(&opts, &fig);
+}

@@ -1,0 +1,9 @@
+//! NETLOAD extension: live migration next to a network-intensive guest.
+
+use wavm3_experiments::netload;
+
+fn main() {
+    let opts = wavm3_experiments::cli::parse_args();
+    let points = netload::run_netload_sweep(&opts.runner);
+    print!("{}", netload::render(&points));
+}

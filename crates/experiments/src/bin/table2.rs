@@ -1,0 +1,5 @@
+//! Regenerate paper Table II (experimental setup).
+
+fn main() {
+    print!("{}", wavm3_experiments::tables::table2());
+}

@@ -1,0 +1,11 @@
+//! Regenerate paper Table IV (WAVM3 coefficients, live).
+
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::tables;
+use wavm3_migration::MigrationKind;
+
+fn main() {
+    let opts = wavm3_experiments::cli::parse_args();
+    let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+    print!("{}", tables::table3_4(&dataset, MigrationKind::Live).expect("training failed"));
+}

@@ -1,0 +1,11 @@
+//! Regenerate paper Table V (WAVM3 NRMSE on both machine sets).
+
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::tables;
+
+fn main() {
+    let opts = wavm3_experiments::cli::parse_args();
+    let m = tables::run_campaign(MachineSet::M, &opts.runner);
+    let o = tables::run_campaign(MachineSet::O, &opts.runner);
+    print!("{}", tables::table5(&m, &o).expect("training failed"));
+}

@@ -1,0 +1,107 @@
+//! Minimal argument parsing shared by the regeneration binaries.
+//!
+//! Flags: `--reps N` (fixed repetitions instead of the paper's variance
+//! rule), `--seed S` (campaign seed), `--out DIR` (CSV output directory,
+//! default `out/`).
+
+use crate::runner::{RepetitionPolicy, RunnerConfig};
+use std::path::PathBuf;
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Runner configuration derived from the flags.
+    pub runner: RunnerConfig,
+    /// Where figure CSVs are written.
+    pub out_dir: PathBuf,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            runner: RunnerConfig::default(),
+            out_dir: PathBuf::from("out"),
+        }
+    }
+}
+
+/// Parse `std::env::args`. Unknown flags abort with a usage message.
+pub fn parse_args() -> CliOptions {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Testable core of [`parse_args`].
+pub fn parse_from(args: impl Iterator<Item = String>) -> CliOptions {
+    let mut opts = CliOptions::default();
+    let mut it = args.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--reps" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage("--reps needs a positive integer"));
+                opts.runner.repetitions = RepetitionPolicy::Fixed(v.max(1));
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+                opts.runner.base_seed = v;
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| usage("--out needs a path"));
+                opts.out_dir = PathBuf::from(v);
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bin> [--reps N] [--seed S] [--out DIR]");
+    eprintln!("  default repetition policy: paper variance rule (>=10 runs, <10% variance delta)");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Write a figure's CSV into the output directory and print its summary.
+pub fn emit_figure(opts: &CliOptions, fig: &crate::figures::FigureOutput) {
+    std::fs::create_dir_all(&opts.out_dir).expect("create output directory");
+    let path = opts.out_dir.join(format!("{}.csv", fig.id));
+    std::fs::write(&path, &fig.csv).expect("write figure CSV");
+    println!("{}", fig.summary);
+    println!("(series written to {})", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_use_paper_policy() {
+        let o = parse_from(std::iter::empty());
+        assert!(matches!(
+            o.runner.repetitions,
+            RepetitionPolicy::VarianceRule { min: 10, .. }
+        ));
+        assert_eq!(o.out_dir, PathBuf::from("out"));
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse_from(
+            ["--reps", "3", "--seed", "42", "--out", "tmpdir"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(matches!(o.runner.repetitions, RepetitionPolicy::Fixed(3)));
+        assert_eq!(o.runner.base_seed, 42);
+        assert_eq!(o.out_dir, PathBuf::from("tmpdir"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Regeneration of the paper's figures (2–7) as CSV series + summaries.
+//!
+//! Each figure function runs the corresponding experiment family and
+//! produces:
+//!
+//! * `csv` — long-form series `panel,legend,time_s,power_w` of the
+//!   repetition-averaged 2 Hz power traces (what the paper plots);
+//! * `summary` — per-curve phase/energy digest lines (what the paper's
+//!   prose discusses: transfer lengths, suspension drops, energy
+//!   totals).
+
+use crate::dataset::{mean_trace, ExperimentDataset, ScenarioRuns};
+use crate::runner::RunnerConfig;
+use crate::scenario::{ExperimentFamily, Scenario};
+use std::fmt::Write as _;
+use wavm3_cluster::MachineSet;
+use wavm3_migration::MigrationKind;
+use wavm3_simkit::TimeSeries;
+
+/// A rendered figure.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Figure id, e.g. "fig3".
+    pub id: &'static str,
+    /// Human summary (stdout).
+    pub summary: String,
+    /// Long-form CSV of the averaged traces.
+    pub csv: String,
+}
+
+fn averaged_source_target(runs: &ScenarioRuns) -> (TimeSeries, TimeSeries) {
+    let src: Vec<&TimeSeries> = runs.records.iter().map(|r| &r.source_trace.series).collect();
+    let dst: Vec<&TimeSeries> = runs.records.iter().map(|r| &r.target_trace.series).collect();
+    (mean_trace(&src), mean_trace(&dst))
+}
+
+fn push_csv(csv: &mut String, panel: &str, legend: &str, series: &TimeSeries) {
+    for (t, v) in series.iter() {
+        let _ = writeln!(csv, "{panel},{legend},{:.1},{:.1}", t.as_secs_f64(), v);
+    }
+}
+
+fn summarise(summary: &mut String, panel: &str, runs: &ScenarioRuns) {
+    let n = runs.records.len() as f64;
+    let mean = |f: &dyn Fn(&wavm3_migration::MigrationRecord) -> f64| {
+        runs.records.iter().map(f).sum::<f64>() / n
+    };
+    let _ = writeln!(
+        summary,
+        "{panel:<22} {:<6} reps={:<2} transfer={:>6.1}s downtime={:>6.2}s bytes={:>6.2}G E_src={:>7.1}kJ E_dst={:>7.1}kJ",
+        runs.scenario.label,
+        runs.records.len(),
+        mean(&|r| r.phases.transfer().as_secs_f64()),
+        mean(&|r| r.downtime.as_secs_f64()),
+        mean(&|r| r.total_bytes as f64 / 1e9),
+        mean(&|r| r.source_energy.total_j() / 1e3),
+        mean(&|r| r.target_energy.total_j() / 1e3),
+    );
+}
+
+/// Render one load-sweep family (Figs. 3, 4, 6, 7 share this shape).
+fn render_family(
+    id: &'static str,
+    title: &str,
+    family: ExperimentFamily,
+    set: MachineSet,
+    cfg: &RunnerConfig,
+) -> FigureOutput {
+    let scenarios = Scenario::family_scenarios(family, set);
+    let dataset = ExperimentDataset::collect(scenarios, cfg);
+    let mut summary = String::new();
+    let mut csv = String::from("panel,legend,time_s,power_w\n");
+    let _ = writeln!(summary, "{title} ({})", set.label());
+    for runs in &dataset.runs {
+        let kind = runs.scenario.kind.label();
+        let (src, dst) = averaged_source_target(runs);
+        let src_panel = format!("{kind}-source");
+        let dst_panel = format!("{kind}-target");
+        push_csv(&mut csv, &src_panel, &runs.scenario.label, &src);
+        push_csv(&mut csv, &dst_panel, &runs.scenario.label, &dst);
+        summarise(&mut summary, &src_panel, runs);
+    }
+    FigureOutput { id, summary, csv }
+}
+
+/// Fig. 2 — phase-annotated traces of one non-live and one live migration
+/// (idle hosts, CPU-loaded migrant).
+pub fn fig2(cfg: &RunnerConfig) -> FigureOutput {
+    let base = Scenario {
+        family: ExperimentFamily::CpuloadSource,
+        kind: MigrationKind::NonLive,
+        machine_set: MachineSet::M,
+        source_load_vms: 0,
+        target_load_vms: 0,
+        migrant_mem_ratio: None,
+        label: "0 VM".into(),
+    };
+    let mut live = base.clone();
+    live.kind = MigrationKind::Live;
+    let dataset = ExperimentDataset::collect(vec![base, live], cfg);
+    let mut summary = String::new();
+    let mut csv = String::from("panel,legend,time_s,power_w\n");
+    let _ = writeln!(summary, "Fig 2: energy consumption phases of non-live and live migration");
+    for runs in &dataset.runs {
+        let kind = runs.scenario.kind.label();
+        let r0 = &runs.records[0];
+        let _ = writeln!(
+            summary,
+            "  {kind:<9} ms={:.1}s ts={:.1}s te={:.1}s me={:.1}s  E_init={:.1}kJ E_xfer={:.1}kJ E_act={:.1}kJ (source)",
+            r0.phases.ms.as_secs_f64(),
+            r0.phases.ts.as_secs_f64(),
+            r0.phases.te.as_secs_f64(),
+            r0.phases.me.as_secs_f64(),
+            r0.source_energy.initiation_j / 1e3,
+            r0.source_energy.transfer_j / 1e3,
+            r0.source_energy.activation_j / 1e3,
+        );
+        let (src, dst) = averaged_source_target(runs);
+        // Terminal rendering of the source trace with phase markers.
+        let _ = writeln!(
+            summary,
+            "{}",
+            crate::export::ascii_trace(&src, &r0.phases, 7)
+        );
+        push_csv(&mut csv, &format!("{kind}-source"), "trace", &src);
+        push_csv(&mut csv, &format!("{kind}-target"), "trace", &dst);
+    }
+    FigureOutput { id: "fig2", summary, csv }
+}
+
+/// Fig. 3 — CPULOAD-SOURCE (non-live/live × source/target panels).
+pub fn fig3(cfg: &RunnerConfig) -> FigureOutput {
+    render_family(
+        "fig3",
+        "Fig 3: CPULOAD-SOURCE power traces",
+        ExperimentFamily::CpuloadSource,
+        MachineSet::M,
+        cfg,
+    )
+}
+
+/// Fig. 4 — CPULOAD-TARGET.
+pub fn fig4(cfg: &RunnerConfig) -> FigureOutput {
+    render_family(
+        "fig4",
+        "Fig 4: CPULOAD-TARGET power traces",
+        ExperimentFamily::CpuloadTarget,
+        MachineSet::M,
+        cfg,
+    )
+}
+
+/// Fig. 5 — MEMLOAD-VM (dirtying-ratio sweep).
+pub fn fig5(cfg: &RunnerConfig) -> FigureOutput {
+    render_family(
+        "fig5",
+        "Fig 5: MEMLOAD-VM power traces (dirtying ratio sweep)",
+        ExperimentFamily::MemloadVm,
+        MachineSet::M,
+        cfg,
+    )
+}
+
+/// Fig. 6 — MEMLOAD-SOURCE.
+pub fn fig6(cfg: &RunnerConfig) -> FigureOutput {
+    render_family(
+        "fig6",
+        "Fig 6: MEMLOAD-SOURCE power traces",
+        ExperimentFamily::MemloadSource,
+        MachineSet::M,
+        cfg,
+    )
+}
+
+/// Fig. 7 — MEMLOAD-TARGET.
+pub fn fig7(cfg: &RunnerConfig) -> FigureOutput {
+    render_family(
+        "fig7",
+        "Fig 7: MEMLOAD-TARGET power traces",
+        ExperimentFamily::MemloadTarget,
+        MachineSet::M,
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RepetitionPolicy;
+
+    fn fast_cfg() -> RunnerConfig {
+        RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(1),
+            base_seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig2_has_phase_annotations_and_both_kinds() {
+        let f = fig2(&fast_cfg());
+        assert!(f.summary.contains("non-live"));
+        assert!(f.summary.contains("live"));
+        assert!(f.summary.contains("ts="));
+        assert!(f.csv.lines().count() > 100);
+        assert!(f.csv.starts_with("panel,legend,time_s,power_w"));
+    }
+
+    #[test]
+    fn fig5_sweeps_all_ratios() {
+        let f = fig5(&fast_cfg());
+        for pct in ["5%", "15%", "35%", "55%", "75%", "95%"] {
+            assert!(f.summary.contains(pct), "missing {pct}:\n{}", f.summary);
+        }
+        // Live only: panels are live-source / live-target.
+        assert!(f.csv.contains("live-source,5%"));
+        assert!(!f.csv.contains("non-live-source"));
+    }
+
+    #[test]
+    fn fig3_has_four_panels() {
+        let f = fig3(&fast_cfg());
+        for panel in ["non-live-source", "non-live-target", "live-source", "live-target"] {
+            assert!(f.csv.contains(panel), "missing panel {panel}");
+        }
+        assert_eq!(f.id, "fig3");
+    }
+}

@@ -1,0 +1,47 @@
+//! # wavm3-experiments — the paper's experimental campaign
+//!
+//! Encodes the experiment design of Table IIa (the CPULOAD and MEMLOAD
+//! families), runs it against the simulator with the paper's repetition
+//! protocol (≥10 runs, stop when run-variance change < 10 %), assembles
+//! datasets, and regenerates **every table and figure** of the evaluation:
+//!
+//! | target | binary |
+//! |---|---|
+//! | Fig. 1 (actors diagram + implementation map) | `--bin fig1` |
+//! | Fig. 2 (phase-annotated traces) | `cargo run -p wavm3-experiments --bin fig2` |
+//! | Fig. 3 (CPULOAD-SOURCE) | `--bin fig3` |
+//! | Fig. 4 (CPULOAD-TARGET) | `--bin fig4` |
+//! | Fig. 5 (MEMLOAD-VM) | `--bin fig5` |
+//! | Fig. 6 (MEMLOAD-SOURCE) | `--bin fig6` |
+//! | Fig. 7 (MEMLOAD-TARGET) | `--bin fig7` |
+//! | Table I (workload impact) | `--bin table1` |
+//! | Table II (setup) | `--bin table2` |
+//! | Tables III/IV (WAVM3 coefficients) | `--bin table3`, `--bin table4` |
+//! | Table V (cross-set NRMSE) | `--bin table5` |
+//! | Table VI (baseline coefficients) | `--bin table6` |
+//! | Table VII (model comparison) | `--bin table7` |
+//! | everything at once | `--bin reproduce_all` |
+//! | NETLOAD extension (network-intensive guests) | `--bin netload` |
+//! | WAVM3 ablation study | `--bin ablation` |
+//! | mechanism comparison incl. post-copy | `--bin mechanisms` |
+//! | per-phase prediction fidelity | `--bin phases` |
+//! | training-fraction sensitivity | `--bin sensitivity` |
+//! | seed-robustness of the orderings | `--bin robustness` |
+//! | JSON/CSV dataset export | `--bin campaign` |
+//!
+//! Every binary accepts `--reps N` (fixed repetitions) and `--seed S`; the
+//! default follows the paper's variance-rule protocol.
+
+pub mod ablation;
+pub mod cli;
+pub mod dataset;
+pub mod export;
+pub mod netload;
+pub mod figures;
+pub mod runner;
+pub mod scenario;
+pub mod tables;
+
+pub use dataset::{mean_trace, ExperimentDataset, ScenarioRuns};
+pub use runner::{run_all, run_scenario, RepetitionPolicy, RunnerConfig};
+pub use scenario::{ExperimentFamily, Scenario, DR_LEVELS_PCT, LOAD_VM_LEVELS};

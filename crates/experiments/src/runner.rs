@@ -1,0 +1,190 @@
+//! Experiment execution with the paper's repetition protocol.
+//!
+//! §V-B: *"we repeat each experiment until the difference in variance
+//! between one run and the previous runs becomes less than 10 %, resulting
+//! in at least ten runs for each experiment."* The repetition criterion is
+//! applied to the run's total source-side migration energy.
+//!
+//! Scenarios are independent, so [`run_all`] fans them out over rayon;
+//! every run is seeded as `base.child(scenario-id hash).child(rep)`, making
+//! results identical regardless of the thread count.
+
+use crate::scenario::Scenario;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use wavm3_migration::MigrationRecord;
+use wavm3_simkit::RngFactory;
+use wavm3_stats::VarianceStopper;
+
+/// How many repetitions to run per scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepetitionPolicy {
+    /// Exactly `n` repetitions (fast paths, benches).
+    Fixed(usize),
+    /// The paper's rule: at least `min`, stop when the variance of the
+    /// total migration energy changes by less than `threshold`, hard cap
+    /// at `max`.
+    VarianceRule {
+        /// Minimum repetitions (paper: 10).
+        min: usize,
+        /// Hard cap.
+        max: usize,
+        /// Relative variance-change threshold (paper: 0.10).
+        threshold: f64,
+    },
+}
+
+impl RepetitionPolicy {
+    /// The paper's protocol.
+    pub fn paper() -> Self {
+        RepetitionPolicy::VarianceRule {
+            min: 10,
+            max: 15,
+            threshold: 0.10,
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// Repetition policy.
+    pub repetitions: RepetitionPolicy,
+    /// Root seed of the whole campaign.
+    pub base_seed: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            repetitions: RepetitionPolicy::paper(),
+            base_seed: 0xC1A5_7E01,
+        }
+    }
+}
+
+fn scenario_rng(cfg: &RunnerConfig, scenario: &Scenario) -> RngFactory {
+    // Hash the scenario id into a child scope so adding scenarios never
+    // perturbs the seeds of existing ones.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in scenario.id().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    RngFactory::new(cfg.base_seed).child(h)
+}
+
+/// Run one scenario under the repetition policy.
+pub fn run_scenario(scenario: &Scenario, cfg: &RunnerConfig) -> Vec<MigrationRecord> {
+    let scope = scenario_rng(cfg, scenario);
+    match cfg.repetitions {
+        RepetitionPolicy::Fixed(n) => (0..n)
+            .map(|rep| scenario.build(scope.child(rep as u64)).run())
+            .collect(),
+        RepetitionPolicy::VarianceRule { min, max, threshold } => {
+            let mut stopper = VarianceStopper::new(min.max(2), max.max(min.max(2)), threshold);
+            let mut records = Vec::new();
+            let mut rep = 0u64;
+            while !stopper.is_satisfied() {
+                let record = scenario.build(scope.child(rep)).run();
+                stopper.push(record.source_energy.total_j());
+                records.push(record);
+                rep += 1;
+            }
+            records
+        }
+    }
+}
+
+/// Run many scenarios in parallel; output order matches input order.
+pub fn run_all(scenarios: &[Scenario], cfg: &RunnerConfig) -> Vec<Vec<MigrationRecord>> {
+    scenarios
+        .par_iter()
+        .map(|s| run_scenario(s, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ExperimentFamily, Scenario};
+    use wavm3_cluster::MachineSet;
+    use wavm3_migration::MigrationKind;
+
+    fn cheap_scenario() -> Scenario {
+        Scenario {
+            family: ExperimentFamily::CpuloadSource,
+            kind: MigrationKind::NonLive,
+            machine_set: MachineSet::M,
+            source_load_vms: 0,
+            target_load_vms: 0,
+            migrant_mem_ratio: None,
+            label: "0 VM".into(),
+        }
+    }
+
+    #[test]
+    fn fixed_policy_runs_exact_count() {
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(3),
+            base_seed: 1,
+        };
+        let records = run_scenario(&cheap_scenario(), &cfg);
+        assert_eq!(records.len(), 3);
+        // Repetitions differ (noise seeds differ)…
+        assert_ne!(records[0].source_trace, records[1].source_trace);
+        // …but re-running the whole scenario reproduces everything.
+        let again = run_scenario(&cheap_scenario(), &cfg);
+        assert_eq!(records[0].source_trace, again[0].source_trace);
+        assert_eq!(records[2].total_bytes, again[2].total_bytes);
+    }
+
+    #[test]
+    fn variance_rule_reaches_min_runs() {
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::VarianceRule {
+                min: 4,
+                max: 8,
+                threshold: 0.5,
+            },
+            base_seed: 2,
+        };
+        let records = run_scenario(&cheap_scenario(), &cfg);
+        assert!(records.len() >= 4 && records.len() <= 8, "{}", records.len());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let scenarios = vec![cheap_scenario(), {
+            let mut s = cheap_scenario();
+            s.kind = MigrationKind::Live;
+            s.label = "0 VM live".into();
+            s
+        }];
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(2),
+            base_seed: 3,
+        };
+        let par = run_all(&scenarios, &cfg);
+        let seq: Vec<Vec<MigrationRecord>> = scenarios
+            .iter()
+            .map(|s| run_scenario(s, &cfg))
+            .collect();
+        assert_eq!(par, seq, "rayon fan-out must not change results");
+    }
+
+    #[test]
+    fn seeds_differ_between_scenarios() {
+        let a = cheap_scenario();
+        let mut b = cheap_scenario();
+        b.source_load_vms = 1;
+        b.label = "1 VM".into();
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(1),
+            base_seed: 4,
+        };
+        let ra = run_scenario(&a, &cfg);
+        let rb = run_scenario(&b, &cfg);
+        assert_ne!(ra[0].source_trace, rb[0].source_trace);
+    }
+}

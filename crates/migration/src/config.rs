@@ -1,0 +1,236 @@
+//! Migration engine configuration.
+
+use serde::{Deserialize, Serialize};
+use wavm3_simkit::SimDuration;
+
+/// Which migration mechanism to run (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrationKind {
+    /// Suspend → transfer → resume.
+    NonLive,
+    /// Iterative pre-copy with final stop-and-copy.
+    Live,
+    /// Post-copy (extension beyond the paper): a brief handover moves the
+    /// CPU state and resumes the VM on the target immediately; memory pages
+    /// follow via background push + demand fetches. Minimal downtime at the
+    /// cost of degraded guest performance while pages are remote.
+    PostCopy,
+}
+
+impl MigrationKind {
+    /// Table label ("non-live" / "live").
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationKind::NonLive => "non-live",
+            MigrationKind::Live => "live",
+            MigrationKind::PostCopy => "post-copy",
+        }
+    }
+}
+
+/// Pre-copy termination policy (Xen-style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecopyConfig {
+    /// Hard cap on pre-copy rounds (Xen defaults to ~30 iterations).
+    pub max_rounds: usize,
+    /// Optional transfer rate cap in bytes/s (Xen's `xl migrate`
+    /// `max_rate` knob): `None` = use whatever the link and CPUs allow.
+    pub rate_limit_bps: Option<f64>,
+    /// Stop-and-copy when the dirty set falls to this many pages or fewer.
+    pub stop_threshold_pages: u64,
+    /// Non-convergence stall: stop-and-copy when the dirty set regenerated
+    /// during a round is at least this fraction of the pages the round
+    /// managed to send (sending more buys nothing).
+    pub stall_ratio: f64,
+}
+
+impl Default for PrecopyConfig {
+    fn default() -> Self {
+        PrecopyConfig {
+            max_rounds: 30,
+            rate_limit_bps: None,
+            // 16384 pages = 64 MiB: ~0.6 s of downtime at gigabit rate.
+            stop_threshold_pages: 16_384,
+            stall_ratio: 0.9,
+        }
+    }
+}
+
+/// Additive service power of the migration machinery per phase and host
+/// role, watts (the constants `C(i)`, `C(t)`, `C(a)` of Eqs. 5–7 absorb
+/// these during regression).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServicePower {
+    /// Source during initiation (live preparation tasks — the paper's
+    /// "new peak" of Fig. 2b).
+    pub init_source_w: f64,
+    /// Target during initiation (resource availability checks, ack).
+    pub init_target_w: f64,
+    /// Source during transfer (stream management).
+    pub transfer_source_w: f64,
+    /// Target during transfer — higher than the source because the target
+    /// "also needs to load the VM state in memory" (paper §IV-C2).
+    pub transfer_target_w: f64,
+    /// Source during activation (resource deallocation).
+    pub activation_source_w: f64,
+    /// Target during activation (hypervisor starting the VM).
+    pub activation_target_w: f64,
+}
+
+impl Default for ServicePower {
+    fn default() -> Self {
+        ServicePower {
+            init_source_w: 24.0,
+            init_target_w: 16.0,
+            transfer_source_w: 12.0,
+            transfer_target_w: 22.0,
+            activation_source_w: 8.0,
+            activation_target_w: 28.0,
+        }
+    }
+}
+
+/// Fixed-duration parts of the migration timeline and the measurement
+/// protocol envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Initiation phase length (connection setup, target preparation).
+    pub initiation: SimDuration,
+    /// Activation phase length (resume + cleanup).
+    pub activation: SimDuration,
+    /// Normal-execution lead-in before `ms` (meters must stabilise).
+    pub pre_run: SimDuration,
+    /// Minimum normal-execution tail after `me`.
+    pub post_run_min: SimDuration,
+    /// Hard cap on the tail (even if meters refuse to stabilise).
+    pub post_run_max: SimDuration,
+    /// Simulation tick for continuous dynamics.
+    pub tick: SimDuration,
+    /// Post-copy only: length of the CPU-state handover (the downtime).
+    pub postcopy_handover: SimDuration,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            initiation: SimDuration::from_millis(2_000),
+            activation: SimDuration::from_millis(3_000),
+            pre_run: SimDuration::from_secs(12),
+            post_run_min: SimDuration::from_secs(8),
+            post_run_max: SimDuration::from_secs(25),
+            tick: SimDuration::from_millis(100),
+            postcopy_handover: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// CPU demand of the migration machinery itself (`CPU_migr` of Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCpuCost {
+    /// Cores the source-side driver needs to push the NIC at line rate.
+    pub source_cores_at_line_rate: f64,
+    /// Cores the target-side receiver needs at line rate.
+    pub target_cores_at_line_rate: f64,
+    /// Extra source cores for shadow/log-dirty tracking during live
+    /// migration, scaled by the guest's dirtying intensity.
+    pub dirty_tracking_cores: f64,
+    /// Cores used by the toolstack during initiation and activation.
+    pub control_cores: f64,
+}
+
+impl Default for MigrationCpuCost {
+    fn default() -> Self {
+        MigrationCpuCost {
+            source_cores_at_line_rate: 1.6,
+            target_cores_at_line_rate: 1.3,
+            dirty_tracking_cores: 0.45,
+            control_cores: 0.5,
+        }
+    }
+}
+
+/// Complete migration-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Mechanism to run.
+    pub kind: MigrationKind,
+    /// Pre-copy termination policy (live only).
+    pub precopy: PrecopyConfig,
+    /// Per-phase service power.
+    pub service: ServicePower,
+    /// Timeline and measurement envelope.
+    pub timing: TimingConfig,
+    /// `CPU_migr` parameters.
+    pub cpu_cost: MigrationCpuCost,
+}
+
+impl MigrationConfig {
+    /// Defaults for the requested mechanism.
+    pub fn new(kind: MigrationKind) -> Self {
+        MigrationConfig {
+            kind,
+            precopy: PrecopyConfig::default(),
+            service: ServicePower::default(),
+            timing: TimingConfig::default(),
+            cpu_cost: MigrationCpuCost::default(),
+        }
+    }
+
+    /// Live-migration defaults.
+    pub fn live() -> Self {
+        MigrationConfig::new(MigrationKind::Live)
+    }
+
+    /// Non-live defaults.
+    pub fn non_live() -> Self {
+        MigrationConfig::new(MigrationKind::NonLive)
+    }
+
+    /// Post-copy defaults (extension).
+    pub fn post_copy() -> Self {
+        MigrationConfig::new(MigrationKind::PostCopy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(MigrationKind::Live.label(), "live");
+        assert_eq!(MigrationKind::NonLive.label(), "non-live");
+        assert_eq!(MigrationKind::PostCopy.label(), "post-copy");
+    }
+
+    #[test]
+    fn default_constructors_set_kind() {
+        assert_eq!(MigrationConfig::live().kind, MigrationKind::Live);
+        assert_eq!(MigrationConfig::non_live().kind, MigrationKind::NonLive);
+    }
+
+    #[test]
+    fn target_state_load_costs_more_than_source_streaming() {
+        // Paper §IV-C2: C(t) is higher on the target.
+        let s = ServicePower::default();
+        assert!(s.transfer_target_w > s.transfer_source_w);
+        // And VM start-up dominates activation.
+        assert!(s.activation_target_w > s.activation_source_w);
+    }
+
+    #[test]
+    fn timing_envelope_is_sane() {
+        let t = TimingConfig::default();
+        assert!(t.tick < t.initiation);
+        assert!(t.post_run_min <= t.post_run_max);
+        assert!(t.pre_run.as_secs_f64() >= 10.0, "meters need 20 samples to stabilise");
+    }
+
+    #[test]
+    fn precopy_defaults_match_xen_shape() {
+        let p = PrecopyConfig::default();
+        assert_eq!(p.max_rounds, 30);
+        assert!(p.stall_ratio > 0.5 && p.stall_ratio <= 1.0);
+        assert!(p.stop_threshold_pages > 0);
+    }
+}

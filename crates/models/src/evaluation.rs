@@ -1,0 +1,127 @@
+//! Model comparison on a test set — the machinery behind Tables V and VII.
+
+use crate::features::HostRole;
+use crate::model::EnergyModel;
+use serde::{Deserialize, Serialize};
+use wavm3_migration::{MigrationKind, MigrationRecord};
+use wavm3_stats::ErrorReport;
+
+/// One row of a Table VII-style comparison: one model, one host role, one
+/// mechanism, scored on per-run migration energies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Model name.
+    pub model: String,
+    /// Host role the row scores.
+    pub role: HostRole,
+    /// Migration mechanism of the scored runs.
+    pub kind: MigrationKind,
+    /// MAE / RMSE / NRMSE / R² over per-run energies (joules).
+    pub errors: ErrorReport,
+}
+
+/// Observed migration energy for a role (measured trace integral).
+pub fn observed_energy(role: HostRole, record: &MigrationRecord) -> f64 {
+    match role {
+        HostRole::Source => record.source_energy.total_j(),
+        HostRole::Target => record.target_energy.total_j(),
+    }
+}
+
+/// Score one model on one role over records of one kind. Returns `None`
+/// when no records match.
+pub fn score_model(
+    model: &dyn EnergyModel,
+    role: HostRole,
+    kind: MigrationKind,
+    records: &[&MigrationRecord],
+) -> Option<ErrorReport> {
+    let of_kind: Vec<&MigrationRecord> =
+        records.iter().copied().filter(|r| r.kind == kind).collect();
+    if of_kind.is_empty() {
+        return None;
+    }
+    let pred: Vec<f64> = of_kind
+        .iter()
+        .map(|r| model.predict_energy(role, r))
+        .collect();
+    let obs: Vec<f64> = of_kind.iter().map(|r| observed_energy(role, r)).collect();
+    Some(ErrorReport::compute(&pred, &obs))
+}
+
+/// Full comparison grid: every model × role × mechanism present in the
+/// record set — the data behind the paper's Table VII.
+pub fn evaluate_models(
+    models: &[&dyn EnergyModel],
+    records: &[&MigrationRecord],
+) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for kind in [MigrationKind::NonLive, MigrationKind::Live] {
+        for model in models {
+            for role in HostRole::ALL {
+                if let Some(errors) = score_model(*model, role, kind, records) {
+                    rows.push(ComparisonRow {
+                        model: model.name().to_string(),
+                        role,
+                        kind,
+                        errors,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::tests_support::synthetic_record;
+    use crate::training::{train_liu, train_wavm3, ReadingSplit};
+
+    fn dataset(kind: MigrationKind) -> Vec<MigrationRecord> {
+        (0..12).map(|v| synthetic_record(v, kind)).collect()
+    }
+
+    #[test]
+    fn perfectly_specified_liu_scores_zero_error() {
+        let records = dataset(MigrationKind::Live);
+        let refs: Vec<&MigrationRecord> = records.iter().collect();
+        let liu = train_liu(&refs, MigrationKind::Live).unwrap();
+        let rep = score_model(&liu, HostRole::Source, MigrationKind::Live, &refs).unwrap();
+        // The synthetic energies are exactly affine in DATA.
+        assert!(rep.nrmse < 1e-6, "{rep:?}");
+        assert!(rep.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn grid_covers_models_and_roles() {
+        let mut records = dataset(MigrationKind::Live);
+        records.extend(dataset(MigrationKind::NonLive));
+        let refs: Vec<&MigrationRecord> = records.iter().collect();
+        let liu_live = train_liu(&refs, MigrationKind::Live).unwrap();
+        let wavm3 = train_wavm3(&refs, MigrationKind::Live, &ReadingSplit::default()).unwrap();
+        let rows = evaluate_models(&[&wavm3, &liu_live], &refs);
+        // 2 kinds × 2 models × 2 roles.
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().any(|r| r.model == "WAVM3" && r.role == HostRole::Target));
+        assert!(rows
+            .iter()
+            .all(|r| r.errors.n == 12, ));
+    }
+
+    #[test]
+    fn no_matching_records_gives_none() {
+        let records = dataset(MigrationKind::Live);
+        let refs: Vec<&MigrationRecord> = records.iter().collect();
+        let liu = train_liu(&refs, MigrationKind::Live).unwrap();
+        assert!(score_model(&liu, HostRole::Source, MigrationKind::NonLive, &refs).is_none());
+    }
+
+    #[test]
+    fn observed_energy_selects_role() {
+        let r = synthetic_record(0, MigrationKind::Live);
+        assert_eq!(observed_energy(HostRole::Source, &r), r.source_energy.total_j());
+        assert_eq!(observed_energy(HostRole::Target, &r), r.target_energy.total_j());
+    }
+}

@@ -1,0 +1,146 @@
+//! Feature extraction from migration records, per the paper's conventions.
+//!
+//! The regression features of §IV-B, with the paper's host-role masking
+//! rules baked in:
+//!
+//! * target-side transfer rows have `DR(v,t) = 0` and `CPU(v,t) = 0`
+//!   ("the VM is not yet on the target", §IV-C2);
+//! * source-side activation rows have `CPU(v,t) = 0` (the VM left);
+//! * target-side initiation rows have `CPU(v,t) = 0` (not yet involved).
+
+use serde::{Deserialize, Serialize};
+use wavm3_migration::FeatureSample;
+use wavm3_power::MigrationPhase;
+
+/// Which side of the migration a model instance describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostRole {
+    /// The machine the VM leaves.
+    Source,
+    /// The machine the VM arrives on.
+    Target,
+}
+
+impl HostRole {
+    /// Both roles, in table order.
+    pub const ALL: [HostRole; 2] = [HostRole::Source, HostRole::Target];
+
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HostRole::Source => "source",
+            HostRole::Target => "target",
+        }
+    }
+}
+
+/// The paper's feature vector at one 2 Hz instant, already masked for a
+/// host role and converted to the paper's units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseVector {
+    /// Phase this row belongs to.
+    pub phase: MigrationPhase,
+    /// `CPU(h,t)` in percent (0–100) for the chosen host.
+    pub cpu_host_pct: f64,
+    /// `CPU(v,t)` in percent of the VM's vCPUs (0–100), masked by role.
+    pub cpu_vm_pct: f64,
+    /// `DR(v,t)` in percent (0–100), masked by role.
+    pub dirty_ratio_pct: f64,
+    /// `BW(S,T,t)` in bytes/s (zero outside the transfer phase).
+    pub bandwidth_bps: f64,
+    /// The measured power on the chosen host, watts (regression target).
+    pub power_w: f64,
+}
+
+impl PhaseVector {
+    /// Extract the masked feature vector for `role` from a raw sample.
+    pub fn extract(role: HostRole, s: &FeatureSample) -> PhaseVector {
+        let cpu_host = match role {
+            HostRole::Source => s.cpu_source,
+            HostRole::Target => s.cpu_target,
+        };
+        let power_w = match role {
+            HostRole::Source => s.power_source_w,
+            HostRole::Target => s.power_target_w,
+        };
+        // Role masking per §IV-C.
+        let (cpu_vm, dr) = match (role, s.phase) {
+            (HostRole::Source, MigrationPhase::Initiation) => (s.cpu_vm, 0.0),
+            (HostRole::Source, MigrationPhase::Transfer) => (s.cpu_vm, s.dirty_ratio),
+            (HostRole::Source, MigrationPhase::Activation) => (0.0, 0.0),
+            (HostRole::Target, MigrationPhase::Activation) => (s.cpu_vm, 0.0),
+            (HostRole::Target, _) => (0.0, 0.0),
+            (_, MigrationPhase::NormalExecution) => (s.cpu_vm, s.dirty_ratio),
+        };
+        PhaseVector {
+            phase: s.phase,
+            cpu_host_pct: cpu_host * 100.0,
+            cpu_vm_pct: cpu_vm * 100.0,
+            dirty_ratio_pct: dr * 100.0,
+            bandwidth_bps: s.bandwidth_bps,
+            power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavm3_simkit::SimTime;
+
+    fn sample(phase: MigrationPhase) -> FeatureSample {
+        FeatureSample {
+            t: SimTime::from_secs(1),
+            phase,
+            cpu_source: 0.8,
+            cpu_target: 0.2,
+            cpu_vm: 0.9,
+            dirty_ratio: 0.4,
+            bandwidth_bps: 1.0e8,
+            power_source_w: 700.0,
+            power_target_w: 460.0,
+        }
+    }
+
+    #[test]
+    fn source_transfer_keeps_vm_features() {
+        let v = PhaseVector::extract(HostRole::Source, &sample(MigrationPhase::Transfer));
+        assert_eq!(v.cpu_host_pct, 80.0);
+        assert_eq!(v.cpu_vm_pct, 90.0);
+        assert_eq!(v.dirty_ratio_pct, 40.0);
+        assert_eq!(v.power_w, 700.0);
+    }
+
+    #[test]
+    fn target_transfer_masks_vm_features() {
+        let v = PhaseVector::extract(HostRole::Target, &sample(MigrationPhase::Transfer));
+        assert_eq!(v.cpu_host_pct, 20.0);
+        assert_eq!(v.cpu_vm_pct, 0.0);
+        assert_eq!(v.dirty_ratio_pct, 0.0);
+        assert_eq!(v.power_w, 460.0);
+    }
+
+    #[test]
+    fn activation_swaps_vm_side() {
+        let src = PhaseVector::extract(HostRole::Source, &sample(MigrationPhase::Activation));
+        assert_eq!(src.cpu_vm_pct, 0.0, "VM left the source");
+        let dst = PhaseVector::extract(HostRole::Target, &sample(MigrationPhase::Activation));
+        assert_eq!(dst.cpu_vm_pct, 90.0, "VM runs on target");
+    }
+
+    #[test]
+    fn initiation_masks_dr_everywhere() {
+        let src = PhaseVector::extract(HostRole::Source, &sample(MigrationPhase::Initiation));
+        assert_eq!(src.dirty_ratio_pct, 0.0);
+        assert_eq!(src.cpu_vm_pct, 90.0);
+        let dst = PhaseVector::extract(HostRole::Target, &sample(MigrationPhase::Initiation));
+        assert_eq!(dst.cpu_vm_pct, 0.0);
+    }
+
+    #[test]
+    fn labels_and_roles() {
+        assert_eq!(HostRole::Source.label(), "source");
+        assert_eq!(HostRole::Target.label(), "target");
+        assert_eq!(HostRole::ALL.len(), 2);
+    }
+}

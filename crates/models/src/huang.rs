@@ -1,0 +1,168 @@
+//! HUANG — the CPU-only baseline \[3\] (paper Eq. 8).
+//!
+//! `P(t) = α · CPU + C`, one pair of coefficients per host role, no phase
+//! structure. Following the paper's comparative discussion (§VII-B: Huang
+//! "considers the CPU of source and target hosts"), the CPU feature is the
+//! *host* utilisation — the linear host-power model of Chen et al. \[20\]
+//! that Eq. 8 builds on. This makes HUANG strong whenever CPU dominates
+//! (non-live migration) and weak when bandwidth or memory dirtying matter
+//! (live migration) — exactly the pattern of Table VII.
+
+use crate::features::{HostRole, PhaseVector};
+use crate::model::{integrate_power, EnergyModel, PowerModel};
+use serde::{Deserialize, Serialize};
+use wavm3_migration::{FeatureSample, MigrationRecord};
+
+/// One host role's linear CPU power law.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HuangCoeffs {
+    /// α — watts per percent of host CPU.
+    pub alpha: f64,
+    /// C — hardware constant, watts.
+    pub c: f64,
+}
+
+/// A trained HUANG model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HuangModel {
+    /// Source-host law.
+    pub source: HuangCoeffs,
+    /// Target-host law.
+    pub target: HuangCoeffs,
+}
+
+impl HuangModel {
+    /// The law for a role.
+    pub fn coeffs(&self, role: HostRole) -> &HuangCoeffs {
+        match role {
+            HostRole::Source => &self.source,
+            HostRole::Target => &self.target,
+        }
+    }
+}
+
+impl EnergyModel for HuangModel {
+    fn name(&self) -> &'static str {
+        "HUANG"
+    }
+
+    fn predict_energy(&self, role: HostRole, record: &MigrationRecord) -> f64 {
+        integrate_power(self, role, record)
+    }
+}
+
+impl PowerModel for HuangModel {
+    fn predict_power(&self, role: HostRole, sample: &FeatureSample) -> f64 {
+        let v = PhaseVector::extract(role, sample);
+        let k = self.coeffs(role);
+        k.alpha * v.cpu_host_pct + k.c
+    }
+}
+
+/// The *literal* reading of Eq. 8: `P = α · CPU(v,t) + C` with the
+/// **migrating VM's** CPU — the other defensible interpretation of the
+/// paper's ambiguous prose (§VII-a states the formula over `CPU(v,t)`,
+/// §VII-B discusses Huang as considering "the CPU of source and target
+/// hosts"). Kept as a comparison point: on the CPULOAD sweeps the VM's CPU
+/// is pinned while host load varies, so this variant cannot track the
+/// dominant energy driver and scores far worse than [`HuangModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HuangVmModel {
+    /// Source-host law.
+    pub source: HuangCoeffs,
+    /// Target-host law.
+    pub target: HuangCoeffs,
+}
+
+impl HuangVmModel {
+    /// The law for a role.
+    pub fn coeffs(&self, role: HostRole) -> &HuangCoeffs {
+        match role {
+            HostRole::Source => &self.source,
+            HostRole::Target => &self.target,
+        }
+    }
+}
+
+impl EnergyModel for HuangVmModel {
+    fn name(&self) -> &'static str {
+        "HUANG-VM"
+    }
+
+    fn predict_energy(&self, role: HostRole, record: &MigrationRecord) -> f64 {
+        integrate_power(self, role, record)
+    }
+}
+
+impl PowerModel for HuangVmModel {
+    fn predict_power(&self, role: HostRole, sample: &FeatureSample) -> f64 {
+        let v = PhaseVector::extract(role, sample);
+        let k = self.coeffs(role);
+        k.alpha * v.cpu_vm_pct + k.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavm3_power::MigrationPhase;
+    use wavm3_simkit::SimTime;
+
+    #[test]
+    fn linear_in_host_cpu_only() {
+        let m = HuangModel {
+            source: HuangCoeffs { alpha: 2.27, c: 671.92 },
+            target: HuangCoeffs { alpha: 2.56, c: 645.77 },
+        };
+        let s = FeatureSample {
+            t: SimTime::from_secs(1),
+            phase: MigrationPhase::Transfer,
+            cpu_source: 0.5,
+            cpu_target: 0.1,
+            cpu_vm: 1.0,
+            dirty_ratio: 0.9,
+            bandwidth_bps: 1.2e8,
+            power_source_w: 0.0,
+            power_target_w: 0.0,
+        };
+        // Only host CPU matters: DR/bandwidth changes are invisible.
+        let p1 = m.predict_power(HostRole::Source, &s);
+        assert!((p1 - (2.27 * 50.0 + 671.92)).abs() < 1e-9);
+        let mut s2 = s;
+        s2.dirty_ratio = 0.0;
+        s2.bandwidth_bps = 0.0;
+        assert_eq!(m.predict_power(HostRole::Source, &s2), p1);
+        // Roles use their own coefficients.
+        let pt = m.predict_power(HostRole::Target, &s);
+        assert!((pt - (2.56 * 10.0 + 645.77)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vm_variant_tracks_guest_not_host() {
+        let m = HuangVmModel {
+            source: HuangCoeffs { alpha: 2.0, c: 500.0 },
+            target: HuangCoeffs { alpha: 2.0, c: 500.0 },
+        };
+        let mut s = FeatureSample {
+            t: SimTime::from_secs(1),
+            phase: MigrationPhase::Transfer,
+            cpu_source: 0.2,
+            cpu_target: 0.1,
+            cpu_vm: 1.0,
+            dirty_ratio: 0.0,
+            bandwidth_bps: 0.0,
+            power_source_w: 0.0,
+            power_target_w: 0.0,
+        };
+        let p1 = m.predict_power(HostRole::Source, &s);
+        assert!((p1 - (2.0 * 100.0 + 500.0)).abs() < 1e-9);
+        // Host CPU changes are invisible...
+        s.cpu_source = 0.9;
+        assert_eq!(m.predict_power(HostRole::Source, &s), p1);
+        // ...but guest CPU changes are not.
+        s.cpu_vm = 0.5;
+        assert!((m.predict_power(HostRole::Source, &s) - (100.0 + 500.0)).abs() < 1e-9);
+        // And the target role masks the guest during transfer.
+        assert!((m.predict_power(HostRole::Target, &s) - 500.0).abs() < 1e-9);
+    }
+}

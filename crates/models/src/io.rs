@@ -1,0 +1,89 @@
+//! Model persistence: save trained coefficients to JSON and load them
+//! back — so a consolidation manager can ship with coefficients fitted
+//! once per hardware generation, exactly how the paper envisions the
+//! model being deployed ("could also be easily integrated in Cloud
+//! simulators", §VIII).
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+/// Serialise any model (or bundle of models) to pretty JSON.
+pub fn to_json<M: Serialize>(model: &M) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(model)
+}
+
+/// Deserialise a model from JSON.
+pub fn from_json<M: DeserializeOwned>(json: &str) -> serde_json::Result<M> {
+    serde_json::from_str(json)
+}
+
+/// Save a model to a JSON file.
+pub fn save<M: Serialize>(model: &M, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = to_json(model).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Load a model from a JSON file.
+pub fn load<M: DeserializeOwned>(path: impl AsRef<Path>) -> io::Result<M> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::HostRole;
+    use crate::model::EnergyModel;
+    use crate::paper;
+    use crate::training::tests_support::tiny_record;
+    use crate::{HuangModel, LiuModel, StrunkModel, Wavm3Model};
+
+    #[test]
+    fn wavm3_round_trips_through_json() {
+        let model = paper::wavm3_live();
+        let json = to_json(&model).unwrap();
+        assert!(json.contains("alpha_cpu_host"));
+        let back: Wavm3Model = from_json(&json).unwrap();
+        assert_eq!(model, back);
+        // Behavioural equality too.
+        let r = tiny_record();
+        assert_eq!(
+            model.predict_energy(HostRole::Source, &r),
+            back.predict_energy(HostRole::Source, &r)
+        );
+    }
+
+    #[test]
+    fn baselines_round_trip() {
+        let h = paper::huang();
+        let back: HuangModel = from_json(&to_json(&h).unwrap()).unwrap();
+        assert_eq!(h, back);
+        let l = paper::liu();
+        let back: LiuModel = from_json(&to_json(&l).unwrap()).unwrap();
+        assert_eq!(l, back);
+        let s = paper::strunk();
+        let back: StrunkModel = from_json(&to_json(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn file_save_and_load() {
+        let dir = std::env::temp_dir().join("wavm3-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let model = paper::wavm3_non_live();
+        save(&model, &path).unwrap();
+        let back: Wavm3Model = load(&path).unwrap();
+        assert_eq!(model, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json::<Wavm3Model>("{not json").is_err());
+        assert!(from_json::<Wavm3Model>("{}").is_err());
+        assert!(load::<Wavm3Model>("/nonexistent/path/model.json").is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! # wavm3-models — energy models for VM migration
+//!
+//! The paper's contribution and its three comparators:
+//!
+//! | model | inputs | granularity |
+//! |---|---|---|
+//! | **WAVM3** (this paper, Eqs. 5–7) | host CPU, VM CPU, dirty ratio, bandwidth — per phase × host role | instantaneous power |
+//! | **HUANG** \[3\] (Eq. 8) | CPU utilisation only | instantaneous power |
+//! | **LIU** \[4\] (Eqs. 9–10) | bytes moved | per-migration energy |
+//! | **STRUNK** \[17\] (Eq. 11) | VM memory size + bandwidth | per-migration energy |
+//!
+//! plus the full training pipeline of §VI-F (reading-level 20 % training
+//! split, non-linear least squares, structural-zero column elimination) and
+//! the cross-machine-set idle-bias correction of Table V (C1 → C2).
+//!
+//! ## Units
+//!
+//! Model features follow the paper's conventions so coefficient magnitudes
+//! stay comparable to Tables III/IV/VI: CPU utilisations and dirtying
+//! ratios in **percent** (0–100), bandwidth in **bytes/second**, VM memory
+//! in **MiB**, power in watts, energy in joules.
+
+//! ## Example
+//!
+//! ```
+//! use wavm3_models::{paper, EnergyModel, PowerModel, HostRole};
+//! use wavm3_migration::FeatureSample;
+//! use wavm3_power::MigrationPhase;
+//! use wavm3_simkit::SimTime;
+//!
+//! // Price one transfer-phase instant with the paper's Table IV model.
+//! let model = paper::wavm3_live();
+//! let sample = FeatureSample {
+//!     t: SimTime::from_secs(30),
+//!     phase: MigrationPhase::Transfer,
+//!     cpu_source: 0.4,
+//!     cpu_target: 0.1,
+//!     cpu_vm: 1.0,
+//!     dirty_ratio: 0.3,
+//!     bandwidth_bps: 1.1e8,
+//!     power_source_w: 0.0,
+//!     power_target_w: 0.0,
+//! };
+//! let p = model.predict_power(HostRole::Source, &sample);
+//! assert!((500.0..900.0).contains(&p), "plausible watts: {p}");
+//! ```
+
+pub mod evaluation;
+pub mod features;
+pub mod huang;
+pub mod io;
+pub mod liu;
+pub mod model;
+pub mod paper;
+pub mod strunk;
+pub mod training;
+pub mod wavm3;
+
+pub use evaluation::{evaluate_models, ComparisonRow};
+pub use features::{HostRole, PhaseVector};
+pub use huang::{HuangModel, HuangVmModel};
+pub use liu::LiuModel;
+pub use model::{EnergyModel, PowerModel};
+pub use strunk::StrunkModel;
+pub use training::{
+    train_huang, train_huang_vm, train_liu, train_strunk, train_wavm3, train_wavm3_masked,
+    FeatureMask,
+    ReadingSplit,
+};
+pub use wavm3::{HostCoeffs, PhaseCoeffs, Wavm3Model};

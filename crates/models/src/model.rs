@@ -1,0 +1,129 @@
+//! The model abstractions.
+
+use crate::features::HostRole;
+use wavm3_migration::{FeatureSample, MigrationRecord};
+use wavm3_power::MigrationPhase;
+
+/// Seconds between meter readings — the integration step for power-level
+/// models (2 Hz, paper §V-B).
+pub const SAMPLE_PERIOD_S: f64 = 0.5;
+
+/// Anything that can predict the energy of one migration on one host —
+/// the quantity the paper's Tables V and VII score.
+pub trait EnergyModel {
+    /// Model name as used in the paper's tables ("WAVM3", "HUANG", …).
+    fn name(&self) -> &'static str;
+
+    /// Predicted `E_migr(h, v)` in joules over `[ms, me]`.
+    fn predict_energy(&self, role: HostRole, record: &MigrationRecord) -> f64;
+}
+
+/// Power-granular models (WAVM3, HUANG) additionally predict instantaneous
+/// power; their energy prediction is the numerical integral of the power
+/// prediction over the migration window.
+pub trait PowerModel: EnergyModel {
+    /// Predicted instantaneous power, watts, at one sample. Only meaningful
+    /// for samples inside the migration window (`phase` not
+    /// `NormalExecution`).
+    fn predict_power(&self, role: HostRole, sample: &FeatureSample) -> f64;
+}
+
+/// Riemann-sum energy over the migration window from a power predictor —
+/// shared by every [`PowerModel`]'s `predict_energy`.
+pub fn integrate_power<M: PowerModel + ?Sized>(
+    model: &M,
+    role: HostRole,
+    record: &MigrationRecord,
+) -> f64 {
+    record
+        .samples
+        .iter()
+        .filter(|s| s.phase != MigrationPhase::NormalExecution)
+        .map(|s| model.predict_power(role, s) * SAMPLE_PERIOD_S)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy power model predicting a constant, to pin the integration
+    /// contract: energy = constant × window length.
+    struct Flat(f64);
+
+    impl EnergyModel for Flat {
+        fn name(&self) -> &'static str {
+            "FLAT"
+        }
+        fn predict_energy(&self, role: HostRole, record: &MigrationRecord) -> f64 {
+            integrate_power(self, role, record)
+        }
+    }
+
+    impl PowerModel for Flat {
+        fn predict_power(&self, _role: HostRole, _s: &FeatureSample) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn integration_counts_only_migration_samples() {
+        use wavm3_cluster::MachineSet;
+        use wavm3_migration::MigrationKind;
+        use wavm3_power::{EnergyBreakdown, PhaseTimes, PowerTrace, TelemetryRecorder};
+        use wavm3_simkit::{SimDuration, SimTime};
+
+        let phases = PhaseTimes::new(
+            SimTime::from_secs(10),
+            SimTime::from_secs(11),
+            SimTime::from_secs(20),
+            SimTime::from_secs(22),
+        );
+        let mk = |t: u64, phase| FeatureSample {
+            t: SimTime::from_secs(t),
+            phase,
+            cpu_source: 0.0,
+            cpu_target: 0.0,
+            cpu_vm: 0.0,
+            dirty_ratio: 0.0,
+            bandwidth_bps: 0.0,
+            power_source_w: 0.0,
+            power_target_w: 0.0,
+        };
+        let record = MigrationRecord {
+            kind: MigrationKind::Live,
+            machine_set: MachineSet::M,
+            phases,
+            source_trace: PowerTrace::new("s"),
+            target_trace: PowerTrace::new("t"),
+            source_truth: PowerTrace::new("s"),
+            target_truth: PowerTrace::new("t"),
+            telemetry: TelemetryRecorder::new(),
+            samples: vec![
+                mk(5, MigrationPhase::NormalExecution),
+                mk(10, MigrationPhase::Initiation),
+                mk(15, MigrationPhase::Transfer),
+                mk(21, MigrationPhase::Activation),
+                mk(30, MigrationPhase::NormalExecution),
+            ],
+            rounds: vec![],
+            total_bytes: 0,
+            downtime: SimDuration::ZERO,
+            vm_ram_mib: 4096,
+            source_energy: EnergyBreakdown {
+                initiation_j: 0.0,
+                transfer_j: 0.0,
+                activation_j: 0.0,
+            },
+            target_energy: EnergyBreakdown {
+                initiation_j: 0.0,
+                transfer_j: 0.0,
+                activation_j: 0.0,
+            },
+            idle_power_w: 430.0,
+        };
+        let m = Flat(100.0);
+        // Three migration-window samples × 100 W × 0.5 s.
+        assert_eq!(m.predict_energy(HostRole::Source, &record), 150.0);
+    }
+}

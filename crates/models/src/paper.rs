@@ -1,0 +1,248 @@
+//! The paper's published numbers (Tables III–VII), as reference constants.
+//!
+//! These are the coefficients the authors fitted on their physical
+//! m01–m02 testbed. They are **not** used by this reproduction's own
+//! pipeline (we fit our own coefficients on simulated traces); they exist
+//! so that examples and EXPERIMENTS.md can print paper-vs-measured
+//! side-by-side, and so the published models can be evaluated as-is.
+//!
+//! Units follow the crate conventions (CPU/DR in percent, bandwidth in
+//! bytes/s); the C1 constants embed the m-set idle power, the C2 constants
+//! the o-set idle power (paper §VI-F).
+
+use crate::huang::{HuangCoeffs, HuangModel};
+use crate::liu::{LiuCoeffs, LiuModel};
+use crate::strunk::{StrunkCoeffs, StrunkModel};
+use crate::wavm3::{HostCoeffs, PhaseCoeffs, Wavm3Model};
+use wavm3_migration::MigrationKind;
+
+/// Idle-power bias embedded in the published C1 constants (m-set).
+pub const PAPER_M_SET_IDLE_W: f64 = 430.0;
+
+/// Table III — WAVM3 coefficients for **non-live** migration (C1 bias).
+pub fn wavm3_non_live() -> Wavm3Model {
+    Wavm3Model {
+        kind: MigrationKind::NonLive,
+        source: HostCoeffs {
+            initiation: PhaseCoeffs {
+                alpha_cpu_host: 1.71,
+                beta_cpu_vm: 1.41,
+                beta_bw: 0.0,
+                gamma_dr: 0.0,
+                c: 708.3,
+            },
+            transfer: PhaseCoeffs {
+                alpha_cpu_host: 2.4,
+                beta_cpu_vm: 0.0,
+                beta_bw: 1.08e-6,
+                gamma_dr: 0.0,
+                c: 421.74,
+            },
+            activation: PhaseCoeffs {
+                alpha_cpu_host: 2.37,
+                beta_cpu_vm: 0.0,
+                beta_bw: 0.0,
+                gamma_dr: 0.0,
+                c: 662.5,
+            },
+        },
+        target: HostCoeffs {
+            initiation: PhaseCoeffs {
+                alpha_cpu_host: 3.18,
+                beta_cpu_vm: 0.0,
+                beta_bw: 0.0,
+                gamma_dr: 0.0,
+                c: 596.06,
+            },
+            transfer: PhaseCoeffs {
+                alpha_cpu_host: 2.56,
+                beta_cpu_vm: 0.0,
+                beta_bw: 5.49e-7,
+                gamma_dr: 0.0,
+                c: 520.214,
+            },
+            activation: PhaseCoeffs {
+                alpha_cpu_host: 1.88,
+                beta_cpu_vm: 17.01,
+                beta_bw: 0.0,
+                gamma_dr: 0.0,
+                c: 499.56,
+            },
+        },
+        trained_idle_w: PAPER_M_SET_IDLE_W,
+    }
+}
+
+/// Table IV — WAVM3 coefficients for **live** migration (C1 bias).
+pub fn wavm3_live() -> Wavm3Model {
+    let mut m = wavm3_non_live();
+    m.kind = MigrationKind::Live;
+    // Live differs in the transfer phase: the running VM adds DR and
+    // CPU(v) terms, and the bandwidth slope changes.
+    m.source.transfer = PhaseCoeffs {
+        alpha_cpu_host: 2.4,
+        beta_cpu_vm: 0.4,
+        beta_bw: 1.52e-6,
+        gamma_dr: 1.41,
+        c: 421.74,
+    };
+    m.target.transfer = PhaseCoeffs {
+        alpha_cpu_host: 2.56,
+        beta_cpu_vm: 0.4,
+        beta_bw: 7.32e-7,
+        gamma_dr: 0.0,
+        c: 520.214,
+    };
+    m
+}
+
+/// Table VI — HUANG training coefficients.
+pub fn huang() -> HuangModel {
+    HuangModel {
+        source: HuangCoeffs {
+            alpha: 2.27,
+            c: 671.92,
+        },
+        target: HuangCoeffs {
+            alpha: 2.56,
+            c: 645.776,
+        },
+    }
+}
+
+/// Table VI — LIU training coefficients (α in J per byte at our DATA unit).
+pub fn liu() -> LiuModel {
+    LiuModel {
+        source: LiuCoeffs {
+            alpha: 2.43e-6,
+            c: 494.2,
+        },
+        target: LiuCoeffs {
+            alpha: 2.19e-6,
+            c: 508.2,
+        },
+    }
+}
+
+/// Table VI — STRUNK training coefficients.
+pub fn strunk() -> StrunkModel {
+    StrunkModel {
+        source: StrunkCoeffs {
+            alpha_mem: 3.35,
+            beta_bw: -3.47,
+            c: 201.1,
+        },
+        target: StrunkCoeffs {
+            alpha_mem: 5.04,
+            beta_bw: -0.5,
+            c: 201.1,
+        },
+    }
+}
+
+/// One NRMSE cell of the paper's Table V/VII (percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperNrmse {
+    /// Model name.
+    pub model: &'static str,
+    /// "source" / "target".
+    pub host: &'static str,
+    /// NRMSE for non-live migration, percent.
+    pub non_live_pct: f64,
+    /// NRMSE for live migration, percent.
+    pub live_pct: f64,
+}
+
+/// Table VII — the paper's published NRMSE grid on m01–m02.
+pub const TABLE_VII_NRMSE: [PaperNrmse; 8] = [
+    PaperNrmse { model: "WAVM3", host: "source", non_live_pct: 11.8, live_pct: 11.8 },
+    PaperNrmse { model: "WAVM3", host: "target", non_live_pct: 12.0, live_pct: 5.0 },
+    PaperNrmse { model: "HUANG", host: "source", non_live_pct: 12.0, live_pct: 15.7 },
+    PaperNrmse { model: "HUANG", host: "target", non_live_pct: 12.8, live_pct: 12.9 },
+    PaperNrmse { model: "LIU", host: "source", non_live_pct: 26.9, live_pct: 36.3 },
+    PaperNrmse { model: "LIU", host: "target", non_live_pct: 25.3, live_pct: 29.4 },
+    PaperNrmse { model: "STRUNK", host: "source", non_live_pct: 17.7, live_pct: 35.4 },
+    PaperNrmse { model: "STRUNK", host: "target", non_live_pct: 30.0, live_pct: 36.2 },
+];
+
+/// Table V — WAVM3 NRMSE on both machine sets (percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableVRow {
+    /// "source" / "target".
+    pub host: &'static str,
+    /// m01–m02, non-live.
+    pub m_non_live_pct: f64,
+    /// m01–m02, live.
+    pub m_live_pct: f64,
+    /// o1–o2, non-live (after the C1→C2 bias swap).
+    pub o_non_live_pct: f64,
+    /// o1–o2, live (after the C1→C2 bias swap).
+    pub o_live_pct: f64,
+}
+
+/// Table V as published.
+pub const TABLE_V: [TableVRow; 2] = [
+    TableVRow { host: "source", m_non_live_pct: 11.8, m_live_pct: 11.8, o_non_live_pct: 12.5, o_live_pct: 12.7 },
+    TableVRow { host: "target", m_non_live_pct: 12.0, m_live_pct: 5.0, o_non_live_pct: 16.3, o_live_pct: 17.2 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::HostRole;
+    use crate::model::PowerModel;
+    use crate::training::tests_support::tiny_record;
+    use wavm3_power::MigrationPhase;
+
+    #[test]
+    fn live_and_non_live_differ_only_in_transfer() {
+        let live = wavm3_live();
+        let non = wavm3_non_live();
+        assert_eq!(live.source.initiation, non.source.initiation);
+        assert_eq!(live.source.activation, non.source.activation);
+        assert_ne!(live.source.transfer, non.source.transfer);
+        assert!(live.source.transfer.gamma_dr > 0.0);
+        assert_eq!(non.source.transfer.gamma_dr, 0.0);
+    }
+
+    #[test]
+    fn published_models_produce_plausible_watts() {
+        let m = wavm3_live();
+        let r = tiny_record();
+        for s in r.samples.iter().filter(|s| s.phase == MigrationPhase::Transfer) {
+            let p = m.predict_power(HostRole::Source, s);
+            assert!((300.0..1200.0).contains(&p), "implausible power {p}");
+        }
+    }
+
+    #[test]
+    fn table_vii_shape_wavm3_wins_live() {
+        // The published table itself encodes the paper's headline claims;
+        // keep them machine-checked so EXPERIMENTS.md comparisons are
+        // grounded.
+        let get = |model: &str, host: &str| {
+            TABLE_VII_NRMSE
+                .iter()
+                .find(|r| r.model == model && r.host == host)
+                .unwrap()
+        };
+        // Live: WAVM3 strictly beats every baseline on both hosts.
+        for host in ["source", "target"] {
+            let w = get("WAVM3", host).live_pct;
+            for m in ["HUANG", "LIU", "STRUNK"] {
+                assert!(w < get(m, host).live_pct);
+            }
+        }
+        // Non-live: HUANG is competitive (the paper's §VII-A nuance).
+        assert!((get("WAVM3", "source").non_live_pct - get("HUANG", "source").non_live_pct).abs() < 1.0);
+        // The headline: up to 7.9 points NRMSE improvement on live target.
+        assert!((get("HUANG", "target").live_pct - get("WAVM3", "target").live_pct - 7.9).abs() < 0.11);
+    }
+
+    #[test]
+    fn table_v_bias_swap_keeps_model_usable_cross_set() {
+        for row in TABLE_V {
+            assert!(row.o_non_live_pct < 20.0 && row.o_live_pct < 20.0);
+        }
+    }
+}

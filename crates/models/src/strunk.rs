@@ -1,0 +1,103 @@
+//! STRUNK — the lightweight baseline \[17\] (paper Eq. 11).
+//!
+//! `E_migr = α · MEM(v) + β · BW(S,T) + C` with the VM's memory size in MiB
+//! and the mean migration bandwidth in MB/s. Designed for idle hosts and
+//! idle VMs; since every experiment in the paper migrates a 4 GiB VM, the
+//! memory feature is constant across the dataset and the model collapses
+//! to an affine function of bandwidth — which is why its errors explode as
+//! soon as host load varies (Table VII). Training therefore uses the
+//! damped Levenberg–Marquardt solver, which tolerates the rank deficiency.
+
+use crate::features::HostRole;
+use crate::model::EnergyModel;
+use serde::{Deserialize, Serialize};
+use wavm3_migration::MigrationRecord;
+
+/// One host role's energy law.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StrunkCoeffs {
+    /// α — joules per MiB of VM memory.
+    pub alpha_mem: f64,
+    /// β — joules per MB/s of bandwidth.
+    pub beta_bw: f64,
+    /// C — constant energy per migration, joules.
+    pub c: f64,
+}
+
+/// A trained STRUNK model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrunkModel {
+    /// Source-host law.
+    pub source: StrunkCoeffs,
+    /// Target-host law.
+    pub target: StrunkCoeffs,
+}
+
+impl StrunkModel {
+    /// The law for a role.
+    pub fn coeffs(&self, role: HostRole) -> &StrunkCoeffs {
+        match role {
+            HostRole::Source => &self.source,
+            HostRole::Target => &self.target,
+        }
+    }
+
+    /// Feature pair `(MEM in MiB, BW in MB/s)`.
+    pub fn features(record: &MigrationRecord) -> (f64, f64) {
+        (
+            record.vm_ram_mib as f64,
+            record.mean_transfer_bandwidth() / 1.0e6,
+        )
+    }
+}
+
+impl EnergyModel for StrunkModel {
+    fn name(&self) -> &'static str {
+        "STRUNK"
+    }
+
+    fn predict_energy(&self, role: HostRole, record: &MigrationRecord) -> f64 {
+        let (mem, bw) = Self::features(record);
+        let k = self.coeffs(role);
+        k.alpha_mem * mem + k.beta_bw * bw + k.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::tests_support::tiny_record;
+
+    #[test]
+    fn energy_uses_memory_and_bandwidth() {
+        let m = StrunkModel {
+            source: StrunkCoeffs { alpha_mem: 3.35, beta_bw: -3.47, c: 201.1 },
+            target: StrunkCoeffs { alpha_mem: 5.04, beta_bw: -0.5, c: 201.1 },
+        };
+        let r = tiny_record();
+        let (mem, bw) = StrunkModel::features(&r);
+        assert_eq!(mem, 4096.0);
+        assert!(bw > 0.0);
+        let e = m.predict_energy(HostRole::Source, &r);
+        assert!((e - (3.35 * mem - 3.47 * bw + 201.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_variation_is_invisible_to_strunk() {
+        // Two records differing only in host CPU produce identical
+        // predictions — the model's documented blind spot.
+        let m = StrunkModel {
+            source: StrunkCoeffs { alpha_mem: 1.0, beta_bw: 1.0, c: 0.0 },
+            target: StrunkCoeffs::default(),
+        };
+        let a = tiny_record();
+        let mut b = tiny_record();
+        for s in &mut b.samples {
+            s.cpu_source = 1.0;
+        }
+        assert_eq!(
+            m.predict_energy(HostRole::Source, &a),
+            m.predict_energy(HostRole::Source, &b)
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the model layer: masking rules, bias-swap
+//! algebra, and prediction invariances that must hold for *any* input.
+
+use proptest::prelude::*;
+use wavm3_migration::FeatureSample;
+use wavm3_models::{paper, HostRole, PowerModel};
+use wavm3_power::MigrationPhase;
+use wavm3_simkit::SimTime;
+
+fn arb_sample() -> impl Strategy<Value = FeatureSample> {
+    let phase = prop_oneof![
+        Just(MigrationPhase::Initiation),
+        Just(MigrationPhase::Transfer),
+        Just(MigrationPhase::Activation),
+    ];
+    (
+        phase,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.25e8,
+    )
+        .prop_map(|(phase, cs, ct, cv, dr, bw)| FeatureSample {
+            t: SimTime::from_secs(20),
+            phase,
+            cpu_source: cs,
+            cpu_target: ct,
+            cpu_vm: cv,
+            dirty_ratio: dr,
+            bandwidth_bps: if phase == MigrationPhase::Transfer { bw } else { 0.0 },
+            power_source_w: 0.0,
+            power_target_w: 0.0,
+        })
+}
+
+proptest! {
+    /// Paper §IV-C2: the target-side transfer law must be blind to the
+    /// guest's CPU and dirtying ratio.
+    #[test]
+    fn target_transfer_blind_to_guest(mut s in arb_sample()) {
+        s.phase = MigrationPhase::Transfer;
+        let m = paper::wavm3_live();
+        let p0 = m.predict_power(HostRole::Target, &s);
+        s.cpu_vm = (s.cpu_vm + 0.37) % 1.0;
+        s.dirty_ratio = (s.dirty_ratio + 0.53) % 1.0;
+        let p1 = m.predict_power(HostRole::Target, &s);
+        prop_assert!((p0 - p1).abs() < 1e-9);
+    }
+
+    /// Source-side activation is blind to the guest (it left).
+    #[test]
+    fn source_activation_blind_to_guest(mut s in arb_sample()) {
+        s.phase = MigrationPhase::Activation;
+        let m = paper::wavm3_live();
+        let p0 = m.predict_power(HostRole::Source, &s);
+        s.cpu_vm = (s.cpu_vm + 0.41) % 1.0;
+        let p1 = m.predict_power(HostRole::Source, &s);
+        prop_assert!((p0 - p1).abs() < 1e-9);
+    }
+
+    /// Monotonicity: more host CPU never predicts less power (all paper
+    /// α coefficients are positive).
+    #[test]
+    fn wavm3_monotone_in_host_cpu(s in arb_sample(), bump in 0.0f64..0.5) {
+        let m = paper::wavm3_live();
+        for role in HostRole::ALL {
+            let mut hi = s;
+            match role {
+                HostRole::Source => hi.cpu_source = (s.cpu_source + bump).min(1.0),
+                HostRole::Target => hi.cpu_target = (s.cpu_target + bump).min(1.0),
+            }
+            prop_assert!(
+                m.predict_power(role, &hi) + 1e-9 >= m.predict_power(role, &s),
+                "{role:?} non-monotone"
+            );
+        }
+    }
+
+    /// The idle-bias swap shifts every power prediction by exactly the
+    /// idle delta, for every phase, role and feature combination.
+    #[test]
+    fn bias_swap_is_a_uniform_power_shift(s in arb_sample(), delta in -300.0f64..300.0) {
+        let m = paper::wavm3_live();
+        let shifted = m.with_idle_bias(m.trained_idle_w + delta);
+        for role in HostRole::ALL {
+            let a = m.predict_power(role, &s);
+            let b = shifted.predict_power(role, &s);
+            prop_assert!((b - a - delta).abs() < 1e-9, "{role:?}: {a} -> {b}, delta {delta}");
+        }
+    }
+
+    /// HUANG's power depends only on the chosen host's CPU: permuting all
+    /// other features never changes its prediction.
+    #[test]
+    fn huang_only_sees_host_cpu(mut s in arb_sample()) {
+        let m = paper::huang();
+        let p0 = m.predict_power(HostRole::Source, &s);
+        s.cpu_vm = (s.cpu_vm + 0.19) % 1.0;
+        s.dirty_ratio = (s.dirty_ratio + 0.77) % 1.0;
+        if s.phase == MigrationPhase::Transfer {
+            s.bandwidth_bps = (s.bandwidth_bps + 3.0e7) % 1.25e8;
+        }
+        s.cpu_target = (s.cpu_target + 0.31) % 1.0;
+        let p1 = m.predict_power(HostRole::Source, &s);
+        prop_assert!((p0 - p1).abs() < 1e-9);
+    }
+
+    /// JSON round trips preserve model behaviour for arbitrary samples.
+    #[test]
+    fn serialisation_preserves_predictions(s in arb_sample()) {
+        let m = paper::wavm3_live();
+        let json = wavm3_models::io::to_json(&m).unwrap();
+        let back: wavm3_models::Wavm3Model = wavm3_models::io::from_json(&json).unwrap();
+        for role in HostRole::ALL {
+            prop_assert_eq!(
+                m.predict_power(role, &s).to_bits(),
+                back.predict_power(role, &s).to_bits()
+            );
+        }
+    }
+}

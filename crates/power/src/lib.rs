@@ -1,0 +1,47 @@
+//! # wavm3-power — power synthesis and measurement
+//!
+//! The measurement side of the reproduction. The paper instruments the AC
+//! side of each host with a Voltech PM1000+ power analyser sampling at 2 Hz;
+//! we replace the physical testbed with:
+//!
+//! * a **ground-truth synthesiser** ([`ground_truth`]) that maps a host's
+//!   instantaneous resource state (CPU utilisation, NIC activity, memory
+//!   contention, migration service activity) to watts — deliberately richer
+//!   than any of the candidate regression models (nonlinear CPU term,
+//!   separate NIC/memory terms, measurement noise) so the paper's model
+//!   comparison stays meaningful;
+//! * a **simulated meter** ([`meter`]) sampling at 2 Hz with Gaussian noise
+//!   and the PM1000+'s 0.1 W display quantisation, including the paper's
+//!   stabilisation rule (20 consecutive readings within 0.3 %);
+//! * **phase accounting** ([`phases`]) — the paper's `ms / ts / te / me`
+//!   timeline (§IV-A) and per-phase energy integration (Eq. 3–4);
+//! * a **telemetry recorder** ([`telemetry`]) standing in for `dstat`.
+//!
+//! ## Example
+//!
+//! ```
+//! use wavm3_cluster::hardware;
+//! use wavm3_power::{ground_truth_power, PowerInputs};
+//!
+//! let profile = hardware::m01().power;
+//! let idle = ground_truth_power(&profile, PowerInputs::idle());
+//! let busy = ground_truth_power(&profile, PowerInputs {
+//!     cpu_utilisation: 1.0,
+//!     nic_utilisation: 0.9,
+//!     mem_activity: 0.5,
+//!     service_w: 20.0,
+//! });
+//! assert!(idle >= 400.0 && busy > idle + 300.0);
+//! ```
+
+pub mod ground_truth;
+pub mod meter;
+pub mod phases;
+pub mod telemetry;
+pub mod trace;
+
+pub use ground_truth::{ground_truth_power, PowerInputs};
+pub use meter::PowerMeter;
+pub use phases::{EnergyBreakdown, MigrationPhase, PhaseTimes};
+pub use telemetry::{channels, TelemetryRecorder};
+pub use trace::PowerTrace;

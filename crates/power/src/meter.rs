@@ -1,0 +1,157 @@
+//! A simulated Voltech PM1000+ power analyser.
+//!
+//! The paper's methodology (§V-B): one meter per host on the AC side,
+//! sampling at 2 Hz; measurement starts before the migration is issued and
+//! continues until readings stabilise (twenty consecutive readings within
+//! 0.3 %, the device accuracy); each reading carries the device's noise.
+//!
+//! The meter wraps the ground-truth signal with Gaussian noise and the
+//! display quantisation of the instrument (0.1 W).
+
+use crate::trace::PowerTrace;
+use wavm3_simkit::rng::sample_normal;
+use wavm3_simkit::{SimDuration, SimTime, StreamRng};
+
+/// The paper's sampling period: 2 Hz → 500 ms.
+pub const SAMPLE_PERIOD: SimDuration = SimDuration::from_millis(500);
+
+/// Stabilisation window: twenty consecutive readings…
+pub const STABILITY_WINDOW: usize = 20;
+
+/// …within 0.3 % relative spread.
+pub const STABILITY_TOLERANCE: f64 = 0.003;
+
+/// Display quantum of the PM1000+ readout, watts.
+pub const QUANTUM_W: f64 = 0.1;
+
+/// A power meter attached to one host.
+pub struct PowerMeter {
+    trace: PowerTrace,
+    noise_std_w: f64,
+    rng: StreamRng,
+    next_sample: SimTime,
+}
+
+impl PowerMeter {
+    /// Attach a meter to `host`, with the machine's noise level and an
+    /// independent random stream.
+    pub fn new(host: impl Into<String>, noise_std_w: f64, rng: StreamRng) -> Self {
+        PowerMeter {
+            trace: PowerTrace::new(host),
+            noise_std_w: noise_std_w.max(0.0),
+            rng,
+            next_sample: SimTime::ZERO,
+        }
+    }
+
+    /// The instant of the next scheduled sample.
+    pub fn next_sample_time(&self) -> SimTime {
+        self.next_sample
+    }
+
+    /// Take one reading of the ground-truth power `true_watts` at time `t`
+    /// and schedule the next sample. Returns the recorded (noisy,
+    /// quantised) value.
+    pub fn sample(&mut self, t: SimTime, true_watts: f64) -> f64 {
+        let noisy = sample_normal(&mut self.rng, true_watts, self.noise_std_w);
+        let reading = (noisy / QUANTUM_W).round() * QUANTUM_W;
+        let reading = reading.max(0.0);
+        self.trace.record(t, reading);
+        self.next_sample = t + SAMPLE_PERIOD;
+        reading
+    }
+
+    /// The paper's stabilisation criterion over the recorded trace.
+    pub fn is_stable(&self) -> bool {
+        self.trace
+            .series
+            .is_stable(STABILITY_WINDOW, STABILITY_TOLERANCE)
+    }
+
+    /// Read-only access to the accumulating trace.
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// Finish the measurement and take the trace.
+    pub fn into_trace(self) -> PowerTrace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavm3_simkit::RngFactory;
+
+    fn meter(noise: f64) -> PowerMeter {
+        PowerMeter::new("m01", noise, RngFactory::new(1).stream("meter"))
+    }
+
+    #[test]
+    fn sampling_advances_schedule() {
+        let mut m = meter(0.0);
+        assert_eq!(m.next_sample_time(), SimTime::ZERO);
+        m.sample(SimTime::ZERO, 500.0);
+        assert_eq!(m.next_sample_time(), SimTime::from_millis(500));
+        m.sample(SimTime::from_millis(500), 500.0);
+        assert_eq!(m.trace().len(), 2);
+    }
+
+    #[test]
+    fn noiseless_meter_quantises_only() {
+        let mut m = meter(0.0);
+        let r = m.sample(SimTime::ZERO, 432.1678);
+        assert!((r - 432.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_has_expected_spread() {
+        let mut m = meter(2.5);
+        for i in 0..2000 {
+            m.sample(SimTime::from_millis(i * 500), 500.0);
+        }
+        let vals = m.trace().series.values();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let std =
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt();
+        assert!((mean - 500.0).abs() < 0.3, "mean {mean}");
+        assert!((std - 2.5).abs() < 0.3, "std {std}");
+    }
+
+    #[test]
+    fn readings_never_negative() {
+        let mut m = meter(50.0);
+        for i in 0..200 {
+            let r = m.sample(SimTime::from_millis(i * 500), 1.0);
+            assert!(r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn stabilisation_tracks_signal() {
+        let mut m = meter(0.2);
+        // Ramp: never stable while moving quickly.
+        for i in 0..30 {
+            m.sample(SimTime::from_millis(i * 500), 400.0 + 10.0 * i as f64);
+        }
+        assert!(!m.is_stable());
+        // Constant signal with small noise: stabilises after 20 samples.
+        for i in 30..55 {
+            m.sample(SimTime::from_millis(i * 500), 700.0);
+        }
+        assert!(m.is_stable());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed: u64| {
+            let mut m = PowerMeter::new("m01", 2.0, RngFactory::new(seed).stream("meter"));
+            (0..50)
+                .map(|i| m.sample(SimTime::from_millis(i * 500), 500.0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

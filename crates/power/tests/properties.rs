@@ -1,0 +1,103 @@
+//! Property-based tests of the power substrate.
+
+use proptest::prelude::*;
+use wavm3_cluster::PowerProfile;
+use wavm3_power::{ground_truth_power, EnergyBreakdown, PhaseTimes, PowerInputs, PowerMeter, PowerTrace};
+use wavm3_simkit::{RngFactory, SimTime};
+
+fn arb_profile() -> impl Strategy<Value = PowerProfile> {
+    (50.0f64..600.0, 50.0f64..500.0, 0.5f64..1.5, 0.0f64..60.0, 0.0f64..120.0)
+        .prop_map(|(idle, dynamic, exp, nic, mem)| PowerProfile {
+            idle_w: idle,
+            cpu_dynamic_w: dynamic,
+            cpu_exponent: exp,
+            nic_w_at_line_rate: nic,
+            mem_contention_w: mem,
+            noise_std_w: 1.0,
+        })
+}
+
+fn arb_inputs() -> impl Strategy<Value = PowerInputs> {
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..100.0)
+        .prop_map(|(cpu, nic, mem, svc)| PowerInputs {
+            cpu_utilisation: cpu,
+            nic_utilisation: nic,
+            mem_activity: mem,
+            service_w: svc,
+        })
+}
+
+proptest! {
+    /// Ground truth is bounded by idle and peak + service for any profile.
+    #[test]
+    fn ground_truth_bounded(profile in arb_profile(), inputs in arb_inputs()) {
+        let p = ground_truth_power(&profile, inputs);
+        prop_assert!(p >= profile.idle_w - 1e-9);
+        prop_assert!(p <= profile.peak_w() + inputs.service_w + 1e-9);
+    }
+
+    /// Ground truth is monotone in every input dimension.
+    #[test]
+    fn ground_truth_monotone(profile in arb_profile(), inputs in arb_inputs(), bump in 0.0f64..0.5) {
+        let base = ground_truth_power(&profile, inputs);
+        let f = |i: PowerInputs| ground_truth_power(&profile, i);
+        let more_cpu = f(PowerInputs {
+            cpu_utilisation: (inputs.cpu_utilisation + bump).min(1.0),
+            ..inputs
+        });
+        let more_nic = f(PowerInputs {
+            nic_utilisation: (inputs.nic_utilisation + bump).min(1.0),
+            ..inputs
+        });
+        let more_mem = f(PowerInputs {
+            mem_activity: (inputs.mem_activity + bump).min(1.0),
+            ..inputs
+        });
+        let more_svc = f(PowerInputs {
+            service_w: inputs.service_w + bump,
+            ..inputs
+        });
+        prop_assert!(more_cpu + 1e-9 >= base);
+        prop_assert!(more_nic + 1e-9 >= base);
+        prop_assert!(more_mem + 1e-9 >= base);
+        prop_assert!(more_svc + 1e-9 >= base);
+    }
+
+    /// Meter readings are unbiased: the trace mean converges to the true
+    /// signal for any constant input.
+    #[test]
+    fn meter_is_unbiased(truth in 10.0f64..900.0, noise in 0.0f64..5.0, seed in 0u64..200) {
+        let mut m = PowerMeter::new("h", noise, RngFactory::new(seed).stream("meter"));
+        let n = 400u64;
+        for i in 0..n {
+            m.sample(SimTime::from_millis(i * 500), truth);
+        }
+        let mean = m.trace().series.mean().unwrap();
+        // Standard error is noise/sqrt(400) = noise/20; allow 6 sigma + quantum.
+        prop_assert!((mean - truth).abs() < 0.3 * noise + 0.1, "mean {mean} vs truth {truth}");
+    }
+
+    /// Phase energies always sum to the total and never go negative for
+    /// non-negative power traces.
+    #[test]
+    fn phase_energies_consistent(
+        powers in prop::collection::vec(0.0f64..1000.0, 4..64),
+        cuts in (1u64..30, 1u64..30, 1u64..30),
+    ) {
+        let mut trace = PowerTrace::new("h");
+        for (i, &p) in powers.iter().enumerate() {
+            trace.record(SimTime::from_millis(i as u64 * 500), p);
+        }
+        let ms = SimTime::from_millis(500 * 2);
+        let ts = ms + wavm3_simkit::SimDuration::from_millis(100 * cuts.0);
+        let te = ts + wavm3_simkit::SimDuration::from_millis(100 * cuts.1);
+        let me = te + wavm3_simkit::SimDuration::from_millis(100 * cuts.2);
+        let phases = PhaseTimes::new(ms, ts, te, me);
+        let e = EnergyBreakdown::from_trace(&trace, &phases);
+        prop_assert!(e.initiation_j >= -1e-9);
+        prop_assert!(e.transfer_j >= -1e-9);
+        prop_assert!(e.activation_j >= -1e-9);
+        let whole = trace.energy_between(ms, me);
+        prop_assert!((e.total_j() - whole).abs() < 1e-6 * (1.0 + whole), "{} vs {}", e.total_j(), whole);
+    }
+}

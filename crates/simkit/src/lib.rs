@@ -1,0 +1,35 @@
+//! # wavm3-simkit — discrete-event simulation kernel
+//!
+//! Foundation crate for the WAVM3 reproduction: simulation time, a
+//! deterministic event queue, reproducible random-number streams, and
+//! sampled time-series containers.
+//!
+//! Everything in this crate is deliberately *deterministic*: two runs with
+//! the same seeds produce bit-identical results regardless of host platform
+//! or thread count (parallelism in the workspace only ever happens across
+//! independent simulations).
+//!
+//! ## Example
+//!
+//! ```
+//! use wavm3_simkit::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::from_secs_f64(2.0), "later");
+//! q.schedule(SimTime::from_secs_f64(1.0), "sooner");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "sooner");
+//! assert_eq!(t.as_secs_f64(), 1.0);
+//! ```
+
+pub mod event;
+pub mod periodic;
+pub mod rng;
+pub mod series;
+pub mod time;
+
+pub use event::EventQueue;
+pub use periodic::PeriodicSchedule;
+pub use rng::{RngFactory, StreamRng};
+pub use series::TimeSeries;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,144 @@
+//! Periodic schedules — grid-aligned instants for samplers and monitors.
+//!
+//! The power meters (2 Hz), the telemetry sampler, and the figure
+//! resamplers all walk fixed time grids; [`PeriodicSchedule`] is that grid
+//! as an iterator, with helpers for "how many instants fall inside this
+//! window" bookkeeping.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An unbounded sequence of instants `start, start+p, start+2p, …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicSchedule {
+    start: SimTime,
+    period: SimDuration,
+}
+
+impl PeriodicSchedule {
+    /// A grid starting at `start` with spacing `period` (must be > 0).
+    pub fn new(start: SimTime, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        PeriodicSchedule { start, period }
+    }
+
+    /// The paper's meter grid: 2 Hz from `t = 0`.
+    pub fn two_hz() -> Self {
+        PeriodicSchedule::new(SimTime::ZERO, SimDuration::from_millis(500))
+    }
+
+    /// Grid spacing.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The `n`-th instant (0-based).
+    pub fn instant(&self, n: u64) -> SimTime {
+        SimTime::from_micros(
+            self.start
+                .as_micros()
+                .saturating_add(n.saturating_mul(self.period.as_micros())),
+        )
+    }
+
+    /// The first grid instant at or after `t`.
+    pub fn next_at_or_after(&self, t: SimTime) -> SimTime {
+        if t <= self.start {
+            return self.start;
+        }
+        let offset = t.as_micros() - self.start.as_micros();
+        let p = self.period.as_micros();
+        let n = offset.div_ceil(p);
+        self.instant(n)
+    }
+
+    /// Number of grid instants in the closed interval `[from, to]`.
+    pub fn count_between(&self, from: SimTime, to: SimTime) -> u64 {
+        if to < from {
+            return 0;
+        }
+        let first = self.next_at_or_after(from);
+        if first > to {
+            return 0;
+        }
+        (to.as_micros() - first.as_micros()) / self.period.as_micros() + 1
+    }
+
+    /// Iterate the instants inside `[from, to]`.
+    pub fn iter_between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = SimTime> + '_ {
+        let first = self.next_at_or_after(from);
+        let n = self.count_between(from, to);
+        let p = self.period;
+        (0..n).map(move |k| first + SimDuration::from_micros(k * p.as_micros()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> PeriodicSchedule {
+        PeriodicSchedule::two_hz()
+    }
+
+    #[test]
+    fn instants_are_evenly_spaced() {
+        let g = grid();
+        assert_eq!(g.instant(0), SimTime::ZERO);
+        assert_eq!(g.instant(3), SimTime::from_millis(1500));
+        assert_eq!(g.period(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn next_at_or_after_lands_on_grid() {
+        let g = grid();
+        assert_eq!(g.next_at_or_after(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(g.next_at_or_after(SimTime::from_millis(1)), SimTime::from_millis(500));
+        assert_eq!(g.next_at_or_after(SimTime::from_millis(500)), SimTime::from_millis(500));
+        assert_eq!(g.next_at_or_after(SimTime::from_millis(501)), SimTime::from_millis(1000));
+    }
+
+    #[test]
+    fn count_matches_iteration() {
+        let g = grid();
+        let from = SimTime::from_millis(700);
+        let to = SimTime::from_millis(3200);
+        let instants: Vec<SimTime> = g.iter_between(from, to).collect();
+        assert_eq!(instants.len() as u64, g.count_between(from, to));
+        // 1000, 1500, 2000, 2500, 3000.
+        assert_eq!(instants.len(), 5);
+        assert_eq!(instants[0], SimTime::from_millis(1000));
+        assert_eq!(instants[4], SimTime::from_millis(3000));
+    }
+
+    #[test]
+    fn inverted_and_empty_windows() {
+        let g = grid();
+        assert_eq!(g.count_between(SimTime::from_secs(5), SimTime::from_secs(1)), 0);
+        assert_eq!(
+            g.count_between(SimTime::from_millis(501), SimTime::from_millis(999)),
+            0
+        );
+        assert_eq!(g.iter_between(SimTime::from_secs(5), SimTime::from_secs(1)).count(), 0);
+    }
+
+    #[test]
+    fn offset_grids() {
+        let g = PeriodicSchedule::new(SimTime::from_millis(250), SimDuration::from_millis(100));
+        assert_eq!(g.instant(1), SimTime::from_millis(350));
+        assert_eq!(g.next_at_or_after(SimTime::ZERO), SimTime::from_millis(250));
+        assert_eq!(g.count_between(SimTime::from_millis(250), SimTime::from_millis(550)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        PeriodicSchedule::new(SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn meter_grid_matches_sim_expectations() {
+        // A 60-second trace at 2 Hz holds 121 samples (inclusive ends).
+        let g = PeriodicSchedule::two_hz();
+        assert_eq!(g.count_between(SimTime::ZERO, SimTime::from_secs(60)), 121);
+    }
+}

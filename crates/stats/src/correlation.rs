@@ -1,0 +1,107 @@
+//! Correlation measures for feature/energy analysis.
+
+/// Sample covariance (n−1 denominator). Panics on mismatched or < 2 samples.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "covariance needs at least two samples");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (n - 1.0)
+}
+
+/// Pearson correlation coefficient in `[-1, 1]`; 0 when either series is
+/// constant (no linear association measurable).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let cov = covariance(xs, ys);
+    let sx = covariance(xs, xs).sqrt();
+    let sy = covariance(ys, ys).sqrt();
+    if sx < 1e-300 || sy < 1e-300 {
+        return 0.0;
+    }
+    (cov / (sx * sy)).clamp(-1.0, 1.0)
+}
+
+/// Ranks with average tie handling (1-based).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in sample"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation in `[-1, 1]` — the measure behind "does the
+/// model *order* migrations like the oracle".
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "spearman needs at least two samples");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_known_value() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        // cov = Σ(x-2)(y-4)/2 = (1·2 + 0 + 1·2)/2 = 2.
+        assert!((covariance(&xs, &ys) - 2.0).abs() < 1e-12);
+        assert!((covariance(&xs, &xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_lines() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        let inv: Vec<f64> = xs.iter().map(|x: &f64| 1.0 / *x).collect();
+        assert!((spearman(&xs, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        let r = ranks(&xs);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

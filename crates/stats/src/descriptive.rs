@@ -1,0 +1,243 @@
+//! Descriptive statistics and the paper's repetition stopping rule.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (mean of central pair for even n).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarise a non-empty sample. Panics on empty input.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
+    }
+
+    /// Sample variance (n−1 denominator).
+    pub fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    /// Coefficient of variation (std/|mean|); infinite for zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < 1e-300 {
+            f64::INFINITY
+        } else {
+            self.std_dev / self.mean.abs()
+        }
+    }
+}
+
+/// The paper's experimental stopping rule (§V-B): *"we repeat each
+/// experiment until the difference in variance between one run and the
+/// previous runs becomes less than 10 %, resulting in at least ten runs"*.
+///
+/// Feed each repetition's result to [`VarianceStopper::push`]; it answers
+/// whether another repetition is required.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarianceStopper {
+    /// Minimum repetitions regardless of variance behaviour.
+    pub min_runs: usize,
+    /// Maximum repetitions (safety bound).
+    pub max_runs: usize,
+    /// Relative variance-change threshold (paper: 0.10).
+    pub threshold: f64,
+    values: Vec<f64>,
+    last_variance: Option<f64>,
+    relative_change: Option<f64>,
+}
+
+impl VarianceStopper {
+    /// The paper's configuration: ≥10 runs, stop at <10 % variance change.
+    pub fn paper() -> Self {
+        VarianceStopper::new(10, 50, 0.10)
+    }
+
+    /// Custom configuration.
+    pub fn new(min_runs: usize, max_runs: usize, threshold: f64) -> Self {
+        assert!(min_runs >= 2, "variance needs at least two runs");
+        assert!(max_runs >= min_runs, "max_runs < min_runs");
+        assert!(threshold > 0.0, "threshold must be positive");
+        VarianceStopper {
+            min_runs,
+            max_runs,
+            threshold,
+            values: Vec::new(),
+            last_variance: None,
+            relative_change: None,
+        }
+    }
+
+    /// Record one repetition's scalar result.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+        if self.values.len() >= 2 {
+            let var = Summary::of(&self.values).variance();
+            if let Some(prev) = self.last_variance {
+                self.relative_change = Some(if prev.abs() < 1e-300 {
+                    if var.abs() < 1e-300 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    ((var - prev) / prev).abs()
+                });
+            }
+            self.last_variance = Some(var);
+        }
+    }
+
+    /// Number of repetitions recorded so far.
+    pub fn runs(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The recorded values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `true` when enough repetitions have been collected.
+    pub fn is_satisfied(&self) -> bool {
+        if self.values.len() >= self.max_runs {
+            return true;
+        }
+        if self.values.len() < self.min_runs {
+            return false;
+        }
+        matches!(self.relative_change, Some(c) if c < self.threshold)
+    }
+
+    /// Summary of the collected repetitions. Panics if none recorded.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        // Sample variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn odd_median() {
+        assert_eq!(Summary::of(&[3.0, 1.0, 2.0]).median, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_summary_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        assert_eq!(Summary::of(&[1.0, -1.0]).cv(), f64::INFINITY);
+        assert!((Summary::of(&[10.0, 10.0]).cv()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stopper_requires_min_runs_even_when_stable() {
+        let mut st = VarianceStopper::paper();
+        for _ in 0..9 {
+            st.push(100.0);
+            assert!(!st.is_satisfied(), "must not stop before 10 runs");
+        }
+        st.push(100.0);
+        assert!(st.is_satisfied(), "10 identical runs are stable");
+        assert_eq!(st.runs(), 10);
+    }
+
+    #[test]
+    fn stopper_keeps_going_while_variance_moves() {
+        let mut st = VarianceStopper::new(3, 100, 0.10);
+        // Alternating large jumps keep the variance changing.
+        for i in 0..6 {
+            st.push(if i % 2 == 0 { 0.0 } else { 100.0 + i as f64 * 50.0 });
+        }
+        assert!(!st.is_satisfied());
+        // Long run of identical values stabilises the variance estimate.
+        for _ in 0..40 {
+            st.push(50.0);
+        }
+        assert!(st.is_satisfied());
+    }
+
+    #[test]
+    fn stopper_caps_at_max_runs() {
+        let mut st = VarianceStopper::new(2, 5, 1e-9);
+        for i in 0..5 {
+            st.push(i as f64 * 1000.0); // wildly varying
+        }
+        assert!(st.is_satisfied(), "max_runs forces a stop");
+    }
+
+    #[test]
+    fn stopper_summary_reflects_values() {
+        let mut st = VarianceStopper::new(2, 10, 0.1);
+        st.push(1.0);
+        st.push(3.0);
+        let s = st.summary();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(st.values(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two runs")]
+    fn degenerate_min_runs_panics() {
+        VarianceStopper::new(1, 5, 0.1);
+    }
+}

@@ -1,0 +1,443 @@
+//! Dense row-major matrices with the factorisations regression needs.
+//!
+//! Deliberately small and dependency-free: the design matrices in this
+//! workspace are a few thousand rows by fewer than ten columns, so a simple
+//! cache-friendly row-major layout with Householder QR is more than fast
+//! enough, and keeping it in-tree means the whole regression pipeline is
+//! auditable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice. Panics if the length is not
+    /// `rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Build from a nested vector of rows. Panics on ragged input.
+    pub fn from_nested(rows: Vec<Vec<f64>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`. Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams over rhs rows, cache-friendly row-major.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product. Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch in matvec");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// `Aᵀ A` (the Gram matrix), computed directly without forming `Aᵀ`.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for (a, &ra) in r.iter().enumerate() {
+                if ra == 0.0 {
+                    continue;
+                }
+                for (b, &rb) in r.iter().enumerate() {
+                    out[(a, b)] += ra * rb;
+                }
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ y`.
+    pub fn t_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, y.len(), "dimension mismatch in t_vec");
+        let mut out = vec![0.0; self.cols];
+        for (i, &yi) in y.iter().enumerate() {
+            let r = self.row(i);
+            for (o, &a) in out.iter_mut().zip(r) {
+                *o += a * yi;
+            }
+        }
+        out
+    }
+
+    /// Solve the least-squares problem `min ‖A x − y‖₂` by Householder QR.
+    ///
+    /// Requires `rows ≥ cols`. Returns `None` if `A` is (numerically)
+    /// rank-deficient.
+    pub fn solve_least_squares(&self, y: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, y.len(), "rhs length mismatch");
+        assert!(self.rows >= self.cols, "underdetermined system");
+        let (m, n) = (self.rows, self.cols);
+        let mut a = self.data.clone();
+        let mut b = y.to_vec();
+
+        // In-place Householder QR, applying reflectors to b as we go.
+        for k in 0..n {
+            // Column norm below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += a[i * n + k] * a[i * n + k];
+            }
+            let norm = norm.sqrt();
+            if norm < 1e-12 {
+                return None; // rank deficient
+            }
+            let akk = a[k * n + k];
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            // v = x - alpha*e1 (stored over the column), normalised so v[k]=1.
+            let vkk = akk - alpha;
+            // beta = 2 / (vᵀv) with v = (vkk, a[k+1..m]).
+            let mut vtv = vkk * vkk;
+            for i in (k + 1)..m {
+                vtv += a[i * n + k] * a[i * n + k];
+            }
+            if vtv < 1e-300 {
+                return None;
+            }
+            let beta = 2.0 / vtv;
+            // Apply H = I - beta v vᵀ to the columns right of k. Column k
+            // itself is NOT transformed in place (it stores v below the
+            // diagonal until b has been updated); its post-reflection value
+            // is (alpha, 0, …, 0) and is written explicitly afterwards.
+            for j in (k + 1)..n {
+                let mut dot = vkk * a[k * n + j];
+                for i in (k + 1)..m {
+                    dot += a[i * n + k] * a[i * n + j];
+                }
+                let s = beta * dot;
+                a[k * n + j] -= s * vkk;
+                for i in (k + 1)..m {
+                    a[i * n + j] -= s * a[i * n + k];
+                }
+            }
+            // Apply H to b.
+            let mut dot = vkk * b[k];
+            for i in (k + 1)..m {
+                dot += a[i * n + k] * b[i];
+            }
+            let s = beta * dot;
+            b[k] -= s * vkk;
+            for i in (k + 1)..m {
+                b[i] -= s * a[i * n + k];
+            }
+            // Now column k takes its post-reflection value.
+            a[k * n + k] = alpha;
+            for i in (k + 1)..m {
+                a[i * n + k] = 0.0;
+            }
+        }
+
+        // Back-substitute R x = b[..n].
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut s = b[k];
+            for j in (k + 1)..n {
+                s -= a[k * n + j] * x[j];
+            }
+            let rkk = a[k * n + k];
+            if rkk.abs() < 1e-12 {
+                return None;
+            }
+            x[k] = s / rkk;
+        }
+        Some(x)
+    }
+
+    /// Solve the SPD system `self * x = b` by Cholesky. Returns `None` if
+    /// the matrix is not (numerically) positive definite.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve_spd needs a square matrix");
+        assert_eq!(self.rows, b.len(), "rhs length mismatch");
+        let n = self.rows;
+        // Lower-triangular Cholesky factor.
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 1e-14 {
+                        return None;
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        // Forward solve L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[i * n + k] * z[k];
+            }
+            z[i] = s / l[i * n + i];
+        }
+        // Back solve Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for k in (i + 1)..n {
+                s -= l[k * n + i] * x[k];
+            }
+            x[i] = s / l[i * n + i];
+        }
+        Some(x)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.5} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        let id = Matrix::identity(3);
+        assert_eq!(id[(1, 1)], 1.0);
+        assert_eq!(id[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_nested_matches_from_rows() {
+        let a = Matrix::from_nested(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_nested_panics() {
+        Matrix::from_nested(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(2, 2, &[19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matvec_and_t_vec() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.t_vec(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn gram_equals_at_a() {
+        let a = Matrix::from_rows(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a);
+        assert!(close(g.row(0), explicit.row(0), 1e-12));
+        assert!(close(g.row(1), explicit.row(1), 1e-12));
+    }
+
+    #[test]
+    fn qr_solves_exact_system() {
+        // Square, full rank: least squares = exact solve.
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve_least_squares(&[5.0, 10.0]).unwrap();
+        assert!(close(&x, &[1.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn qr_solves_overdetermined_regression() {
+        // y = 2 + 3x sampled exactly: residual must be ~0.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x).collect();
+        let a = Matrix::from_nested(rows);
+        let beta = a.solve_least_squares(&y).unwrap();
+        assert!(close(&beta, &[2.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn qr_detects_rank_deficiency() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(3, 2, &[1.0, 2.0, 2.0, 4.0, 3.0, 6.0]);
+        assert!(a.solve_least_squares(&[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn qr_least_squares_minimises() {
+        // Overdetermined inconsistent system: check normal equations hold.
+        let a = Matrix::from_rows(3, 2, &[1.0, 0.0, 1.0, 1.0, 1.0, 2.0]);
+        let y = [0.0, 1.0, 1.0];
+        let x = a.solve_least_squares(&y).unwrap();
+        // Aᵀ(Ax − y) = 0 at the minimiser.
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = ax.iter().zip(&y).map(|(p, t)| p - t).collect();
+        let grad = a.t_vec(&resid);
+        assert!(grad.iter().all(|g| g.abs() < 1e-10), "gradient {grad:?}");
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        let a = Matrix::from_rows(2, 2, &[4.0, 1.0, 1.0, 3.0]);
+        let x = a.solve_spd(&[1.0, 2.0]).unwrap();
+        // Verify A x = b.
+        let b = a.matvec(&x);
+        assert!(close(&b, &[1.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, −1
+        assert!(a.solve_spd(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn qr_and_cholesky_normal_equations_agree() {
+        // Random-ish well-conditioned regression; both paths must agree.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x = i as f64 * 0.37;
+                vec![1.0, x, (x * 0.5).sin()]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 1.5 * r[1] - 2.0 * r[2] + 0.3).collect();
+        let a = Matrix::from_nested(rows);
+        let qr = a.solve_least_squares(&y).unwrap();
+        let chol = a.gram().solve_spd(&a.t_vec(&y)).unwrap();
+        assert!(close(&qr, &chol, 1e-8), "{qr:?} vs {chol:?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! The paper's prediction-error metrics (§VII, Tables V and VII).
+//!
+//! * **MAE** — mean absolute error.
+//! * **RMSE** — root mean square error.
+//! * **NRMSE** — RMSE normalised by the mean of the observations (the
+//!   convention that makes the paper's percentages reproducible: errors are
+//!   quoted relative to typical energy magnitude).
+//! * **R²** — coefficient of determination (not in the paper's tables but
+//!   standard for judging the regression itself).
+
+use serde::{Deserialize, Serialize};
+
+fn check(pred: &[f64], obs: &[f64]) {
+    assert_eq!(pred.len(), obs.len(), "prediction/observation length mismatch");
+    assert!(!pred.is_empty(), "error metrics need at least one sample");
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], obs: &[f64]) -> f64 {
+    check(pred, obs);
+    pred.iter()
+        .zip(obs)
+        .map(|(p, o)| (p - o).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean square error.
+pub fn rmse(pred: &[f64], obs: &[f64]) -> f64 {
+    check(pred, obs);
+    (pred.iter()
+        .zip(obs)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+/// RMSE normalised by the mean of the observations. Returns `f64::INFINITY`
+/// when the observation mean is zero.
+pub fn nrmse(pred: &[f64], obs: &[f64]) -> f64 {
+    check(pred, obs);
+    let mean_obs = obs.iter().sum::<f64>() / obs.len() as f64;
+    if mean_obs.abs() < 1e-300 {
+        return f64::INFINITY;
+    }
+    rmse(pred, obs) / mean_obs.abs()
+}
+
+/// RMSE normalised by the *range* of the observations (`max − min`) — the
+/// other common NRMSE convention; the paper does not pin down which one it
+/// uses, so both are provided. Returns `f64::INFINITY` for constant
+/// observations.
+pub fn nrmse_range(pred: &[f64], obs: &[f64]) -> f64 {
+    check(pred, obs);
+    let lo = obs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = obs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi - lo < 1e-300 {
+        return f64::INFINITY;
+    }
+    rmse(pred, obs) / (hi - lo)
+}
+
+/// Largest absolute error.
+pub fn max_abs_error(pred: &[f64], obs: &[f64]) -> f64 {
+    check(pred, obs);
+    pred.iter()
+        .zip(obs)
+        .map(|(p, o)| (p - o).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Coefficient of determination; 1 is a perfect fit, 0 matches predicting
+/// the mean, negative is worse than the mean.
+pub fn r_squared(pred: &[f64], obs: &[f64]) -> f64 {
+    check(pred, obs);
+    let mean_obs = obs.iter().sum::<f64>() / obs.len() as f64;
+    let ss_tot: f64 = obs.iter().map(|o| (o - mean_obs) * (o - mean_obs)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(obs)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum();
+    if ss_tot < 1e-300 {
+        return if ss_res < 1e-300 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// All metrics for one prediction/observation pairing — one cell group of
+/// the paper's Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReport {
+    /// Mean absolute error (same unit as the observations).
+    pub mae: f64,
+    /// Root mean square error (same unit as the observations).
+    pub rmse: f64,
+    /// Mean-normalised RMSE, dimensionless (multiply by 100 for %).
+    pub nrmse: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Number of samples scored.
+    pub n: usize,
+}
+
+impl ErrorReport {
+    /// Score `pred` against `obs`.
+    pub fn compute(pred: &[f64], obs: &[f64]) -> Self {
+        ErrorReport {
+            mae: mae(pred, obs),
+            rmse: rmse(pred, obs),
+            nrmse: nrmse(pred, obs),
+            r_squared: r_squared(pred, obs),
+            n: pred.len(),
+        }
+    }
+
+    /// NRMSE as a percentage, the unit of the paper's tables.
+    pub fn nrmse_pct(&self) -> f64 {
+        self.nrmse * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(nrmse(&y, &y), 0.0);
+        assert_eq!(r_squared(&y, &y), 1.0);
+        assert_eq!(max_abs_error(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let pred = [2.0, 4.0];
+        let obs = [1.0, 1.0];
+        assert_eq!(mae(&pred, &obs), 2.0); // (1 + 3) / 2
+        assert!((rmse(&pred, &obs) - (5.0f64).sqrt()).abs() < 1e-12); // sqrt((1+9)/2)
+        assert!((nrmse(&pred, &obs) - (5.0f64).sqrt() / 1.0).abs() < 1e-12);
+        assert_eq!(max_abs_error(&pred, &obs), 3.0);
+    }
+
+    #[test]
+    fn r_squared_of_mean_prediction_is_zero() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!(r_squared(&pred, &obs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_negative_for_bad_model() {
+        let obs = [1.0, 2.0, 3.0];
+        let pred = [30.0, -10.0, 99.0];
+        assert!(r_squared(&pred, &obs) < 0.0);
+    }
+
+    #[test]
+    fn nrmse_range_known_value() {
+        let pred = [2.0, 4.0];
+        let obs = [1.0, 3.0]; // range 2, rmse = sqrt((1+1)/2) = 1
+        assert!((nrmse_range(&pred, &obs) - 0.5).abs() < 1e-12);
+        // Constant observations: undefined range.
+        assert_eq!(nrmse_range(&pred, &[5.0, 5.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn nrmse_zero_mean_is_infinite() {
+        let obs = [1.0, -1.0];
+        let pred = [0.0, 0.0];
+        assert_eq!(nrmse(&pred, &obs), f64::INFINITY);
+    }
+
+    #[test]
+    fn rmse_never_below_mae() {
+        // Jensen: RMSE ≥ MAE always.
+        let pred = [1.0, 5.0, 2.0, 8.0];
+        let obs = [0.0, 0.0, 0.0, 0.0];
+        assert!(rmse(&pred, &obs) >= mae(&pred, &obs));
+    }
+
+    #[test]
+    fn report_bundles_everything() {
+        let pred = [2.0, 4.0];
+        let obs = [1.0, 1.0];
+        let r = ErrorReport::compute(&pred, &obs);
+        assert_eq!(r.mae, 2.0);
+        assert_eq!(r.n, 2);
+        assert!((r.nrmse_pct() - 100.0 * (5.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_input_panics() {
+        rmse(&[], &[]);
+    }
+}

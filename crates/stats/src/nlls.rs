@@ -1,0 +1,246 @@
+//! Levenberg–Marquardt non-linear least squares.
+//!
+//! The paper fits its model coefficients "using regression analysis based on
+//! the Non Linear Least Square algorithm" (§VI-F). The WAVM3 equations are
+//! linear in their coefficients, for which LM converges to the OLS solution
+//! — but implementing the general algorithm keeps the pipeline faithful and
+//! supports the ground-truth recovery tests (which *are* nonlinear, e.g.
+//! fitting the CPU exponent).
+//!
+//! The implementation is the classic damped Gauss–Newton: at each step solve
+//! `(JᵀJ + λ diag(JᵀJ)) δ = Jᵀ r`, accept the step if the residual improves
+//! (decreasing λ), otherwise increase λ and retry. The Jacobian is obtained
+//! by central finite differences, so models need only expose a residual
+//! function.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for [`levenberg_marquardt`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LmOptions {
+    /// Maximum outer iterations.
+    pub max_iterations: usize,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Multiplicative λ update factor (decrease on success, increase on
+    /// failure).
+    pub lambda_factor: f64,
+    /// Stop when the relative reduction of the squared residual falls below
+    /// this threshold.
+    pub tolerance: f64,
+    /// Relative step for the finite-difference Jacobian.
+    pub fd_step: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        LmOptions {
+            max_iterations: 200,
+            initial_lambda: 1e-3,
+            lambda_factor: 10.0,
+            tolerance: 1e-12,
+            fd_step: 1e-6,
+        }
+    }
+}
+
+/// Result of an LM run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LmOutcome {
+    /// The parameter vector at termination.
+    pub parameters: Vec<f64>,
+    /// Sum of squared residuals at termination.
+    pub ssr: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// `true` when the tolerance criterion (rather than the iteration cap)
+    /// ended the run.
+    pub converged: bool,
+}
+
+fn ssr_of(r: &[f64]) -> f64 {
+    r.iter().map(|x| x * x).sum()
+}
+
+/// Minimise `‖residuals(θ)‖²` starting from `initial`.
+///
+/// `residuals` maps a parameter vector to the residual vector (prediction −
+/// observation, one entry per sample); its output length must be constant
+/// and at least the parameter count.
+pub fn levenberg_marquardt<F>(residuals: F, initial: &[f64], opts: &LmOptions) -> LmOutcome
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    let n_params = initial.len();
+    assert!(n_params > 0, "need at least one parameter");
+    let mut theta = initial.to_vec();
+    let mut r = residuals(&theta);
+    let n_res = r.len();
+    assert!(
+        n_res >= n_params,
+        "need at least as many residuals as parameters"
+    );
+    let mut ssr = ssr_of(&r);
+    let mut lambda = opts.initial_lambda;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _ in 0..opts.max_iterations {
+        iterations += 1;
+        // Central-difference Jacobian: J[i][j] = ∂r_i/∂θ_j.
+        let mut jac = Matrix::zeros(n_res, n_params);
+        for j in 0..n_params {
+            let h = opts.fd_step * theta[j].abs().max(1.0);
+            let mut plus = theta.clone();
+            plus[j] += h;
+            let mut minus = theta.clone();
+            minus[j] -= h;
+            let rp = residuals(&plus);
+            let rm = residuals(&minus);
+            assert_eq!(rp.len(), n_res, "residual length must be constant");
+            for i in 0..n_res {
+                jac[(i, j)] = (rp[i] - rm[i]) / (2.0 * h);
+            }
+        }
+        let jtj = jac.gram();
+        let jtr = jac.t_vec(&r);
+
+        // Inner loop: grow λ until a step improves the residual.
+        let mut stepped = false;
+        for _ in 0..24 {
+            // (JᵀJ + λ diag(JᵀJ)) δ = Jᵀ r
+            let mut damped = jtj.clone();
+            for d in 0..n_params {
+                let diag = jtj[(d, d)];
+                damped[(d, d)] = diag + lambda * diag.max(1e-12);
+            }
+            let Some(delta) = damped.solve_spd(&jtr) else {
+                lambda *= opts.lambda_factor;
+                continue;
+            };
+            let candidate: Vec<f64> = theta.iter().zip(&delta).map(|(t, d)| t - d).collect();
+            let r_new = residuals(&candidate);
+            let ssr_new = ssr_of(&r_new);
+            if ssr_new < ssr {
+                let rel_drop = (ssr - ssr_new) / ssr.max(1e-300);
+                theta = candidate;
+                r = r_new;
+                ssr = ssr_new;
+                lambda = (lambda / opts.lambda_factor).max(1e-12);
+                if rel_drop < opts.tolerance {
+                    converged = true;
+                }
+                stepped = true;
+                break;
+            }
+            lambda *= opts.lambda_factor;
+        }
+        if !stepped {
+            // λ exhausted without improvement: local minimum (to FD noise).
+            converged = true;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    LmOutcome {
+        parameters: theta,
+        ssr,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_linear_regression_like_ols() {
+        // y = 3 + 2x, exact.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let res = |p: &[f64]| -> Vec<f64> {
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| p[0] + p[1] * x - y)
+                .collect()
+        };
+        let out = levenberg_marquardt(res, &[0.0, 0.0], &LmOptions::default());
+        assert!(out.converged);
+        assert!((out.parameters[0] - 3.0).abs() < 1e-6, "{:?}", out.parameters);
+        assert!((out.parameters[1] - 2.0).abs() < 1e-6);
+        assert!(out.ssr < 1e-10);
+    }
+
+    #[test]
+    fn fits_exponential_decay() {
+        // y = a · exp(−b x): genuinely nonlinear.
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * (-0.7 * x).exp()).collect();
+        let res = |p: &[f64]| -> Vec<f64> {
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| p[0] * (-p[1] * x).exp() - y)
+                .collect()
+        };
+        let out = levenberg_marquardt(res, &[1.0, 0.1], &LmOptions::default());
+        assert!((out.parameters[0] - 5.0).abs() < 1e-4, "{:?}", out.parameters);
+        assert!((out.parameters[1] - 0.7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fits_power_law_exponent() {
+        // The ground-truth power curve shape: P = idle + dyn · u^exp.
+        let us: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+        let ys: Vec<f64> = us.iter().map(|u| 430.0 + 390.0 * u.powf(1.15)).collect();
+        let res = |p: &[f64]| -> Vec<f64> {
+            us.iter()
+                .zip(&ys)
+                .map(|(u, y)| p[0] + p[1] * u.powf(p[2]) - y)
+                .collect()
+        };
+        let out = levenberg_marquardt(res, &[400.0, 300.0, 1.0], &LmOptions::default());
+        assert!((out.parameters[0] - 430.0).abs() < 0.5, "{:?}", out.parameters);
+        assert!((out.parameters[1] - 390.0).abs() < 0.5);
+        assert!((out.parameters[2] - 1.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn noisy_fit_lands_near_truth() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        // Deterministic ±0.1 dither.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 1.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let res = |p: &[f64]| -> Vec<f64> {
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| p[0] + p[1] * x - y)
+                .collect()
+        };
+        let out = levenberg_marquardt(res, &[0.0, 0.0], &LmOptions::default());
+        assert!((out.parameters[1] - 2.0).abs() < 0.01);
+        assert!((out.parameters[0] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn already_optimal_start_terminates_quickly() {
+        let res = |p: &[f64]| -> Vec<f64> { vec![p[0] - 1.0, p[0] - 1.0] };
+        let out = levenberg_marquardt(res, &[1.0], &LmOptions::default());
+        assert!(out.converged);
+        assert!(out.ssr < 1e-20);
+        assert!(out.iterations <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many residuals")]
+    fn underdetermined_panics() {
+        let res = |_: &[f64]| -> Vec<f64> { vec![0.0] };
+        levenberg_marquardt(res, &[1.0, 2.0], &LmOptions::default());
+    }
+}

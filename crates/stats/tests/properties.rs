@@ -1,0 +1,149 @@
+//! Property-based tests of the numerical substrate.
+
+use proptest::prelude::*;
+use wavm3_stats::{fit_ols, levenberg_marquardt, mae, nrmse, r_squared, rmse, LmOptions, Matrix, Summary};
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-100.0f64..100.0).prop_filter("finite", |v| v.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn rmse_dominates_mae(data in prop::collection::vec((small_f64(), small_f64()), 1..64)) {
+        let (pred, obs): (Vec<f64>, Vec<f64>) = data.into_iter().unzip();
+        prop_assert!(rmse(&pred, &obs) + 1e-12 >= mae(&pred, &obs));
+    }
+
+    #[test]
+    fn metrics_are_translation_aware(
+        data in prop::collection::vec((small_f64(), small_f64()), 2..32),
+        shift in -50.0f64..50.0,
+    ) {
+        // Shifting BOTH series leaves MAE/RMSE unchanged.
+        let (pred, obs): (Vec<f64>, Vec<f64>) = data.into_iter().unzip();
+        let pred_s: Vec<f64> = pred.iter().map(|v| v + shift).collect();
+        let obs_s: Vec<f64> = obs.iter().map(|v| v + shift).collect();
+        prop_assert!((mae(&pred, &obs) - mae(&pred_s, &obs_s)).abs() < 1e-9);
+        prop_assert!((rmse(&pred, &obs) - rmse(&pred_s, &obs_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nrmse_is_scale_invariant(
+        data in prop::collection::vec((small_f64(), 1.0f64..100.0), 2..32),
+        scale in 0.1f64..10.0,
+    ) {
+        // Scaling BOTH series by k leaves mean-normalised RMSE unchanged.
+        let (pred, obs): (Vec<f64>, Vec<f64>) = data.into_iter().unzip();
+        let pred_k: Vec<f64> = pred.iter().map(|v| v * scale).collect();
+        let obs_k: Vec<f64> = obs.iter().map(|v| v * scale).collect();
+        let a = nrmse(&pred, &obs);
+        let b = nrmse(&pred_k, &obs_k);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn r_squared_at_most_one(data in prop::collection::vec((small_f64(), small_f64()), 2..32)) {
+        let (pred, obs): (Vec<f64>, Vec<f64>) = data.into_iter().unzip();
+        prop_assert!(r_squared(&pred, &obs) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn summary_bounds_hold(values in prop::collection::vec(small_f64(), 1..64)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, values.len());
+    }
+
+    #[test]
+    fn ols_recovers_planted_coefficients(
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        c in -50.0f64..50.0,
+        n in 8usize..40,
+    ) {
+        // y = c + a·x1 + b·x2 with decorrelated pseudo-random features.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x1 = ((i * 37 + 11) % 97) as f64 / 9.7;
+                let x2 = ((i * 53 + 29) % 89) as f64 / 8.9;
+                vec![1.0, x1, x2]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| c + a * r[1] + b * r[2]).collect();
+        let x = Matrix::from_nested(rows);
+        let fit = fit_ols(&x, &y).expect("full-rank design");
+        prop_assert!((fit.coefficients[0] - c).abs() < 1e-6);
+        prop_assert!((fit.coefficients[1] - a).abs() < 1e-6);
+        prop_assert!((fit.coefficients[2] - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ols_residual_is_orthogonal_to_design(
+        seed in 0u64..1000,
+        n in 6usize..24,
+    ) {
+        // For any (full-rank) least-squares fit, Xᵀ(Xβ − y) = 0.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let k = i as u64 + seed;
+                vec![
+                    1.0,
+                    ((k * 2654435761) % 1000) as f64 / 100.0,
+                    ((k * 40503 + 7) % 997) as f64 / 99.0,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i as u64 * 97 + seed) % 512) as f64).collect();
+        let x = Matrix::from_nested(rows);
+        if let Some(fit) = fit_ols(&x, &y) {
+            let pred = x.matvec(&fit.coefficients);
+            let resid: Vec<f64> = pred.iter().zip(&y).map(|(p, o)| p - o).collect();
+            let grad = x.t_vec(&resid);
+            for g in grad {
+                prop_assert!(g.abs() < 1e-6, "gradient component {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn lm_never_worsens_the_initial_guess(
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        x0 in -5.0f64..5.0,
+        x1 in -5.0f64..5.0,
+    ) {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let res = |p: &[f64]| -> Vec<f64> {
+            xs.iter().zip(&ys).map(|(x, y)| p[0] + p[1] * x - y).collect()
+        };
+        let initial_ssr: f64 = res(&[x0, x1]).iter().map(|r| r * r).sum();
+        let out = levenberg_marquardt(res, &[x0, x1], &LmOptions::default());
+        prop_assert!(out.ssr <= initial_ssr + 1e-9);
+        // Linear problem: LM must essentially solve it.
+        prop_assert!(out.ssr < 1e-6, "ssr {}", out.ssr);
+    }
+
+    #[test]
+    fn matmul_distributes_over_transpose(
+        n in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        // (AB)ᵀ = BᵀAᵀ.
+        let data = |s: u64| -> Vec<f64> {
+            (0..n * n).map(|i| (((i as u64 + s) * 2654435761) % 1000) as f64 / 100.0).collect()
+        };
+        let a = Matrix::from_rows(n, n, &data(seed));
+        let b = Matrix::from_rows(n, n, &data(seed + 7));
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The `matrixmult` CPU-intensive workload (paper §V-A1).
+//!
+//! The paper chose matrix multiplication because "it is used by many
+//! scientific workloads running on data centres, and it can be easily
+//! parallelised allowing us to load all virtual CPUs … while it introduces
+//! only small communication and synchronisation overheads". The simulation
+//! process below reflects exactly that: near-constant full-tilt CPU demand
+//! on every assigned vCPU with a small deterministic ripple (the
+//! synchronisation overhead), and no memory dirtying beyond a tiny working
+//! set (the matrices themselves).
+
+use crate::workload::Workload;
+use wavm3_simkit::SimTime;
+
+/// Simulated matrixmult: pegs `target_cores` with a small ripple.
+#[derive(Debug, Clone)]
+pub struct MatMulWorkload {
+    target_cores: f64,
+    /// Peak-to-peak ripple as a fraction of `target_cores` (sync overhead).
+    ripple: f64,
+    /// Ripple period in seconds.
+    ripple_period_s: f64,
+    /// Phase offset so co-located instances do not beat in lockstep.
+    phase: f64,
+    /// The matrices occupy a small, constantly rewritten working set.
+    working_set_fraction: f64,
+    /// Page writes per second from result-matrix stores.
+    write_rate: f64,
+}
+
+impl MatMulWorkload {
+    /// A matmul instance loading `vcpus` virtual CPUs at full tilt.
+    pub fn full(vcpus: u32) -> Self {
+        MatMulWorkload {
+            target_cores: vcpus as f64,
+            ripple: 0.03,
+            ripple_period_s: 7.0,
+            phase: 0.0,
+            // A 1500×1500 f64 triple-matrix footprint inside a 4 GB guest is
+            // well under 2 % of pages.
+            working_set_fraction: 0.015,
+            write_rate: 400.0,
+        }
+    }
+
+    /// A matmul instance using only `cores` of the VM's CPUs (fractional
+    /// load levels of the CPULOAD sweeps).
+    pub fn with_cores(cores: f64) -> Self {
+        let mut w = MatMulWorkload::full(0);
+        w.target_cores = cores.max(0.0);
+        w
+    }
+
+    /// Shift the ripple phase (used when several instances share a host).
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Nominal demand in cores.
+    pub fn target_cores(&self) -> f64 {
+        self.target_cores
+    }
+}
+
+impl Workload for MatMulWorkload {
+    fn name(&self) -> &str {
+        "matrixmult"
+    }
+
+    fn cpu_demand(&self, t: SimTime) -> f64 {
+        if self.target_cores <= 0.0 {
+            return 0.0;
+        }
+        let ripple = 1.0
+            + 0.5 * self.ripple
+                * (std::f64::consts::TAU * (t.as_secs_f64() / self.ripple_period_s + self.phase))
+                    .sin();
+        (self.target_cores * ripple).max(0.0)
+    }
+
+    fn page_write_rate(&self, t: SimTime) -> f64 {
+        if self.target_cores <= 0.0 || self.cpu_demand(t) <= 0.0 {
+            0.0
+        } else {
+            self.write_rate
+        }
+    }
+
+    fn working_set_fraction(&self) -> f64 {
+        if self.target_cores <= 0.0 {
+            0.0
+        } else {
+            self.working_set_fraction
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_load_pegs_all_vcpus() {
+        let w = MatMulWorkload::full(4);
+        let t = SimTime::from_secs(3);
+        let d = w.cpu_demand(t);
+        assert!((d - 4.0).abs() < 4.0 * 0.02, "demand {d} should be ~4 cores");
+    }
+
+    #[test]
+    fn ripple_is_bounded_and_time_varying() {
+        let w = MatMulWorkload::full(4);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in 0..140 {
+            let d = w.cpu_demand(SimTime::from_millis(s * 100));
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        assert!(hi > lo, "demand must ripple");
+        assert!(hi <= 4.0 * 1.016 && lo >= 4.0 * 0.984, "ripple within ±1.6%");
+    }
+
+    #[test]
+    fn fractional_load_levels() {
+        let w = MatMulWorkload::with_cores(2.5);
+        let d = w.cpu_demand(SimTime::from_secs(1));
+        assert!((d - 2.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_cores_is_fully_idle() {
+        let w = MatMulWorkload::with_cores(0.0);
+        assert_eq!(w.cpu_demand(SimTime::from_secs(9)), 0.0);
+        assert_eq!(w.page_write_rate(SimTime::ZERO), 0.0);
+        assert_eq!(w.working_set_fraction(), 0.0);
+    }
+
+    #[test]
+    fn small_working_set() {
+        let w = MatMulWorkload::full(4);
+        assert!(w.working_set_fraction() < 0.05, "CPU workload barely dirties memory");
+        assert!(w.page_write_rate(SimTime::ZERO) > 0.0);
+    }
+
+    #[test]
+    fn phases_decorrelate_instances() {
+        let a = MatMulWorkload::full(4);
+        let b = MatMulWorkload::full(4).with_phase(0.5);
+        let t = SimTime::from_secs(2);
+        assert_ne!(a.cpu_demand(t), b.cpu_demand(t));
+    }
+
+    #[test]
+    fn demand_is_deterministic() {
+        let w = MatMulWorkload::full(4);
+        let t = SimTime::from_millis(12_345);
+        assert_eq!(w.cpu_demand(t), w.cpu_demand(t));
+    }
+}

@@ -1,0 +1,189 @@
+//! Network-intensive and mixed workloads — the paper's future work (§VIII).
+//!
+//! The paper restricts itself to CPU- and memory-intensive loads after
+//! observing "negligible energy impacts caused by network-intensive
+//! workloads during migration" (§I), and argues a consolidation manager
+//! never migrates over a saturated link (§III-B). These workload types make
+//! that argument *testable* in the reproduction: a [`NetworkWorkload`]
+//! claims a share of the migration link and burns the small CPU cost of
+//! driving it; the NETLOAD extension experiment (see
+//! `wavm3-experiments::netload`) then measures how little the migration
+//! energy moves until the link is nearly saturated.
+
+use crate::workload::Workload;
+use wavm3_simkit::SimTime;
+
+/// A guest serving network traffic: claims a fraction of the host's line
+/// rate and a proportional sliver of CPU (interrupt/stack processing).
+#[derive(Debug, Clone)]
+pub struct NetworkWorkload {
+    /// Fraction of the 1 Gbit line the service keeps busy, `[0, 1]`.
+    line_share: f64,
+    /// CPU cost of driving the NIC at full line rate, cores.
+    cores_at_line_rate: f64,
+    /// Packet buffers etc. — a tiny, constantly rewritten working set.
+    working_set_fraction: f64,
+    /// Page writes per second from packet buffers.
+    write_rate: f64,
+}
+
+impl NetworkWorkload {
+    /// A network service keeping `line_share` of the link busy.
+    pub fn with_line_share(line_share: f64) -> Self {
+        NetworkWorkload {
+            line_share: line_share.clamp(0.0, 1.0),
+            cores_at_line_rate: 1.2,
+            working_set_fraction: 0.01,
+            write_rate: 2_000.0,
+        }
+    }
+
+    /// The line fraction this workload occupies.
+    pub fn line_share(&self) -> f64 {
+        self.line_share
+    }
+}
+
+impl Workload for NetworkWorkload {
+    fn name(&self) -> &str {
+        "netserve"
+    }
+
+    fn cpu_demand(&self, _t: SimTime) -> f64 {
+        self.cores_at_line_rate * self.line_share
+    }
+
+    fn page_write_rate(&self, _t: SimTime) -> f64 {
+        if self.line_share > 0.0 {
+            self.write_rate
+        } else {
+            0.0
+        }
+    }
+
+    fn working_set_fraction(&self) -> f64 {
+        if self.line_share > 0.0 {
+            self.working_set_fraction
+        } else {
+            0.0
+        }
+    }
+
+    fn line_share(&self, _t: SimTime) -> f64 {
+        self.line_share
+    }
+}
+
+/// A composite of several workloads running inside one guest: demands add,
+/// working sets union (approximated by the sum, capped at 1).
+pub struct MixedWorkload {
+    name: String,
+    parts: Vec<Box<dyn Workload>>,
+}
+
+impl MixedWorkload {
+    /// Combine `parts` under one guest.
+    pub fn new(name: impl Into<String>, parts: Vec<Box<dyn Workload>>) -> Self {
+        MixedWorkload {
+            name: name.into(),
+            parts,
+        }
+    }
+
+    /// Number of component workloads.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// `true` when the mix is empty (an idle guest).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+impl Workload for MixedWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn cpu_demand(&self, t: SimTime) -> f64 {
+        self.parts.iter().map(|p| p.cpu_demand(t)).sum()
+    }
+
+    fn page_write_rate(&self, t: SimTime) -> f64 {
+        self.parts.iter().map(|p| p.page_write_rate(t)).sum()
+    }
+
+    fn working_set_fraction(&self) -> f64 {
+        self.parts
+            .iter()
+            .map(|p| p.working_set_fraction())
+            .sum::<f64>()
+            .min(1.0)
+    }
+
+    fn line_share(&self, t: SimTime) -> f64 {
+        self.parts
+            .iter()
+            .map(|p| p.line_share(t))
+            .sum::<f64>()
+            .min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatMulWorkload, PageDirtierWorkload};
+
+    #[test]
+    fn network_share_clamps_and_scales() {
+        let w = NetworkWorkload::with_line_share(0.5);
+        assert_eq!(w.line_share(), 0.5);
+        assert!((w.cpu_demand(SimTime::ZERO) - 0.6).abs() < 1e-12);
+        assert_eq!(NetworkWorkload::with_line_share(2.0).line_share(), 1.0);
+        assert_eq!(NetworkWorkload::with_line_share(-1.0).line_share(), 0.0);
+    }
+
+    #[test]
+    fn idle_network_service_is_silent() {
+        let w = NetworkWorkload::with_line_share(0.0);
+        assert_eq!(w.cpu_demand(SimTime::ZERO), 0.0);
+        assert_eq!(w.page_write_rate(SimTime::ZERO), 0.0);
+        assert_eq!(w.working_set_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mixed_demands_add() {
+        let t = SimTime::from_secs(2);
+        let cpu = MatMulWorkload::full(2);
+        let mem = PageDirtierWorkload::with_ratio(0.4);
+        let expect_cpu = cpu.cpu_demand(t) + mem.cpu_demand(t);
+        let expect_writes = cpu.page_write_rate(t) + mem.page_write_rate(t);
+        let mix = MixedWorkload::new("mix", vec![Box::new(cpu), Box::new(mem)]);
+        assert!((mix.cpu_demand(t) - expect_cpu).abs() < 1e-12);
+        assert!((mix.page_write_rate(t) - expect_writes).abs() < 1e-12);
+        assert_eq!(mix.len(), 2);
+        assert!(!mix.is_empty());
+    }
+
+    #[test]
+    fn mixed_working_set_caps_at_one() {
+        let mix = MixedWorkload::new(
+            "hot",
+            vec![
+                Box::new(PageDirtierWorkload::with_ratio(0.7)),
+                Box::new(PageDirtierWorkload::with_ratio(0.7)),
+            ],
+        );
+        assert_eq!(mix.working_set_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_mix_is_idle() {
+        let mix = MixedWorkload::new("nothing", vec![]);
+        assert!(mix.is_empty());
+        assert_eq!(mix.cpu_demand(SimTime::ZERO), 0.0);
+        assert_eq!(mix.working_set_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The `pagedirtier` memory-intensive workload (paper §V-A2).
+//!
+//! The paper's pagedirtier "continuously writes in memory pages in random
+//! order", with 3.8 GB allocated inside a 4 GB guest to avoid swapping. The
+//! MEMLOAD-VM experiment sweeps the *percentage of memory pages dirtied*
+//! from 5 % to 95 % — i.e. the working set the program rewrites.
+//!
+//! Because writes land uniformly at random inside the working set, the
+//! number of *distinct* dirty pages `d(t)` after the hypervisor clears the
+//! dirty bitmap follows the coupon-collector saturation
+//!
+//! ```text
+//! d(t) = W · (1 − exp(−r·t / W))
+//! ```
+//!
+//! where `W` is the working-set page count and `r` the write rate. The
+//! simulated process exposes exactly `r` and `W`; the migration engine
+//! integrates the saturation per pre-copy round.
+
+use crate::workload::Workload;
+use wavm3_simkit::SimTime;
+
+/// Simulated pagedirtier: rewrites a fixed fraction of guest memory.
+#[derive(Debug, Clone)]
+pub struct PageDirtierWorkload {
+    /// Fraction of guest memory in the working set (the swept "dirtying
+    /// ratio" of MEMLOAD-VM), `[0, 1]`.
+    working_set_fraction: f64,
+    /// Page writes per second.
+    write_rate: f64,
+    /// CPU demand of the write loop, cores (a single busy thread).
+    cpu_cores: f64,
+}
+
+impl PageDirtierWorkload {
+    /// Default write rate: a single thread streaming writes re-dirties a
+    /// 3.8 GB working set in a few seconds, as in the paper (where a 95 %
+    /// ratio makes pre-copy rounds futile and forces an early stop-and-copy).
+    pub const DEFAULT_WRITE_RATE: f64 = 220_000.0;
+
+    /// A pagedirtier touching `working_set_fraction` of guest memory.
+    pub fn with_ratio(working_set_fraction: f64) -> Self {
+        PageDirtierWorkload {
+            working_set_fraction: working_set_fraction.clamp(0.0, 1.0),
+            write_rate: Self::DEFAULT_WRITE_RATE,
+            cpu_cores: 1.0,
+        }
+    }
+
+    /// Override the write rate (pages/second).
+    pub fn with_write_rate(mut self, rate: f64) -> Self {
+        self.write_rate = rate.max(0.0);
+        self
+    }
+
+    /// Expected distinct dirty pages after `elapsed_s` seconds of writing
+    /// into a clean bitmap, for a guest of `total_pages`.
+    pub fn expected_dirty_pages(&self, total_pages: u64, elapsed_s: f64) -> f64 {
+        let w = self.working_set_fraction * total_pages as f64;
+        if w < 1.0 || elapsed_s <= 0.0 || self.write_rate <= 0.0 {
+            return 0.0;
+        }
+        w * (1.0 - (-self.write_rate * elapsed_s / w).exp())
+    }
+}
+
+impl Workload for PageDirtierWorkload {
+    fn name(&self) -> &str {
+        "pagedirtier"
+    }
+
+    fn cpu_demand(&self, _t: SimTime) -> f64 {
+        if self.working_set_fraction > 0.0 {
+            self.cpu_cores
+        } else {
+            0.0
+        }
+    }
+
+    fn page_write_rate(&self, _t: SimTime) -> f64 {
+        if self.working_set_fraction > 0.0 {
+            self.write_rate
+        } else {
+            0.0
+        }
+    }
+
+    fn working_set_fraction(&self) -> f64 {
+        self.working_set_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_clamps() {
+        assert_eq!(PageDirtierWorkload::with_ratio(1.5).working_set_fraction(), 1.0);
+        assert_eq!(PageDirtierWorkload::with_ratio(-0.5).working_set_fraction(), 0.0);
+        assert_eq!(PageDirtierWorkload::with_ratio(0.55).working_set_fraction(), 0.55);
+    }
+
+    #[test]
+    fn single_core_cpu_footprint() {
+        let w = PageDirtierWorkload::with_ratio(0.95);
+        assert_eq!(w.cpu_demand(SimTime::from_secs(4)), 1.0);
+        assert_eq!(w.name(), "pagedirtier");
+    }
+
+    #[test]
+    fn zero_ratio_is_idle() {
+        let w = PageDirtierWorkload::with_ratio(0.0);
+        assert_eq!(w.cpu_demand(SimTime::ZERO), 0.0);
+        assert_eq!(w.page_write_rate(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn dirty_saturation_approaches_working_set() {
+        let w = PageDirtierWorkload::with_ratio(0.5);
+        let total = 1_048_576; // 4 GiB of pages
+        let after_long = w.expected_dirty_pages(total, 600.0);
+        let ws = 0.5 * total as f64;
+        assert!((after_long - ws).abs() / ws < 1e-6, "saturates at working set");
+        // Early in a round, dirtying is roughly linear at the write rate.
+        let after_short = w.expected_dirty_pages(total, 0.1);
+        let linear = 0.1 * PageDirtierWorkload::DEFAULT_WRITE_RATE;
+        assert!((after_short - linear).abs() / linear < 0.05, "{after_short} vs {linear}");
+    }
+
+    #[test]
+    fn dirty_saturation_is_monotone_in_time() {
+        let w = PageDirtierWorkload::with_ratio(0.95);
+        let total = 1_000_000;
+        let mut prev = 0.0;
+        for s in 1..=30 {
+            let d = w.expected_dirty_pages(total, s as f64);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        let w = PageDirtierWorkload::with_ratio(0.5);
+        assert_eq!(w.expected_dirty_pages(0, 10.0), 0.0);
+        assert_eq!(w.expected_dirty_pages(1_000, 0.0), 0.0);
+        assert_eq!(
+            PageDirtierWorkload::with_ratio(0.5)
+                .with_write_rate(0.0)
+                .expected_dirty_pages(1_000, 10.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn higher_ratio_dirties_more_for_same_duration() {
+        let total = 1_000_000;
+        let lo = PageDirtierWorkload::with_ratio(0.05).expected_dirty_pages(total, 30.0);
+        let hi = PageDirtierWorkload::with_ratio(0.95).expected_dirty_pages(total, 30.0);
+        assert!(hi > lo * 2.0, "95% ratio must dirty far more than 5%: {hi} vs {lo}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Synthetic utilisation traces (extension).
+//!
+//! Consolidation studies (e.g. Beloglazov & Buyya, the paper's ref. \[9\])
+//! drive their experiments with recorded per-VM CPU utilisation traces.
+//! Without access to such proprietary recordings, this module generates
+//! statistically similar ones: a mean-reverting Ornstein–Uhlenbeck process
+//! clamped to `[0, 1]`, optionally with a diurnal swing — enough structure
+//! to exercise trace-driven workloads
+//! ([`TraceWorkload`](crate::TraceWorkload)) and time-varying
+//! consolidation decisions.
+
+use crate::workload::TraceWorkload;
+use wavm3_simkit::rng::sample_normal;
+use wavm3_simkit::{SimDuration, SimTime, StreamRng, TimeSeries};
+
+/// Parameters of the synthetic utilisation process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpec {
+    /// Long-run mean utilisation of the guest's vCPUs, `[0, 1]`.
+    pub mean: f64,
+    /// Stationary standard deviation of the OU fluctuation.
+    pub std_dev: f64,
+    /// Mean-reversion time constant, seconds.
+    pub tau_s: f64,
+    /// Peak-to-peak diurnal swing added on top (0 = none), `[0, 1]`.
+    pub diurnal_swing: f64,
+    /// Sampling period of the generated trace.
+    pub sample_period: SimDuration,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            mean: 0.4,
+            std_dev: 0.12,
+            tau_s: 300.0,
+            diurnal_swing: 0.0,
+            sample_period: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Generate a CPU-utilisation trace of `duration` (fractions of the
+/// guest's vCPUs in `[0, 1]`).
+pub fn generate_utilisation(
+    spec: &TraceSpec,
+    duration: SimDuration,
+    rng: &mut StreamRng,
+) -> TimeSeries {
+    assert!(!spec.sample_period.is_zero(), "sample period must be positive");
+    let dt = spec.sample_period.as_secs_f64();
+    let sigma_w = spec.std_dev * (2.0 / spec.tau_s.max(1e-6)).sqrt();
+    let mut x = 0.0_f64; // OU deviation from the mean
+    let mut out = TimeSeries::new();
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + duration;
+    while t <= end {
+        let seconds = t.as_secs_f64();
+        let diurnal = if spec.diurnal_swing > 0.0 {
+            0.5 * spec.diurnal_swing
+                * (std::f64::consts::TAU * seconds / 86_400.0).sin()
+        } else {
+            0.0
+        };
+        let u = (spec.mean + diurnal + x).clamp(0.0, 1.0);
+        out.push(t, u);
+        x += -x / spec.tau_s.max(1e-6) * dt + sample_normal(rng, 0.0, sigma_w * dt.sqrt());
+        t += spec.sample_period;
+    }
+    out
+}
+
+/// Generate a ready-to-attach [`TraceWorkload`] for a guest with `vcpus`
+/// virtual CPUs: the utilisation trace scaled into cores-worth of demand.
+pub fn generate_workload(
+    name: &str,
+    spec: &TraceSpec,
+    vcpus: u32,
+    duration: SimDuration,
+    rng: &mut StreamRng,
+) -> TraceWorkload {
+    let util = generate_utilisation(spec, duration, rng);
+    let mut cpu = TimeSeries::new();
+    for (t, u) in util.iter() {
+        cpu.push(t, u * vcpus as f64);
+    }
+    TraceWorkload::cpu_only(name, cpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use wavm3_simkit::RngFactory;
+
+    fn rng(seed: u64) -> StreamRng {
+        RngFactory::new(seed).stream("trace")
+    }
+
+    #[test]
+    fn trace_stays_in_unit_interval() {
+        let spec = TraceSpec {
+            std_dev: 0.4, // violent fluctuations must still clamp
+            ..TraceSpec::default()
+        };
+        let t = generate_utilisation(&spec, SimDuration::from_secs(3_600), &mut rng(1));
+        assert!(t.len() > 700);
+        let (lo, hi) = t.min_max().unwrap();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn trace_mean_approaches_spec_mean() {
+        let spec = TraceSpec::default();
+        let t = generate_utilisation(&spec, SimDuration::from_secs(40_000), &mut rng(2));
+        let mean = t.mean().unwrap();
+        assert!(
+            (mean - spec.mean).abs() < 0.05,
+            "mean {mean} vs spec {}",
+            spec.mean
+        );
+    }
+
+    #[test]
+    fn trace_actually_fluctuates() {
+        let t = generate_utilisation(
+            &TraceSpec::default(),
+            SimDuration::from_secs(3_600),
+            &mut rng(3),
+        );
+        let (lo, hi) = t.min_max().unwrap();
+        assert!(hi - lo > 0.05, "flatlined: {lo}..{hi}");
+    }
+
+    #[test]
+    fn diurnal_swing_shows_up_over_a_day() {
+        let spec = TraceSpec {
+            std_dev: 0.0,
+            diurnal_swing: 0.4,
+            sample_period: SimDuration::from_secs(600),
+            ..TraceSpec::default()
+        };
+        let t = generate_utilisation(&spec, SimDuration::from_secs(86_400), &mut rng(4));
+        let (lo, hi) = t.min_max().unwrap();
+        assert!((hi - lo - 0.4).abs() < 0.02, "swing {}", hi - lo);
+    }
+
+    #[test]
+    fn generated_workload_scales_to_vcpus() {
+        let spec = TraceSpec {
+            mean: 1.0,
+            std_dev: 0.0,
+            ..TraceSpec::default()
+        };
+        let w = generate_workload("t", &spec, 4, SimDuration::from_secs(60), &mut rng(5));
+        assert!((w.cpu_demand(SimTime::from_secs(30)) - 4.0).abs() < 1e-9);
+        assert_eq!(w.name(), "t");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = TraceSpec::default();
+        let a = generate_utilisation(&spec, SimDuration::from_secs(600), &mut rng(7));
+        let b = generate_utilisation(&spec, SimDuration::from_secs(600), &mut rng(7));
+        assert_eq!(a, b);
+        let c = generate_utilisation(&spec, SimDuration::from_secs(600), &mut rng(8));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,135 @@
+//! The [`Workload`] abstraction consumed by the migration simulator.
+
+use wavm3_simkit::{SimTime, TimeSeries};
+
+/// A guest workload as the simulator sees it: how much CPU it wants and how
+/// fast it dirties memory pages, both as functions of simulation time.
+///
+/// Implementations must be deterministic functions of `t` — all randomness
+/// is injected at construction time (seeded), never at query time, so the
+/// simulator can re-query any instant idempotently.
+pub trait Workload: Send + Sync {
+    /// Human-readable workload name ("matrixmult", "pagedirtier", …).
+    fn name(&self) -> &str;
+
+    /// CPU demand in cores-worth at time `t`. The hosting VM clamps this to
+    /// its vCPU count.
+    fn cpu_demand(&self, t: SimTime) -> f64;
+
+    /// Page writes per second issued at time `t` (uniformly random within
+    /// the working set). Zero for CPU-only workloads.
+    fn page_write_rate(&self, t: SimTime) -> f64;
+
+    /// Fraction of the VM's memory the workload ever touches, `[0, 1]`.
+    /// Dirty pages saturate at this fraction.
+    fn working_set_fraction(&self) -> f64;
+
+    /// Fraction of the host's network line rate this workload keeps busy,
+    /// `[0, 1]`. Zero for everything except network-intensive services;
+    /// the migration stream must share the NIC with it.
+    fn line_share(&self, _t: SimTime) -> f64 {
+        0.0
+    }
+}
+
+/// A VM doing nothing (the paper's "idle" hosts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdleWorkload;
+
+impl Workload for IdleWorkload {
+    fn name(&self) -> &str {
+        "idle"
+    }
+    fn cpu_demand(&self, _t: SimTime) -> f64 {
+        0.0
+    }
+    fn page_write_rate(&self, _t: SimTime) -> f64 {
+        0.0
+    }
+    fn working_set_fraction(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Replay a recorded CPU-demand series (e.g. captured from the real
+/// kernels in [`crate::kernels`]); page writes replay a second series.
+pub struct TraceWorkload {
+    name: String,
+    cpu: TimeSeries,
+    writes: TimeSeries,
+    working_set: f64,
+}
+
+impl TraceWorkload {
+    /// Build from recorded series. `working_set` clamps to `[0, 1]`.
+    pub fn new(name: impl Into<String>, cpu: TimeSeries, writes: TimeSeries, working_set: f64) -> Self {
+        TraceWorkload {
+            name: name.into(),
+            cpu,
+            writes,
+            working_set: working_set.clamp(0.0, 1.0),
+        }
+    }
+
+    /// CPU-only trace.
+    pub fn cpu_only(name: impl Into<String>, cpu: TimeSeries) -> Self {
+        TraceWorkload::new(name, cpu, TimeSeries::new(), 0.0)
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn cpu_demand(&self, t: SimTime) -> f64 {
+        self.cpu.sample_at(t).unwrap_or(0.0).max(0.0)
+    }
+    fn page_write_rate(&self, t: SimTime) -> f64 {
+        self.writes.sample_at(t).unwrap_or(0.0).max(0.0)
+    }
+    fn working_set_fraction(&self) -> f64 {
+        self.working_set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavm3_simkit::SimTime;
+
+    #[test]
+    fn idle_is_all_zero() {
+        let w = IdleWorkload;
+        assert_eq!(w.cpu_demand(SimTime::from_secs(5)), 0.0);
+        assert_eq!(w.page_write_rate(SimTime::ZERO), 0.0);
+        assert_eq!(w.working_set_fraction(), 0.0);
+        assert_eq!(w.name(), "idle");
+    }
+
+    #[test]
+    fn trace_replays_and_extrapolates() {
+        let mut cpu = TimeSeries::new();
+        cpu.push(SimTime::from_secs(0), 1.0);
+        cpu.push(SimTime::from_secs(10), 3.0);
+        let w = TraceWorkload::cpu_only("replay", cpu);
+        assert_eq!(w.cpu_demand(SimTime::from_secs(5)), 2.0);
+        // Flat extrapolation past the end of the trace.
+        assert_eq!(w.cpu_demand(SimTime::from_secs(60)), 3.0);
+        assert_eq!(w.page_write_rate(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn trace_clamps_negatives_and_working_set() {
+        let mut cpu = TimeSeries::new();
+        cpu.push(SimTime::ZERO, -5.0);
+        let w = TraceWorkload::new("neg", cpu, TimeSeries::new(), 3.0);
+        assert_eq!(w.cpu_demand(SimTime::ZERO), 0.0);
+        assert_eq!(w.working_set_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_trace_reads_zero() {
+        let w = TraceWorkload::cpu_only("empty", TimeSeries::new());
+        assert_eq!(w.cpu_demand(SimTime::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Calibrate simulation workloads from the *real* kernels: run the actual
+//! rayon matmul and the page-dirtying buffer walker on this machine,
+//! record their demand as time series, replay them through
+//! [`TraceWorkload`](wavm3::workloads::TraceWorkload), and migrate a VM
+//! running the recorded load.
+//!
+//! This closes the loop the paper closes with `dstat`: measured workload
+//! behaviour feeding the energy-model pipeline.
+//!
+//! ```text
+//! cargo run --release --example calibrate
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+use wavm3::cluster::{hardware, vm_instances, Cluster, Link, MachineSet, VmId};
+use wavm3::migration::{MigrationConfig, MigrationKind, MigrationSimulation};
+use wavm3::simkit::{RngFactory, SimTime, TimeSeries};
+use wavm3::workloads::kernels::{PageDirtier, SquareMatrix};
+use wavm3::workloads::{TraceWorkload, Workload};
+
+fn main() {
+    // --- 1. Profile the real matmul kernel. ----------------------------
+    // Run a few multiplications and convert achieved throughput into a
+    // CPU-demand series: full-tilt while computing, with the measured
+    // per-iteration wobble as ripple.
+    println!("profiling the real matmul kernel ...");
+    let n = 256;
+    let a = SquareMatrix::random(n, 1);
+    let b = SquareMatrix::random(n, 2);
+    let mut cpu_series = TimeSeries::new();
+    let mut checksum = 0.0;
+    let iterations = 8;
+    let t0 = Instant::now();
+    let mut last = t0;
+    let mut durations = Vec::new();
+    for i in 0..iterations {
+        let c = a.multiply_parallel(&b);
+        checksum += c.frobenius();
+        let now = Instant::now();
+        durations.push(now.duration_since(last).as_secs_f64());
+        last = now;
+        // Demand model: the kernel saturates all 4 vCPUs of the guest
+        // while running; iteration-time jitter becomes demand ripple.
+        let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+        let ripple = (durations[i] / mean).clamp(0.8, 1.2);
+        cpu_series.push(
+            SimTime::from_secs_f64(now.duration_since(t0).as_secs_f64()),
+            4.0 * ripple.min(1.0),
+        );
+    }
+    let gflops = iterations as f64 * 2.0 * (n as f64).powi(3) / 1e9 / t0.elapsed().as_secs_f64();
+    println!(
+        "  {} multiplications of {n}x{n} in {:.2}s ({gflops:.2} GFLOP/s, checksum {checksum:.1})",
+        iterations,
+        t0.elapsed().as_secs_f64()
+    );
+
+    // --- 2. Profile the real page dirtier. -----------------------------
+    println!("profiling the real pagedirtier ...");
+    let pages = 16_384; // 64 MiB at 4 KiB pages — enough to measure rate
+    let mut dirtier = PageDirtier::new(pages, 4096, 7);
+    let t1 = Instant::now();
+    let burst = 200_000;
+    let distinct = dirtier.dirty_burst(burst);
+    let elapsed = t1.elapsed().as_secs_f64();
+    let write_rate = burst as f64 / elapsed;
+    println!(
+        "  {burst} page writes in {elapsed:.3}s -> {write_rate:.0} pages/s ({distinct} distinct)"
+    );
+
+    // --- 3. Replay through the simulator. -------------------------------
+    // The recorded CPU series drives the migrant; the measured write rate
+    // parameterises its dirtying (scaled into the guest's 4 GiB image with
+    // the pagedirtier's 95% working set).
+    let mut writes = TimeSeries::new();
+    writes.push(SimTime::ZERO, write_rate.min(250_000.0));
+    let recorded: Arc<dyn Workload> =
+        Arc::new(TraceWorkload::new("recorded", cpu_series, writes, 0.95));
+
+    let (s_spec, t_spec) = hardware::pair(MachineSet::M);
+    let mut cluster = Cluster::new(Link::gigabit());
+    let src = cluster.add_host(s_spec);
+    let dst = cluster.add_host(t_spec);
+    let migrant = cluster.boot_vm(src, vm_instances::migrating_mem());
+    let mut workloads: BTreeMap<VmId, Arc<dyn Workload>> = BTreeMap::new();
+    workloads.insert(migrant, recorded);
+
+    let record = MigrationSimulation::new(
+        cluster,
+        workloads,
+        migrant,
+        src,
+        dst,
+        MigrationConfig::new(MigrationKind::Live),
+        RngFactory::new(99),
+    )
+    .run();
+
+    println!("\nmigrating a VM running the recorded workload (live):");
+    println!(
+        "  transfer {:.1}s, {} pre-copy round(s), downtime {:.2}s, {:.2} GiB moved",
+        record.phases.transfer().as_secs_f64(),
+        record.precopy_rounds(),
+        record.downtime.as_secs_f64(),
+        record.total_bytes as f64 / (1u64 << 30) as f64,
+    );
+    println!(
+        "  measured energy: source {:.1} kJ, target {:.1} kJ",
+        record.source_energy.total_j() / 1e3,
+        record.target_energy.total_j() / 1e3,
+    );
+    println!("\n(the faster your machine dirties pages, the longer the stop-and-copy)");
+}

@@ -1,0 +1,77 @@
+//! Data-centre horizon analysis: plan a consolidation with WAVM3, execute
+//! every migration in the simulator, power off the emptied machines, and
+//! see whether — and when — the plan pays for itself.
+//!
+//! ```text
+//! cargo run --release --example datacenter
+//! ```
+
+use std::collections::BTreeMap;
+use wavm3::cluster::{hardware, vm_instances, Cluster, Link, VmId};
+use wavm3::consolidation::{
+    cluster_steady_power, run_horizon, ConsolidationManager, PolicyConfig, VmLoad,
+};
+use wavm3::models::paper;
+use wavm3::simkit::RngFactory;
+
+fn main() {
+    // Four hosts: two lightly loaded (consolidation fodder), two busier.
+    let mut cluster = Cluster::new(Link::gigabit());
+    let h0 = cluster.add_host(hardware::m01());
+    let h1 = cluster.add_host(hardware::m02());
+    let h2 = cluster.add_host(hardware::m01());
+    let h3 = cluster.add_host(hardware::m02());
+    let mut loads: BTreeMap<VmId, VmLoad> = BTreeMap::new();
+
+    let mut boot = |cluster: &mut Cluster, host, spec, load: VmLoad| {
+        let id = cluster.boot_vm(host, spec);
+        cluster.vm_mut(id).unwrap().set_cpu_demand(load.cpu_cores);
+        loads.insert(id, load);
+        id
+    };
+    boot(&mut cluster, h0, vm_instances::migrating_cpu(), VmLoad::cpu_bound(4.0));
+    boot(&mut cluster, h1, vm_instances::migrating_cpu(), VmLoad::cpu_bound(4.0));
+    for _ in 0..4 {
+        boot(&mut cluster, h2, vm_instances::load_cpu(), VmLoad::cpu_bound(4.0));
+    }
+    for _ in 0..3 {
+        boot(&mut cluster, h3, vm_instances::load_cpu(), VmLoad::cpu_bound(4.0));
+    }
+
+    println!("steady power, everything on: {:.0} W", cluster_steady_power(&cluster, &loads));
+
+    let model = paper::wavm3_live();
+    let manager = ConsolidationManager::new(&model, PolicyConfig::default());
+
+    for horizon_s in [300.0, 1_800.0, 3_600.0 * 4.0] {
+        let report = run_horizon(&cluster, &loads, &manager, horizon_s, &RngFactory::new(42));
+        println!(
+            "\nhorizon {:>6.0}s: baseline {:>9.1} kJ, consolidated {:>9.1} kJ -> saving {:>+8.1} kJ",
+            report.horizon_s,
+            report.baseline_j / 1e3,
+            report.consolidated_j / 1e3,
+            report.saving_j() / 1e3,
+        );
+        println!(
+            "  {} move(s), {:.1} kJ of migration energy, {} host(s) powered off{}",
+            report.moves.len(),
+            report.migration_j / 1e3,
+            report.hosts_powered_off.len(),
+            match report.breakeven_horizon_s() {
+                Some(be) => format!(", break-even at {be:.0}s"),
+                None => String::new(),
+            }
+        );
+        for m in &report.moves {
+            println!(
+                "    {} {} -> {}: {:.1}s window, {:.2}s downtime, {:.1} kJ",
+                m.planned.vm,
+                m.planned.from,
+                m.planned.to,
+                m.window_s,
+                m.downtime_s,
+                m.measured_j / 1e3
+            );
+        }
+    }
+}

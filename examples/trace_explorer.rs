@@ -1,0 +1,87 @@
+//! Dump Fig. 2-style phase-annotated power traces as CSV, for plotting
+//! with any external tool, plus an ASCII sparkline preview in the
+//! terminal.
+//!
+//! ```text
+//! cargo run --example trace_explorer            # live migration
+//! cargo run --example trace_explorer -- 0.95    # hot-memory migrant
+//! ```
+
+use wavm3::cluster::MachineSet;
+use wavm3::experiments::{ExperimentFamily, Scenario};
+use wavm3::migration::MigrationKind;
+use wavm3::power::MigrationPhase;
+use wavm3::simkit::RngFactory;
+
+fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    let span = (hi - lo).max(1e-9);
+    values
+        .iter()
+        .map(|v| GLYPHS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let ratio: Option<f64> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let scenario = Scenario {
+        family: if ratio.is_some() {
+            ExperimentFamily::MemloadVm
+        } else {
+            ExperimentFamily::CpuloadSource
+        },
+        kind: MigrationKind::Live,
+        machine_set: MachineSet::M,
+        source_load_vms: 0,
+        target_load_vms: 0,
+        migrant_mem_ratio: ratio,
+        label: "explore".into(),
+    };
+    let record = scenario.build(RngFactory::new(7)).run();
+
+    // Terminal preview: one glyph per 2 Hz sample, phases marked.
+    let values: Vec<f64> = record.source_trace.series.values().to_vec();
+    println!("source host power ({} samples @ 2 Hz):", values.len());
+    println!("{}", sparkline(&values));
+    let marker: String = record
+        .samples
+        .iter()
+        .map(|s| match s.phase {
+            MigrationPhase::NormalExecution => ' ',
+            MigrationPhase::Initiation => 'I',
+            MigrationPhase::Transfer => 'T',
+            MigrationPhase::Activation => 'A',
+        })
+        .collect();
+    println!("{marker}");
+    println!(
+        "phases: ms={:.1}s ts={:.1}s te={:.1}s me={:.1}s  downtime={:.2}s",
+        record.phases.ms.as_secs_f64(),
+        record.phases.ts.as_secs_f64(),
+        record.phases.te.as_secs_f64(),
+        record.phases.me.as_secs_f64(),
+        record.downtime.as_secs_f64()
+    );
+    for r in &record.rounds {
+        println!(
+            "  round {}: {:>7.1} MiB in {:>6.2}s{}",
+            r.round,
+            r.bytes_sent as f64 / (1 << 20) as f64,
+            r.duration.as_secs_f64(),
+            if r.stop_and_copy { "  [stop-and-copy]" } else { "" }
+        );
+    }
+
+    // CSV dump for real plotting.
+    std::fs::create_dir_all("out").expect("create out/");
+    std::fs::write("out/trace_source.csv", record.source_trace.to_csv())
+        .expect("write source CSV");
+    std::fs::write("out/trace_target.csv", record.target_trace.to_csv())
+        .expect("write target CSV");
+    println!("\nfull traces written to out/trace_source.csv and out/trace_target.csv");
+}

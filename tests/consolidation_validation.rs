@@ -1,0 +1,166 @@
+//! Closing the loop on the consolidation manager: the model-priced
+//! analytic plan must agree with what the full simulator measures when the
+//! recommended migration is actually executed.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wavm3::cluster::{hardware, vm_instances, Cluster, Link, MachineSet, VmId};
+use wavm3::consolidation::{plan_migration, PlannerInputs};
+use wavm3::experiments::scenario::ExperimentFamily;
+use wavm3::experiments::tables::{RUN_SPLIT_SEED, RUN_TRAIN_FRACTION};
+use wavm3::experiments::{ExperimentDataset, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3::migration::{MigrationConfig, MigrationKind, MigrationSimulation};
+use wavm3::models::evaluation::observed_energy;
+use wavm3::models::{train_wavm3, EnergyModel, HostRole, ReadingSplit};
+use wavm3::simkit::RngFactory;
+use wavm3::workloads::{MatMulWorkload, PageDirtierWorkload, Workload};
+
+/// Train WAVM3 on a reduced live campaign.
+fn trained_model() -> wavm3::models::Wavm3Model {
+    let mut scenarios = Vec::new();
+    for fam in [
+        ExperimentFamily::CpuloadSource,
+        ExperimentFamily::CpuloadTarget,
+        ExperimentFamily::MemloadVm,
+        ExperimentFamily::MemloadSource,
+    ] {
+        let mut all = Scenario::family_scenarios(fam, MachineSet::M);
+        all.retain(|s| {
+            s.kind == MigrationKind::Live
+                && matches!(s.label.as_str(), "0 VM" | "5 VM" | "8 VM" | "5%" | "55%" | "95%")
+        });
+        scenarios.extend(all);
+    }
+    let dataset = ExperimentDataset::collect(
+        scenarios,
+        &RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(3),
+            base_seed: 0xC0115,
+        },
+    );
+    let (train, _) = dataset.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
+    train_wavm3(&train, MigrationKind::Live, &ReadingSplit::default()).expect("training succeeds")
+}
+
+/// Simulate the move the planner describes and return the measured
+/// per-host energies.
+fn simulate_move(mem_ratio: Option<f64>, source_load_vms: usize, seed: u64) -> (f64, f64) {
+    let (s_spec, t_spec) = hardware::pair(MachineSet::M);
+    let mut cluster = Cluster::new(Link::gigabit());
+    let src = cluster.add_host(s_spec);
+    let dst = cluster.add_host(t_spec);
+    let mut workloads: BTreeMap<VmId, Arc<dyn Workload>> = BTreeMap::new();
+    let migrant = match mem_ratio {
+        Some(r) => {
+            let id = cluster.boot_vm(src, vm_instances::migrating_mem());
+            workloads.insert(id, Arc::new(PageDirtierWorkload::with_ratio(r)));
+            id
+        }
+        None => {
+            let id = cluster.boot_vm(src, vm_instances::migrating_cpu());
+            workloads.insert(id, Arc::new(MatMulWorkload::full(4)));
+            id
+        }
+    };
+    for i in 0..source_load_vms {
+        let id = cluster.boot_vm(src, vm_instances::load_cpu());
+        workloads.insert(id, Arc::new(MatMulWorkload::full(4).with_phase(i as f64 * 0.137)));
+    }
+    let record = MigrationSimulation::new(
+        cluster,
+        workloads,
+        migrant,
+        src,
+        dst,
+        MigrationConfig::live(),
+        RngFactory::new(seed),
+    )
+    .run();
+    (
+        observed_energy(HostRole::Source, &record),
+        observed_energy(HostRole::Target, &record),
+    )
+}
+
+fn planned_inputs(mem_ratio: Option<f64>, source_load_vms: usize) -> PlannerInputs {
+    PlannerInputs {
+        kind: MigrationKind::Live,
+        machine_set: MachineSet::M,
+        idle_power_w: hardware::m01().power.idle_w,
+        ram_mib: 4096,
+        vcpus: if mem_ratio.is_some() { 1 } else { 4 },
+        vm_cpu_fraction: 1.0,
+        working_set_fraction: mem_ratio.unwrap_or(0.015),
+        page_write_rate: if mem_ratio.is_some() { 220_000.0 } else { 400.0 },
+        source_other_cores: source_load_vms as f64 * 4.0,
+        target_other_cores: 0.0,
+        source_capacity: 32.0,
+        target_capacity: 32.0,
+        link: Link::gigabit(),
+        config: MigrationConfig::live(),
+    }
+}
+
+#[test]
+fn planned_energy_matches_simulated_energy() {
+    let model = trained_model();
+    // Three qualitatively different moves: CPU-bound idle, CPU-bound on a
+    // loaded source, memory-hot.
+    for (mem_ratio, load, label) in [
+        (None, 0usize, "cpu idle"),
+        (None, 5, "cpu loaded-source"),
+        (Some(0.55), 0, "memory 55%"),
+    ] {
+        let plan = plan_migration(&planned_inputs(mem_ratio, load));
+        let planned_record = plan.to_record();
+        let pred_src = model.predict_energy(HostRole::Source, &planned_record);
+        let pred_dst = model.predict_energy(HostRole::Target, &planned_record);
+
+        // Average a few simulated executions of the same move.
+        let mut obs_src = 0.0;
+        let mut obs_dst = 0.0;
+        let reps = 3;
+        for r in 0..reps {
+            let (s, d) = simulate_move(mem_ratio, load, 1000 + r);
+            obs_src += s;
+            obs_dst += d;
+        }
+        obs_src /= reps as f64;
+        obs_dst /= reps as f64;
+
+        let rel_src = (pred_src - obs_src).abs() / obs_src;
+        let rel_dst = (pred_dst - obs_dst).abs() / obs_dst;
+        assert!(
+            rel_src < 0.20,
+            "{label}: planned source energy off by {:.0}% ({pred_src:.0} vs {obs_src:.0} J)",
+            rel_src * 100.0
+        );
+        assert!(
+            rel_dst < 0.20,
+            "{label}: planned target energy off by {:.0}% ({pred_dst:.0} vs {obs_dst:.0} J)",
+            rel_dst * 100.0
+        );
+    }
+}
+
+#[test]
+fn planner_ranks_moves_like_the_simulator() {
+    // Even where absolute numbers drift, the *ordering* of move costs must
+    // match: the consolidation manager only ever compares candidates.
+    let model = trained_model();
+    let cost = |mem_ratio: Option<f64>, load: usize| {
+        let plan = plan_migration(&planned_inputs(mem_ratio, load));
+        let rec = plan.to_record();
+        model.predict_energy(HostRole::Source, &rec) + model.predict_energy(HostRole::Target, &rec)
+    };
+    let sim_cost = |mem_ratio: Option<f64>, load: usize, seed: u64| {
+        let (s, d) = simulate_move(mem_ratio, load, seed);
+        s + d
+    };
+    let plan_cheap = cost(None, 0);
+    let plan_hot = cost(Some(0.95), 0);
+    assert!(plan_hot > plan_cheap, "planner must rank the hot move dearer");
+    let sim_cheap = sim_cost(None, 0, 55);
+    let sim_hot = sim_cost(Some(0.95), 0, 55);
+    assert!(sim_hot > sim_cheap, "simulator agrees on the ranking");
+}

@@ -1,0 +1,183 @@
+//! End-to-end pipeline test: simulate a campaign, train every model,
+//! and check the paper's headline comparison shapes (Tables V and VII).
+//!
+//! This is the reproduction's acceptance test — if it passes, the whole
+//! chain (simulator → meters → datasets → training → evaluation) holds
+//! together and reproduces the paper's qualitative results.
+
+use wavm3::cluster::MachineSet;
+use wavm3::experiments::scenario::ExperimentFamily;
+use wavm3::experiments::tables::{train_all, RUN_SPLIT_SEED, RUN_TRAIN_FRACTION};
+use wavm3::experiments::{ExperimentDataset, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3::migration::MigrationKind;
+use wavm3::models::evaluation::score_model;
+use wavm3::models::{train_wavm3, HostRole, ReadingSplit};
+
+/// Moderate campaign: every family, three levels each, 3 repetitions.
+fn campaign(set: MachineSet) -> ExperimentDataset {
+    let mut scenarios = Vec::new();
+    for fam in [
+        ExperimentFamily::CpuloadSource,
+        ExperimentFamily::CpuloadTarget,
+        ExperimentFamily::MemloadVm,
+        ExperimentFamily::MemloadSource,
+        ExperimentFamily::MemloadTarget,
+    ] {
+        let mut all = Scenario::family_scenarios(fam, set);
+        all.retain(|s| matches!(s.label.as_str(), "0 VM" | "5 VM" | "8 VM" | "5%" | "55%" | "95%"));
+        scenarios.extend(all);
+    }
+    ExperimentDataset::collect(
+        scenarios,
+        &RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(3),
+            base_seed: 0xE2E,
+        },
+    )
+}
+
+#[test]
+fn full_pipeline_reproduces_table_vii_shape() {
+    let dataset = campaign(MachineSet::M);
+    // 21 scenarios (3 sweep levels per family) × 3 repetitions.
+    assert!(dataset.record_count() >= 60, "campaign too small");
+    let (train, test) = dataset.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
+    let bundle = train_all(&train).expect("all models train");
+
+    let nrmse = |m: &dyn wavm3::models::EnergyModel, role, kind| {
+        score_model(m, role, kind, &test)
+            .expect("records exist")
+            .nrmse_pct()
+    };
+
+    for role in [HostRole::Source, HostRole::Target] {
+        let w_l = nrmse(&bundle.wavm3_live, role, MigrationKind::Live);
+        let h_l = nrmse(&bundle.huang_live, role, MigrationKind::Live);
+        let l_l = nrmse(&bundle.liu_live, role, MigrationKind::Live);
+        let s_l = nrmse(&bundle.strunk_live, role, MigrationKind::Live);
+
+        // Paper shape 1: WAVM3 is the best (or ties HUANG) on live
+        // migration; the workload-blind run-level models are far worse.
+        assert!(
+            w_l <= h_l * 1.10,
+            "{}: WAVM3 live {w_l:.1}% must not lose to HUANG {h_l:.1}%",
+            role.label()
+        );
+        assert!(
+            l_l > w_l * 2.0,
+            "{}: LIU live {l_l:.1}% must be far worse than WAVM3 {w_l:.1}%",
+            role.label()
+        );
+        assert!(
+            s_l > w_l * 2.0,
+            "{}: STRUNK live {s_l:.1}% must be far worse than WAVM3 {w_l:.1}%",
+            role.label()
+        );
+
+        // Paper shape 2: on non-live migration HUANG is competitive
+        // (CPU dominates), within a factor of WAVM3.
+        let w_nl = nrmse(&bundle.wavm3_non_live, role, MigrationKind::NonLive);
+        let h_nl = nrmse(&bundle.huang_non_live, role, MigrationKind::NonLive);
+        assert!(
+            h_nl < w_nl * 1.8,
+            "{}: HUANG non-live {h_nl:.1}% should stay close to WAVM3 {w_nl:.1}%",
+            role.label()
+        );
+
+        // Paper headline: "improvement up to 24% in accuracy" — WAVM3's
+        // NRMSE beats the worst baseline by a wide margin on live runs.
+        let worst = l_l.max(s_l);
+        assert!(
+            worst - w_l > 10.0,
+            "{}: headline improvement shrank to {:.1} points",
+            role.label(),
+            worst - w_l
+        );
+    }
+}
+
+#[test]
+fn cross_machine_set_prediction_needs_bias_swap() {
+    let m = campaign(MachineSet::M);
+    let o = campaign(MachineSet::O);
+    let (train_m, _) = m.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
+    let live = train_wavm3(&train_m, MigrationKind::Live, &ReadingSplit::default())
+        .expect("training succeeds");
+    let o_records = o.all_records();
+    let o_idle = o_records[0].idle_power_w;
+
+    let raw = score_model(&live, HostRole::Source, MigrationKind::Live, &o_records)
+        .unwrap()
+        .nrmse_pct();
+    let swapped = score_model(
+        &live.with_idle_bias(o_idle),
+        HostRole::Source,
+        MigrationKind::Live,
+        &o_records,
+    )
+    .unwrap()
+    .nrmse_pct();
+
+    // Paper §VI-F: the unswapped model overestimates by a constant (the
+    // idle-power difference); the swap must recover most of the accuracy.
+    assert!(
+        swapped < raw / 2.0,
+        "bias swap must cut the cross-set error: raw {raw:.1}% vs swapped {swapped:.1}%"
+    );
+    assert!(
+        swapped < 25.0,
+        "swapped cross-set NRMSE should be usable, got {swapped:.1}%"
+    );
+}
+
+/// The two readings of HUANG's ambiguous Eq. 8: the host-CPU
+/// interpretation (used in our Table VII, per the paper's §VII-B prose)
+/// must beat the literal guest-CPU one on the CPULOAD sweeps, where the
+/// guest's CPU is pinned while host load varies.
+#[test]
+fn huang_host_interpretation_beats_literal_vm_reading() {
+    use wavm3::models::{train_huang, train_huang_vm};
+    let dataset = campaign(MachineSet::M);
+    let (train, test) = dataset.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
+    let split = ReadingSplit::default();
+    let host = train_huang(&train, MigrationKind::Live, &split).unwrap();
+    let vm = train_huang_vm(&train, MigrationKind::Live, &split).unwrap();
+    let nrmse = |m: &dyn wavm3::models::EnergyModel| {
+        score_model(m, HostRole::Source, MigrationKind::Live, &test)
+            .unwrap()
+            .nrmse_pct()
+    };
+    let (h, v) = (nrmse(&host), nrmse(&vm));
+    assert!(
+        h < v,
+        "host-CPU HUANG ({h:.1}%) must beat the literal VM-CPU reading ({v:.1}%)"
+    );
+    assert!(v > 2.0 * h, "the gap should be decisive: {h:.1}% vs {v:.1}%");
+}
+
+#[test]
+fn variance_rule_protocol_runs() {
+    // The paper's exact repetition protocol on one scenario.
+    let scenario = Scenario {
+        family: ExperimentFamily::CpuloadSource,
+        kind: MigrationKind::Live,
+        machine_set: MachineSet::M,
+        source_load_vms: 1,
+        target_load_vms: 0,
+        migrant_mem_ratio: None,
+        label: "1 VM".into(),
+    };
+    let records = wavm3::experiments::run_scenario(
+        &scenario,
+        &RunnerConfig {
+            repetitions: RepetitionPolicy::paper(),
+            base_seed: 3,
+        },
+    );
+    assert!(
+        records.len() >= 10,
+        "paper protocol runs at least ten repetitions, got {}",
+        records.len()
+    );
+    assert!(records.len() <= 15);
+}

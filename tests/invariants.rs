@@ -1,0 +1,163 @@
+//! Property-based invariants of the whole simulation pipeline: for *any*
+//! scenario in the design space, structural truths about the produced
+//! record must hold.
+
+use proptest::prelude::*;
+use wavm3::cluster::MachineSet;
+use wavm3::experiments::scenario::ExperimentFamily;
+use wavm3::experiments::Scenario;
+use wavm3::migration::MigrationKind;
+use wavm3::power::MigrationPhase;
+use wavm3::simkit::RngFactory;
+
+fn arb_scenario() -> impl Strategy<Value = (Scenario, u64)> {
+    let kind = prop_oneof![Just(MigrationKind::Live), Just(MigrationKind::NonLive)];
+    let set = prop_oneof![Just(MachineSet::M), Just(MachineSet::O)];
+    let ratio = prop_oneof![
+        Just(None),
+        (1u32..=19).prop_map(|p| Some(p as f64 * 0.05)),
+    ];
+    (kind, set, 0usize..=8, 0usize..=8, ratio, 0u64..1_000).prop_map(
+        |(kind, machine_set, src, dst, ratio, seed)| {
+            // MEMLOAD sweeps are live-only in the paper, but the engine
+            // must stay sound for non-live + memory workloads too.
+            (
+                Scenario {
+                    family: ExperimentFamily::CpuloadSource,
+                    kind,
+                    machine_set,
+                    source_load_vms: src,
+                    target_load_vms: dst,
+                    migrant_mem_ratio: ratio,
+                    label: "prop".into(),
+                },
+                seed,
+            )
+        },
+    )
+}
+
+proptest! {
+    // Each case simulates a full migration (~1500 ticks); keep the count
+    // moderate so the suite stays fast.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn migration_record_invariants((scenario, seed) in arb_scenario()) {
+        let r = scenario.build(RngFactory::new(seed)).run();
+
+        // Phase instants are ordered and the timeline is non-degenerate.
+        prop_assert!(r.phases.ms < r.phases.ts);
+        prop_assert!(r.phases.ts < r.phases.te);
+        prop_assert!(r.phases.te < r.phases.me);
+
+        // A completed migration moved at least the whole RAM image.
+        let ram_bytes = r.vm_ram_mib * 1024 * 1024;
+        prop_assert!(r.total_bytes >= ram_bytes,
+            "moved {} of {} RAM bytes", r.total_bytes, ram_bytes);
+
+        // Round accounting matches the byte counter.
+        let round_sum: u64 = r.rounds.iter().map(|x| x.bytes_sent).sum();
+        let diff = (round_sum as f64 - r.total_bytes as f64).abs();
+        prop_assert!(diff <= 4096.0 * 8.0, "rounds {} vs total {}", round_sum, r.total_bytes);
+
+        // Downtime fits inside the migration window... plus initiation for
+        // non-live (suspension starts at ms).
+        prop_assert!(r.downtime <= r.phases.total());
+        if r.kind == MigrationKind::NonLive {
+            prop_assert!(r.downtime >= r.phases.transfer());
+        }
+
+        // Energy is positive and phase-additive.
+        prop_assert!(r.source_energy.total_j() > 0.0);
+        prop_assert!(r.target_energy.total_j() > 0.0);
+
+        // Every sample's features are in-domain.
+        let nominal_bw = 1.25e8;
+        for s in &r.samples {
+            prop_assert!((0.0..=1.0).contains(&s.cpu_source));
+            prop_assert!((0.0..=1.0).contains(&s.cpu_target));
+            prop_assert!((0.0..=1.0).contains(&s.cpu_vm));
+            prop_assert!((0.0..=1.0).contains(&s.dirty_ratio));
+            prop_assert!(s.bandwidth_bps >= 0.0 && s.bandwidth_bps <= nominal_bw);
+            prop_assert!(s.power_source_w >= 0.0);
+            prop_assert!(s.power_target_w >= 0.0);
+            if s.phase != MigrationPhase::Transfer {
+                prop_assert!(s.bandwidth_bps == 0.0);
+            }
+        }
+
+        // Meter traces cover the whole migration window at 2 Hz.
+        prop_assert!(r.source_trace.len() == r.target_trace.len());
+        prop_assert!(r.source_trace.series.end().unwrap() >= r.phases.me);
+
+        // Non-live migrations never pre-copy.
+        if r.kind == MigrationKind::NonLive {
+            prop_assert_eq!(r.rounds.len(), 1);
+        } else {
+            prop_assert!(r.rounds.last().unwrap().stop_and_copy
+                || r.rounds.last().unwrap().dirty_at_end_pages == 0);
+        }
+
+        // Determinism: same scenario + seed → identical record.
+        let again = scenario.build(RngFactory::new(seed)).run();
+        prop_assert_eq!(r, again);
+    }
+
+    #[test]
+    fn planner_agrees_with_domain((scenario, seed) in arb_scenario()) {
+        // The analytic planner must produce ordered, in-domain estimates
+        // for any scenario the simulator accepts.
+        use wavm3::consolidation::{plan_migration, PlannerInputs};
+        use wavm3::cluster::Link;
+        use wavm3::migration::MigrationConfig;
+        let _ = seed;
+        let inputs = PlannerInputs {
+            kind: scenario.kind,
+            machine_set: scenario.machine_set,
+            idle_power_w: 430.0,
+            ram_mib: 4096,
+            vcpus: if scenario.migrant_mem_ratio.is_some() { 1 } else { 4 },
+            vm_cpu_fraction: 1.0,
+            working_set_fraction: scenario.migrant_mem_ratio.unwrap_or(0.015),
+            page_write_rate: if scenario.migrant_mem_ratio.is_some() { 220_000.0 } else { 400.0 },
+            source_other_cores: scenario.source_load_vms as f64 * 4.0,
+            target_other_cores: scenario.target_load_vms as f64 * 4.0,
+            source_capacity: 32.0,
+            target_capacity: 32.0,
+            link: Link::gigabit(),
+            config: MigrationConfig::new(scenario.kind),
+        };
+        let plan = plan_migration(&inputs);
+        prop_assert!(plan.phases.ms < plan.phases.ts);
+        prop_assert!(plan.phases.ts < plan.phases.te);
+        prop_assert!(plan.phases.te < plan.phases.me);
+        prop_assert!(plan.est_bytes >= 4096 * 1024 * 1024);
+        prop_assert!(plan.est_bandwidth_bps > 0.0);
+        prop_assert!(plan.est_downtime.as_secs_f64() <= plan.phases.total().as_secs_f64());
+        for s in &plan.samples {
+            prop_assert!((0.0..=1.0).contains(&s.cpu_source));
+            prop_assert!((0.0..=1.0).contains(&s.dirty_ratio));
+        }
+    }
+}
+
+#[test]
+fn records_serialize_round_trip() {
+    // Records are serde-serialisable for external analysis; a JSON round
+    // trip must be lossless.
+    let scenario = Scenario {
+        family: ExperimentFamily::CpuloadSource,
+        kind: MigrationKind::Live,
+        machine_set: MachineSet::M,
+        source_load_vms: 1,
+        target_load_vms: 0,
+        migrant_mem_ratio: Some(0.35),
+        label: "serde".into(),
+    };
+    let record = scenario.build(RngFactory::new(77)).run();
+    let json = serde_json::to_string(&record).expect("serialise");
+    let back: wavm3::migration::MigrationRecord =
+        serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(record, back);
+}
