@@ -10,8 +10,8 @@
 //!   training + scoring.
 
 use wavm3_cluster::MachineSet;
-use wavm3_experiments::{ExperimentDataset, RepetitionPolicy, RunnerConfig, Scenario};
 use wavm3_experiments::scenario::ExperimentFamily;
+use wavm3_experiments::{ExperimentDataset, RepetitionPolicy, RunnerConfig, Scenario};
 use wavm3_migration::{MigrationKind, MigrationRecord};
 use wavm3_simkit::RngFactory;
 
@@ -20,6 +20,7 @@ pub fn bench_runner(reps: usize) -> RunnerConfig {
     RunnerConfig {
         repetitions: RepetitionPolicy::Fixed(reps),
         base_seed: 0xBE7C_0DE5,
+        ..Default::default()
     }
 }
 

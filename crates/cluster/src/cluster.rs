@@ -86,10 +86,7 @@ impl Cluster {
 
     /// The host currently holding `vm`, if any.
     pub fn locate_vm(&self, vm: VmId) -> Option<HostId> {
-        self.hosts
-            .iter()
-            .find(|h| h.vm(vm).is_some())
-            .map(|h| h.id)
+        self.hosts.iter().find(|h| h.vm(vm).is_some()).map(|h| h.id)
     }
 
     /// Shared access to a VM wherever it lives.

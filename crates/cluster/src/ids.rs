@@ -4,15 +4,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a physical machine within a [`crate::Cluster`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct HostId(pub u32);
 
 /// Identifier of a virtual machine within a [`crate::Cluster`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VmId(pub u32);
 
 impl fmt::Display for HostId {

@@ -11,7 +11,7 @@
 //!   simulated), emptied hosts power off, and the survivors draw their
 //!   (higher) packed steady power for the rest of the horizon.
 
-use crate::executor::{execute_plan, workload_for, ExecutedMove};
+use crate::executor::{execute_plan, workload_for, ExecutedMove, MoveOutcome};
 use crate::policy::{ConsolidationManager, Move, VmLoad};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -131,10 +131,12 @@ pub fn run_horizon(
     let migration_j: f64 = executed.iter().map(|m| m.measured_j).sum();
     let t_mig: f64 = executed.iter().map(|m| m.window_s).sum();
 
-    // Apply the plan; emptied hosts power off.
+    // Apply the moves that actually completed; emptied hosts power off.
     let mut packed = world.clone();
-    for m in &moves {
-        packed.relocate_vm(m.vm, m.from, m.to);
+    for (m, e) in moves.iter().zip(&executed) {
+        if e.outcome == MoveOutcome::Executed {
+            packed.relocate_vm(m.vm, m.from, m.to);
+        }
     }
     let hosts_powered_off: Vec<HostId> = packed
         .hosts()
@@ -161,7 +163,9 @@ pub fn run_horizon(
                 + host_steady_power(&timeline, loads, m.to);
             let others_rate = cluster_steady_power(&timeline, loads) - pair_rate;
             during_migrations_j += e.measured_j + others_rate * e.window_s;
-            timeline.relocate_vm(m.vm, m.from, m.to);
+            if e.outcome == MoveOutcome::Executed {
+                timeline.relocate_vm(m.vm, m.from, m.to);
+            }
         }
     }
     let consolidated_j = during_migrations_j + packed_rate * (horizon_s - t_mig).max(0.0);
@@ -237,9 +241,15 @@ mod tests {
         let vm = world.host(HostId(0)).vms()[0].id;
         world.relocate_vm(vm, HostId(0), HostId(1));
         let after_on = cluster_steady_power(&world, &loads);
-        assert!(after_on < before, "packing reduces total draw: {before} -> {after_on}");
+        assert!(
+            after_on < before,
+            "packing reduces total draw: {before} -> {after_on}"
+        );
         let survivor = host_steady_power(&world, &loads, HostId(1));
-        assert!(survivor < after_on, "powered-off host contributes nothing beyond idle");
+        assert!(
+            survivor < after_on,
+            "powered-off host contributes nothing beyond idle"
+        );
     }
 
     #[test]

@@ -34,11 +34,31 @@ impl CandidateMove {
     /// The default evaluation slate: cheap, loaded, and hot moves.
     pub fn slate() -> Vec<CandidateMove> {
         vec![
-            CandidateMove { label: "cpu idle".into(), mem_ratio: None, source_load_vms: 0 },
-            CandidateMove { label: "cpu loaded-src".into(), mem_ratio: None, source_load_vms: 7 },
-            CandidateMove { label: "mem 35%".into(), mem_ratio: Some(0.35), source_load_vms: 0 },
-            CandidateMove { label: "mem 95%".into(), mem_ratio: Some(0.95), source_load_vms: 0 },
-            CandidateMove { label: "mem 95% loaded-src".into(), mem_ratio: Some(0.95), source_load_vms: 7 },
+            CandidateMove {
+                label: "cpu idle".into(),
+                mem_ratio: None,
+                source_load_vms: 0,
+            },
+            CandidateMove {
+                label: "cpu loaded-src".into(),
+                mem_ratio: None,
+                source_load_vms: 7,
+            },
+            CandidateMove {
+                label: "mem 35%".into(),
+                mem_ratio: Some(0.35),
+                source_load_vms: 0,
+            },
+            CandidateMove {
+                label: "mem 95%".into(),
+                mem_ratio: Some(0.95),
+                source_load_vms: 0,
+            },
+            CandidateMove {
+                label: "mem 95% loaded-src".into(),
+                mem_ratio: Some(0.95),
+                source_load_vms: 7,
+            },
         ]
     }
 
@@ -51,7 +71,11 @@ impl CandidateMove {
             vcpus: if self.mem_ratio.is_some() { 1 } else { 4 },
             vm_cpu_fraction: 1.0,
             working_set_fraction: self.mem_ratio.unwrap_or(0.015),
-            page_write_rate: if self.mem_ratio.is_some() { 220_000.0 } else { 400.0 },
+            page_write_rate: if self.mem_ratio.is_some() {
+                220_000.0
+            } else {
+                400.0
+            },
             source_other_cores: self.source_load_vms as f64 * 4.0,
             target_other_cores: 0.0,
             source_capacity: 32.0,

@@ -4,6 +4,12 @@
 //!
 //! This is the last mile of the paper's use case — the manager planned
 //! with a model; the executor tells you what the plan actually cost.
+//!
+//! Execution degrades gracefully instead of panicking: a stale move (the
+//! VM is no longer where the plan says) is skipped, and an aborted
+//! migration (fault injection rolled the VM back to its source) leaves the
+//! placement untouched so subsequent moves re-plan around it. Both cases
+//! are reported in the [`ExecutedMove::outcome`].
 
 use crate::policy::{Move, VmLoad};
 use serde::{Deserialize, Serialize};
@@ -14,19 +20,51 @@ use wavm3_migration::{MigrationConfig, MigrationRecord, MigrationSimulation};
 use wavm3_simkit::RngFactory;
 use wavm3_workloads::{MatMulWorkload, PageDirtierWorkload, Workload};
 
+/// What happened to one planned move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MoveOutcome {
+    /// Simulated to completion; the VM now runs on the planned target.
+    Executed,
+    /// The VM was not where the plan said — the move was skipped without
+    /// simulating anything (an earlier abort, or an outdated plan).
+    SkippedStale,
+    /// The migration ran but an injected fault aborted it; the VM is back
+    /// on its source and the measured energy (including rollback) was
+    /// spent for nothing.
+    Aborted,
+}
+
 /// Outcome of executing one planned move.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutedMove {
     /// The planned move (with the assessment it was accepted under).
     pub planned: Move,
-    /// Measured migration energy, both hosts, joules.
+    /// How the move ended.
+    pub outcome: MoveOutcome,
+    /// Measured migration energy, both hosts, joules (0 for skipped moves).
     pub measured_j: f64,
+    /// Rollback share of the measured energy, joules (aborted moves only).
+    pub rollback_j: f64,
     /// Measured downtime, seconds.
     pub downtime_s: f64,
     /// Measured transfer duration, seconds.
     pub transfer_s: f64,
     /// Whole migration window `[ms, me]`, seconds.
     pub window_s: f64,
+}
+
+impl ExecutedMove {
+    fn skipped(mv: &Move) -> Self {
+        ExecutedMove {
+            planned: mv.clone(),
+            outcome: MoveOutcome::SkippedStale,
+            measured_j: 0.0,
+            rollback_j: 0.0,
+            downtime_s: 0.0,
+            transfer_s: 0.0,
+            window_s: 0.0,
+        }
+    }
 }
 
 /// Turn a monitoring-layer [`VmLoad`] into a simulator workload.
@@ -43,8 +81,9 @@ pub fn workload_for(load: &VmLoad) -> Arc<dyn Workload> {
 
 /// Execute `moves` sequentially on a working copy of `cluster`, simulating
 /// each migration in full. Returns one [`ExecutedMove`] per input move, in
-/// order. Panics if a move references a VM that is not where the plan says
-/// (i.e. the plan is stale).
+/// order. Stale moves are skipped ([`MoveOutcome::SkippedStale`]); aborted
+/// migrations leave the VM on its source ([`MoveOutcome::Aborted`]) so the
+/// rest of the plan executes against the placement that actually exists.
 pub fn execute_plan(
     cluster: &Cluster,
     loads: &BTreeMap<VmId, VmLoad>,
@@ -55,13 +94,10 @@ pub fn execute_plan(
     let mut world = cluster.clone();
     let mut out = Vec::with_capacity(moves.len());
     for (i, mv) in moves.iter().enumerate() {
-        assert_eq!(
-            world.locate_vm(mv.vm),
-            Some(mv.from),
-            "plan is stale: {} not on {}",
-            mv.vm,
-            mv.from
-        );
+        if world.locate_vm(mv.vm) != Some(mv.from) {
+            out.push(ExecutedMove::skipped(mv));
+            continue;
+        }
         let workloads: BTreeMap<VmId, Arc<dyn Workload>> = world
             .hosts()
             .iter()
@@ -81,15 +117,25 @@ pub fn execute_plan(
             rng.child(i as u64),
         )
         .run();
+        let aborted = record.is_aborted();
         out.push(ExecutedMove {
             planned: mv.clone(),
+            outcome: if aborted {
+                MoveOutcome::Aborted
+            } else {
+                MoveOutcome::Executed
+            },
             measured_j: record.total_energy_j(),
+            rollback_j: record.rollback_energy_j(),
             downtime_s: record.downtime.as_secs_f64(),
             transfer_s: record.phases.transfer().as_secs_f64(),
             window_s: record.phases.total().as_secs_f64(),
         });
-        // Commit the move to the working copy for subsequent simulations.
-        world.relocate_vm(mv.vm, mv.from, mv.to);
+        // Commit the move to the working copy only when it completed: an
+        // aborted migration rolled the VM back to the source.
+        if !aborted {
+            world.relocate_vm(mv.vm, mv.from, mv.to);
+        }
     }
     out
 }
@@ -99,7 +145,10 @@ mod tests {
     use super::*;
     use crate::policy::{ConsolidationManager, PolicyConfig};
     use wavm3_cluster::{hardware, vm_instances, Link};
+    use wavm3_faults::{AbortFault, FaultConfig};
+    use wavm3_migration::MigrationKind;
     use wavm3_models::paper;
+    use wavm3_simkit::SimTime;
 
     fn testbed() -> (Cluster, BTreeMap<VmId, VmLoad>) {
         let mut cluster = Cluster::new(Link::gigabit());
@@ -133,6 +182,7 @@ mod tests {
         );
         assert_eq!(executed.len(), moves.len());
         for e in &executed {
+            assert_eq!(e.outcome, MoveOutcome::Executed);
             assert!(e.measured_j > 1_000.0, "measured {e:?}");
             assert!(e.transfer_s > 10.0);
             assert!(e.downtime_s < 5.0, "live move of a CPU guest");
@@ -165,8 +215,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "plan is stale")]
-    fn stale_plan_is_rejected() {
+    fn stale_moves_are_skipped_not_fatal() {
         let (cluster, loads) = testbed();
         let model = paper::wavm3_live();
         let mgr = ConsolidationManager::new(&model, PolicyConfig::default());
@@ -176,13 +225,49 @@ mod tests {
         let (f, t) = (moves[0].from, moves[0].to);
         moves[0].from = t;
         moves[0].to = f;
-        execute_plan(
+        let executed = execute_plan(
             &cluster,
             &loads,
             &moves,
             MigrationConfig::live(),
             &RngFactory::new(5),
         );
+        assert_eq!(executed.len(), moves.len());
+        assert_eq!(executed[0].outcome, MoveOutcome::SkippedStale);
+        assert_eq!(executed[0].measured_j, 0.0);
+    }
+
+    #[test]
+    fn aborted_moves_leave_placement_untouched() {
+        let (cluster, loads) = testbed();
+        let model = paper::wavm3_live();
+        let mgr = ConsolidationManager::new(&model, PolicyConfig::default());
+        let moves = mgr.plan_consolidation(&cluster, &loads);
+        assert!(!moves.is_empty());
+        // A certain abort during the transfer phase.
+        let faults = FaultConfig {
+            abort: AbortFault {
+                probability: 1.0,
+                earliest: SimTime::from_secs(20),
+                latest: SimTime::from_secs(21),
+            },
+            ..FaultConfig::default()
+        };
+        let executed = execute_plan(
+            &cluster,
+            &loads,
+            &moves,
+            MigrationConfig::with_faults(MigrationKind::Live, faults),
+            &RngFactory::new(6),
+        );
+        assert_eq!(executed[0].outcome, MoveOutcome::Aborted);
+        assert!(
+            executed[0].rollback_j > 0.0,
+            "aborting charges rollback energy: {:?}",
+            executed[0]
+        );
+        // The rollback is part of (not on top of) the total measured energy.
+        assert!(executed[0].rollback_j < executed[0].measured_j);
     }
 
     #[test]

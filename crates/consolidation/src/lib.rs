@@ -57,6 +57,6 @@ pub mod policy;
 pub use concurrent::{plan_concurrent, plan_sequential, SchedulePlan, StreamCompletion};
 pub use datacenter::{cluster_steady_power, run_horizon, HorizonReport};
 pub use evaluation::{agreement_rate, evaluate_decisions, CandidateMove, DecisionOutcome};
-pub use executor::{execute_plan, workload_for, ExecutedMove};
+pub use executor::{execute_plan, workload_for, ExecutedMove, MoveOutcome};
 pub use planner::{plan_migration, select_mechanism, MigrationPlan, PlannerInputs};
 pub use policy::{ConsolidationManager, HostLoad, Move, MoveAssessment, PolicyConfig, VmLoad};

@@ -10,7 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 use wavm3_cluster::{Link, MachineSet, PAGE_SIZE_BYTES};
-use wavm3_migration::{FeatureSample, MigrationConfig, MigrationKind, MigrationRecord, RoundStats};
+use wavm3_migration::{
+    FeatureSample, MigrationConfig, MigrationKind, MigrationOutcome, MigrationRecord, RoundStats,
+};
 use wavm3_power::{EnergyBreakdown, MigrationPhase, PhaseTimes, PowerTrace, TelemetryRecorder};
 use wavm3_simkit::{SimDuration, SimTime};
 
@@ -197,8 +199,7 @@ pub fn plan_migration(inputs: &PlannerInputs) -> MigrationPlan {
             MigrationKind::NonLive | MigrationKind::PostCopy => false,
             MigrationKind::Live => t < te && !in_stop_copy,
         } && phase != MigrationPhase::Activation;
-        let vm_running_on_target =
-            post_copy && phase == MigrationPhase::Transfer;
+        let vm_running_on_target = post_copy && phase == MigrationPhase::Transfer;
         let (cpu_src_cores, cpu_dst_cores, bw_now) = match phase {
             MigrationPhase::Initiation => (
                 inputs.source_other_cores
@@ -221,11 +222,9 @@ pub fn plan_migration(inputs: &PlannerInputs) -> MigrationPlan {
                 inputs.target_other_cores + vm_cores + cfg.cpu_cost.control_cores,
                 0.0,
             ),
-            MigrationPhase::NormalExecution => (
-                inputs.source_other_cores,
-                inputs.target_other_cores,
-                0.0,
-            ),
+            MigrationPhase::NormalExecution => {
+                (inputs.source_other_cores, inputs.target_other_cores, 0.0)
+            }
         };
         // Dirty ratio at t: saturation since the current round's start.
         let dr = if vm_running_on_source && phase == MigrationPhase::Transfer {
@@ -301,13 +300,19 @@ impl MigrationPlan {
                 initiation_j: 0.0,
                 transfer_j: 0.0,
                 activation_j: 0.0,
+                rollback_j: 0.0,
             },
             target_energy: EnergyBreakdown {
                 initiation_j: 0.0,
                 transfer_j: 0.0,
                 activation_j: 0.0,
+                rollback_j: 0.0,
             },
             idle_power_w: self.inputs.idle_power_w,
+            outcome: MigrationOutcome::Completed,
+            fault_events: Vec::new(),
+            attempt: 0,
+            retry_backoff: SimDuration::ZERO,
         }
     }
 }
@@ -451,7 +456,11 @@ mod tests {
         // Batch window (10 min outage fine): live still preferred, but a
         // non-live-only SLO is also satisfiable.
         let (kind, _) = select_mechanism(&hot, 600.0, false).unwrap();
-        assert_eq!(kind, MigrationKind::Live, "pre-copy's long stop-and-copy fits 600s");
+        assert_eq!(
+            kind,
+            MigrationKind::Live,
+            "pre-copy's long stop-and-copy fits 600s"
+        );
     }
 
     #[test]
@@ -492,6 +501,11 @@ mod tests {
         );
         let byte_err =
             (record.total_bytes as f64 - plan.est_bytes as f64).abs() / record.total_bytes as f64;
-        assert!(byte_err < 0.1, "bytes: sim {} vs plan {}", record.total_bytes, plan.est_bytes);
+        assert!(
+            byte_err < 0.1,
+            "bytes: sim {} vs plan {}",
+            record.total_bytes,
+            plan.est_bytes
+        );
     }
 }

@@ -13,10 +13,10 @@
 
 use crate::planner::{plan_migration, MigrationPlan, PlannerInputs};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use wavm3_cluster::{Cluster, HostId, MachineSet, VmId};
 use wavm3_migration::{MigrationConfig, MigrationKind};
 use wavm3_models::{EnergyModel, HostRole};
-use std::collections::BTreeMap;
 
 /// Workload descriptor of one VM, as the monitoring layer reports it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -155,12 +155,7 @@ impl<'m> ConsolidationManager<'m> {
                 .vms()
                 .iter()
                 .filter(|x| x.id != vm)
-                .map(|x| {
-                    loads
-                        .get(&x.id)
-                        .map(|l| l.cpu_cores)
-                        .unwrap_or(0.0)
-                })
+                .map(|x| loads.get(&x.id).map(|l| l.cpu_cores).unwrap_or(0.0))
                 .sum::<f64>()
         };
         PlannerInputs {
@@ -211,8 +206,7 @@ impl<'m> ConsolidationManager<'m> {
                     + inputs.vm_cpu_fraction * inputs.vcpus as f64)
                     / inputs.source_capacity)
                     .clamp(0.0, 1.0);
-                s.cpu_target =
-                    (inputs.target_other_cores / inputs.target_capacity).clamp(0.0, 1.0);
+                s.cpu_target = (inputs.target_other_cores / inputs.target_capacity).clamp(0.0, 1.0);
             }
         }
         let baseline_energy_j = self.model.predict_energy(HostRole::Source, &baseline)
@@ -291,14 +285,12 @@ impl<'m> ConsolidationManager<'m> {
                     if post_util > self.config.target_max_util {
                         continue;
                     }
-                    let (_, assessment) =
-                        self.assess_move(&sim, loads, vm, source.host, cand.id);
+                    let (_, assessment) = self.assess_move(&sim, loads, vm, source.host, cand.id);
                     let better = match &best {
                         None => true,
                         Some((_, u, b)) => {
                             cand_util > *u
-                                || (cand_util == *u
-                                    && assessment.extra_energy_j < b.extra_energy_j)
+                                || (cand_util == *u && assessment.extra_energy_j < b.extra_energy_j)
                         }
                     };
                     if better {

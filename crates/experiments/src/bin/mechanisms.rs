@@ -50,7 +50,14 @@ fn main() {
     println!("MECHANISMS (extension): non-live vs live pre-copy vs post-copy");
     println!(
         "{:<12} {:<10} {:>9} {:>10} {:>9} {:>10} {:>11} {:>9}",
-        "workload", "mechanism", "transfer", "downtime", "bytes", "E_total", "lost CPU-s", "rel perf"
+        "workload",
+        "mechanism",
+        "transfer",
+        "downtime",
+        "bytes",
+        "E_total",
+        "lost CPU-s",
+        "rel perf"
     );
     for (wl_label, ratio) in [("cpu-bound", None), ("mem 95%", Some(0.95))] {
         for kind in [
@@ -63,9 +70,7 @@ fn main() {
                 acc.push(run(kind, ratio, opts.runner.base_seed ^ r as u64));
             }
             let n = acc.len() as f64;
-            let mean = |f: &dyn Fn(&MigrationRecord) -> f64| {
-                acc.iter().map(f).sum::<f64>() / n
-            };
+            let mean = |f: &dyn Fn(&MigrationRecord) -> f64| acc.iter().map(f).sum::<f64>() / n;
             let sla_mean = |f: &dyn Fn(&SlaReport) -> f64| {
                 acc.iter()
                     .map(|x| f(&SlaReport::from_record(x)))

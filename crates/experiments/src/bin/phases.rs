@@ -3,8 +3,8 @@
 //! role — the phase-resolved view behind the paper's aggregate NRMSE.
 
 use wavm3_cluster::MachineSet;
-use wavm3_experiments::tables::{RUN_SPLIT_SEED, RUN_TRAIN_FRACTION};
 use wavm3_experiments::tables;
+use wavm3_experiments::tables::{RUN_SPLIT_SEED, RUN_TRAIN_FRACTION};
 use wavm3_migration::MigrationKind;
 use wavm3_models::{train_wavm3, HostRole, ReadingSplit};
 use wavm3_power::MigrationPhase;

@@ -22,8 +22,14 @@ fn main() {
 
     save("table1", &tables::table1(&m));
     save("table2", &tables::table2());
-    save("table3", &tables::table3_4(&m, MigrationKind::NonLive).expect("table3"));
-    save("table4", &tables::table3_4(&m, MigrationKind::Live).expect("table4"));
+    save(
+        "table3",
+        &tables::table3_4(&m, MigrationKind::NonLive).expect("table3"),
+    );
+    save(
+        "table4",
+        &tables::table3_4(&m, MigrationKind::Live).expect("table4"),
+    );
     save("table5", &tables::table5(&m, &o).expect("table5"));
     save("table6", &tables::table6(&m).expect("table6"));
     save("table7", &tables::table7(&m).expect("table7"));

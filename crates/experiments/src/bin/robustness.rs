@@ -13,7 +13,10 @@ use wavm3_models::HostRole;
 fn main() {
     let opts = wavm3_experiments::cli::parse_args();
     let seeds = [opts.runner.base_seed, 0xA11CE, 0xB0B5, 0xCAFE];
-    println!("ROBUSTNESS: Table VII orderings across {} campaign seeds", seeds.len());
+    println!(
+        "ROBUSTNESS: Table VII orderings across {} campaign seeds",
+        seeds.len()
+    );
     println!(
         "{:>12} {:>18} {:>18} {:>20} {:>16}",
         "seed", "WAVM3<=HUANG(l)", "LIU>>WAVM3(l)", "STRUNK degrades l", "HUANG ok (nl)"
@@ -40,9 +43,21 @@ fn main() {
         let h_l = nrmse(&bundle.huang_live, HostRole::Source, MigrationKind::Live);
         let l_l = nrmse(&bundle.liu_live, HostRole::Source, MigrationKind::Live);
         let s_l = nrmse(&bundle.strunk_live, HostRole::Source, MigrationKind::Live);
-        let s_nl = nrmse(&bundle.strunk_non_live, HostRole::Source, MigrationKind::NonLive);
-        let w_nl = nrmse(&bundle.wavm3_non_live, HostRole::Source, MigrationKind::NonLive);
-        let h_nl = nrmse(&bundle.huang_non_live, HostRole::Source, MigrationKind::NonLive);
+        let s_nl = nrmse(
+            &bundle.strunk_non_live,
+            HostRole::Source,
+            MigrationKind::NonLive,
+        );
+        let w_nl = nrmse(
+            &bundle.wavm3_non_live,
+            HostRole::Source,
+            MigrationKind::NonLive,
+        );
+        let h_nl = nrmse(
+            &bundle.huang_non_live,
+            HostRole::Source,
+            MigrationKind::NonLive,
+        );
 
         let c1 = w_l <= h_l * 1.10;
         let c2 = l_l > 2.0 * w_l;

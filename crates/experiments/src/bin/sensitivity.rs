@@ -2,8 +2,8 @@
 //! readings does WAVM3 actually need? The paper uses 20 %.
 
 use wavm3_cluster::MachineSet;
-use wavm3_experiments::tables::{RUN_SPLIT_SEED, RUN_TRAIN_FRACTION};
 use wavm3_experiments::tables;
+use wavm3_experiments::tables::{RUN_SPLIT_SEED, RUN_TRAIN_FRACTION};
 use wavm3_migration::MigrationKind;
 use wavm3_models::evaluation::score_model;
 use wavm3_models::{train_wavm3, HostRole, ReadingSplit};
@@ -14,7 +14,10 @@ fn main() {
     let (train, test) = dataset.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
 
     println!("TRAINING-FRACTION SENSITIVITY: WAVM3 live NRMSE vs reading share");
-    println!("{:>9} {:>14} {:>14}", "fraction", "source live", "target live");
+    println!(
+        "{:>9} {:>14} {:>14}",
+        "fraction", "source live", "target live"
+    );
     for pct in [2, 5, 10, 20, 40, 80] {
         let split = ReadingSplit {
             train_fraction: pct as f64 / 100.0,

@@ -7,5 +7,8 @@ use wavm3_migration::MigrationKind;
 fn main() {
     let opts = wavm3_experiments::cli::parse_args();
     let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
-    print!("{}", tables::table3_4(&dataset, MigrationKind::NonLive).expect("training failed"));
+    print!(
+        "{}",
+        tables::table3_4(&dataset, MigrationKind::NonLive).expect("training failed")
+    );
 }

@@ -2,10 +2,12 @@
 //!
 //! Flags: `--reps N` (fixed repetitions instead of the paper's variance
 //! rule), `--seed S` (campaign seed), `--out DIR` (CSV output directory,
-//! default `out/`).
+//! default `out/`), `--faults` (inject the light fault mix: transient link
+//! degradation, pre-copy non-convergence, occasional aborts with retry).
 
 use crate::runner::{RepetitionPolicy, RunnerConfig};
 use std::path::PathBuf;
+use wavm3_faults::FaultConfig;
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -54,6 +56,9 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> CliOptions {
                 let v = it.next().unwrap_or_else(|| usage("--out needs a path"));
                 opts.out_dir = PathBuf::from(v);
             }
+            "--faults" => {
+                opts.runner.faults = Some(FaultConfig::light());
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -65,8 +70,11 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--reps N] [--seed S] [--out DIR]");
+    eprintln!("usage: <bin> [--reps N] [--seed S] [--out DIR] [--faults]");
     eprintln!("  default repetition policy: paper variance rule (>=10 runs, <10% variance delta)");
+    eprintln!(
+        "  --faults: seeded fault injection (link degradation, non-convergence, aborts+retry)"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -103,5 +111,14 @@ mod tests {
         assert!(matches!(o.runner.repetitions, RepetitionPolicy::Fixed(3)));
         assert_eq!(o.runner.base_seed, 42);
         assert_eq!(o.out_dir, PathBuf::from("tmpdir"));
+    }
+
+    #[test]
+    fn faults_flag_switches_on_the_light_mix() {
+        let o = parse_from(std::iter::empty());
+        assert!(o.runner.faults.is_none(), "faults default to off");
+        let o = parse_from(["--faults"].iter().map(|s| s.to_string()));
+        let f = o.runner.faults.expect("--faults sets a config");
+        assert!(f.is_enabled());
     }
 }

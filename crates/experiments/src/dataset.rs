@@ -156,6 +156,7 @@ mod tests {
             &RunnerConfig {
                 repetitions: RepetitionPolicy::Fixed(3),
                 base_seed: 11,
+                ..Default::default()
             },
         )
     }

@@ -137,6 +137,7 @@ mod tests {
             &RunnerConfig {
                 repetitions: RepetitionPolicy::Fixed(2),
                 base_seed: 8,
+                ..Default::default()
             },
         )
     }
@@ -157,7 +158,9 @@ mod tests {
             assert_eq!(row.split(',').count(), cols, "bad row: {row}");
         }
         assert!(body.iter().any(|r| r.contains(",transfer,")));
-        assert!(body.iter().any(|r| r.contains(",rep") || r.contains(",0,") || r.contains(",1,")));
+        assert!(body
+            .iter()
+            .any(|r| r.contains(",rep") || r.contains(",0,") || r.contains(",1,")));
     }
 
     #[test]

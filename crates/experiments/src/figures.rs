@@ -29,8 +29,16 @@ pub struct FigureOutput {
 }
 
 fn averaged_source_target(runs: &ScenarioRuns) -> (TimeSeries, TimeSeries) {
-    let src: Vec<&TimeSeries> = runs.records.iter().map(|r| &r.source_trace.series).collect();
-    let dst: Vec<&TimeSeries> = runs.records.iter().map(|r| &r.target_trace.series).collect();
+    let src: Vec<&TimeSeries> = runs
+        .records
+        .iter()
+        .map(|r| &r.source_trace.series)
+        .collect();
+    let dst: Vec<&TimeSeries> = runs
+        .records
+        .iter()
+        .map(|r| &r.target_trace.series)
+        .collect();
     (mean_trace(&src), mean_trace(&dst))
 }
 
@@ -100,7 +108,10 @@ pub fn fig2(cfg: &RunnerConfig) -> FigureOutput {
     let dataset = ExperimentDataset::collect(vec![base, live], cfg);
     let mut summary = String::new();
     let mut csv = String::from("panel,legend,time_s,power_w\n");
-    let _ = writeln!(summary, "Fig 2: energy consumption phases of non-live and live migration");
+    let _ = writeln!(
+        summary,
+        "Fig 2: energy consumption phases of non-live and live migration"
+    );
     for runs in &dataset.runs {
         let kind = runs.scenario.kind.label();
         let r0 = &runs.records[0];
@@ -125,7 +136,11 @@ pub fn fig2(cfg: &RunnerConfig) -> FigureOutput {
         push_csv(&mut csv, &format!("{kind}-source"), "trace", &src);
         push_csv(&mut csv, &format!("{kind}-target"), "trace", &dst);
     }
-    FigureOutput { id: "fig2", summary, csv }
+    FigureOutput {
+        id: "fig2",
+        summary,
+        csv,
+    }
 }
 
 /// Fig. 3 — CPULOAD-SOURCE (non-live/live × source/target panels).
@@ -192,6 +207,7 @@ mod tests {
         RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(1),
             base_seed: 7,
+            ..Default::default()
         }
     }
 
@@ -219,7 +235,12 @@ mod tests {
     #[test]
     fn fig3_has_four_panels() {
         let f = fig3(&fast_cfg());
-        for panel in ["non-live-source", "non-live-target", "live-source", "live-target"] {
+        for panel in [
+            "non-live-source",
+            "non-live-target",
+            "live-source",
+            "live-target",
+        ] {
             assert!(f.csv.contains(panel), "missing panel {panel}");
         }
         assert_eq!(f.id, "fig3");

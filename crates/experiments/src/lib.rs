@@ -36,8 +36,8 @@ pub mod ablation;
 pub mod cli;
 pub mod dataset;
 pub mod export;
-pub mod netload;
 pub mod figures;
+pub mod netload;
 pub mod runner;
 pub mod scenario;
 pub mod tables;

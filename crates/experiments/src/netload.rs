@@ -79,7 +79,10 @@ pub fn run_netload_sweep(cfg: &RunnerConfig) -> Vec<NetloadPoint> {
         .map(|&share| {
             let records: Vec<MigrationRecord> = (0..reps)
                 .map(|r| {
-                    run_netload_once(share, cfg.base_seed ^ ((share * 100.0) as u64) << 8 | r as u64)
+                    run_netload_once(
+                        share,
+                        cfg.base_seed ^ ((share * 100.0) as u64) << 8 | r as u64,
+                    )
                 })
                 .collect();
             let n = records.len() as f64;
@@ -183,8 +186,7 @@ mod tests {
         let quiet = run_netload_once(0.0, 2);
         let saturated = run_netload_once(0.9, 2);
         assert!(
-            saturated.phases.transfer().as_secs_f64()
-                > 3.0 * quiet.phases.transfer().as_secs_f64(),
+            saturated.phases.transfer().as_secs_f64() > 3.0 * quiet.phases.transfer().as_secs_f64(),
             "90% background share must slash migration bandwidth: {:.0}s vs {:.0}s",
             quiet.phases.transfer().as_secs_f64(),
             saturated.phases.transfer().as_secs_f64()
@@ -196,6 +198,7 @@ mod tests {
         let cfg = RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(2),
             base_seed: 5,
+            ..Default::default()
         };
         let points = run_netload_sweep(&cfg);
         assert_eq!(points.len(), LINE_SHARES.len());

@@ -12,8 +12,9 @@
 use crate::scenario::Scenario;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use wavm3_migration::MigrationRecord;
-use wavm3_simkit::RngFactory;
+use wavm3_faults::{FaultConfig, RetryPolicy};
+use wavm3_migration::{MigrationConfig, MigrationRecord};
+use wavm3_simkit::{RngFactory, SimDuration};
 use wavm3_stats::VarianceStopper;
 
 /// How many repetitions to run per scenario.
@@ -52,6 +53,11 @@ pub struct RunnerConfig {
     pub repetitions: RepetitionPolicy,
     /// Root seed of the whole campaign.
     pub base_seed: u64,
+    /// Fault injection: `None` (the default) runs the engine exactly as it
+    /// behaved before the fault subsystem existed.
+    pub faults: Option<FaultConfig>,
+    /// Retry policy for aborted runs (only consulted when faults are on).
+    pub retry: RetryPolicy,
 }
 
 impl Default for RunnerConfig {
@@ -59,6 +65,8 @@ impl Default for RunnerConfig {
         RunnerConfig {
             repetitions: RepetitionPolicy::paper(),
             base_seed: 0xC1A5_7E01,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -74,19 +82,79 @@ fn scenario_rng(cfg: &RunnerConfig, scenario: &Scenario) -> RngFactory {
     RngFactory::new(cfg.base_seed).child(h)
 }
 
+/// One repetition, with the runner's retry-on-abort protocol.
+///
+/// Attempt 0 draws from `scope.child(rep)` — with faults off this is the
+/// exact pre-fault seeding, so a `faults: None` campaign is bit-identical
+/// to one produced before the subsystem existed. Attempt `k > 0` draws from
+/// `scope.child(rep).child(k)`, an independent stream of the same rep.
+///
+/// The returned record is the last attempt's, annotated with the retry
+/// history: the fault events of failed attempts are carried forward (in
+/// attempt order), their whole measured energy is charged to the final
+/// record's `rollback_j` (energy spent and rolled back), and
+/// `retry_backoff` accumulates the exponential backoff simulated between
+/// attempts.
+fn run_repetition(
+    scenario: &Scenario,
+    cfg: &RunnerConfig,
+    scope: &RngFactory,
+    rep: u64,
+) -> MigrationRecord {
+    let faults = match cfg.faults {
+        Some(f) if f.is_enabled() => f,
+        _ => return scenario.build(scope.child(rep)).run(),
+    };
+    let max_attempts = cfg.retry.max_attempts.max(1);
+    let mut carried_events = Vec::new();
+    let mut wasted_source_j = 0.0;
+    let mut wasted_target_j = 0.0;
+    let mut backoff = SimDuration::ZERO;
+    let mut attempt = 0u32;
+    loop {
+        let rng = if attempt == 0 {
+            scope.child(rep)
+        } else {
+            scope.child(rep).child(attempt as u64)
+        };
+        let config = MigrationConfig::with_faults(scenario.kind, faults);
+        let mut record = scenario.build_with_config(rng, config).run();
+        record.attempt = attempt;
+        record.retry_backoff = backoff;
+        if !carried_events.is_empty() {
+            carried_events.append(&mut record.fault_events);
+            record.fault_events = std::mem::take(&mut carried_events);
+        }
+        if !record.is_aborted() || attempt + 1 >= max_attempts {
+            record.source_energy.rollback_j += wasted_source_j;
+            record.target_energy.rollback_j += wasted_target_j;
+            return record;
+        }
+        wasted_source_j += record.source_energy.total_j();
+        wasted_target_j += record.target_energy.total_j();
+        carried_events = record.fault_events;
+        attempt += 1;
+        backoff += cfg.retry.backoff_before(attempt);
+    }
+}
+
 /// Run one scenario under the repetition policy.
 pub fn run_scenario(scenario: &Scenario, cfg: &RunnerConfig) -> Vec<MigrationRecord> {
     let scope = scenario_rng(cfg, scenario);
     match cfg.repetitions {
         RepetitionPolicy::Fixed(n) => (0..n)
-            .map(|rep| scenario.build(scope.child(rep as u64)).run())
+            .map(|rep| run_repetition(scenario, cfg, &scope, rep as u64))
             .collect(),
-        RepetitionPolicy::VarianceRule { min, max, threshold } => {
+        RepetitionPolicy::VarianceRule {
+            min,
+            max,
+            threshold,
+        } => {
             let mut stopper = VarianceStopper::new(min.max(2), max.max(min.max(2)), threshold);
             let mut records = Vec::new();
             let mut rep = 0u64;
             while !stopper.is_satisfied() {
-                let record = scenario.build(scope.child(rep)).run();
+                let record = run_repetition(scenario, cfg, &scope, rep);
                 stopper.push(record.source_energy.total_j());
                 records.push(record);
                 rep += 1;
@@ -98,10 +166,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunnerConfig) -> Vec<MigrationRec
 
 /// Run many scenarios in parallel; output order matches input order.
 pub fn run_all(scenarios: &[Scenario], cfg: &RunnerConfig) -> Vec<Vec<MigrationRecord>> {
-    scenarios
-        .par_iter()
-        .map(|s| run_scenario(s, cfg))
-        .collect()
+    scenarios.par_iter().map(|s| run_scenario(s, cfg)).collect()
 }
 
 #[cfg(test)]
@@ -128,6 +193,7 @@ mod tests {
         let cfg = RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(3),
             base_seed: 1,
+            ..Default::default()
         };
         let records = run_scenario(&cheap_scenario(), &cfg);
         assert_eq!(records.len(), 3);
@@ -148,9 +214,14 @@ mod tests {
                 threshold: 0.5,
             },
             base_seed: 2,
+            ..Default::default()
         };
         let records = run_scenario(&cheap_scenario(), &cfg);
-        assert!(records.len() >= 4 && records.len() <= 8, "{}", records.len());
+        assert!(
+            records.len() >= 4 && records.len() <= 8,
+            "{}",
+            records.len()
+        );
     }
 
     #[test]
@@ -164,13 +235,80 @@ mod tests {
         let cfg = RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(2),
             base_seed: 3,
+            ..Default::default()
         };
         let par = run_all(&scenarios, &cfg);
-        let seq: Vec<Vec<MigrationRecord>> = scenarios
-            .iter()
-            .map(|s| run_scenario(s, &cfg))
-            .collect();
+        let seq: Vec<Vec<MigrationRecord>> =
+            scenarios.iter().map(|s| run_scenario(s, &cfg)).collect();
         assert_eq!(par, seq, "rayon fan-out must not change results");
+    }
+
+    #[test]
+    fn aborted_runs_retry_and_carry_their_history() {
+        use wavm3_faults::{AbortFault, LinkFaultConfig};
+        use wavm3_simkit::SimTime;
+
+        let mut scenario = cheap_scenario();
+        scenario.kind = MigrationKind::Live;
+        scenario.label = "0 VM live".into();
+        // Link degradation on every run plus a likely (but not certain)
+        // abort: most repetitions fail at least once and then complete on a
+        // retry drawn from an independent stream.
+        let faults = FaultConfig {
+            link: LinkFaultConfig {
+                mean_windows: 2.0,
+                ..LinkFaultConfig::default()
+            },
+            abort: AbortFault {
+                probability: 0.7,
+                earliest: SimTime::from_secs(16),
+                latest: SimTime::from_secs(45),
+            },
+            ..FaultConfig::default()
+        };
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(6),
+            base_seed: 9,
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let records = run_scenario(&scenario, &cfg);
+        assert_eq!(records.len(), 6);
+        let retried = records
+            .iter()
+            .find(|r| r.attempt > 0 && !r.is_aborted())
+            .expect("some repetition should complete via retry");
+        // The final record carries the failed attempts' events and charges
+        // their whole spent energy as rollback.
+        assert!(retried
+            .fault_events
+            .iter()
+            .any(|e| matches!(e, wavm3_faults::FaultEvent::Aborted { .. })));
+        assert!(retried.rollback_energy_j() > 0.0);
+        assert!(retried.retry_backoff > SimDuration::ZERO);
+        assert!(records.iter().all(|r| r.attempt < cfg.retry.max_attempts));
+        // The retry protocol is as reproducible as everything else.
+        let again = run_scenario(&scenario, &cfg);
+        assert_eq!(records, again);
+    }
+
+    #[test]
+    fn faults_off_reproduces_the_pre_fault_campaign_exactly() {
+        // `faults: None` and `faults: Some(disabled)` must both take the
+        // plain path: same seeds, same records.
+        let base = RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(2),
+            base_seed: 5,
+            ..Default::default()
+        };
+        let with_disabled = RunnerConfig {
+            faults: Some(FaultConfig::default()),
+            ..base
+        };
+        assert_eq!(
+            run_scenario(&cheap_scenario(), &base),
+            run_scenario(&cheap_scenario(), &with_disabled)
+        );
     }
 
     #[test]
@@ -182,6 +320,7 @@ mod tests {
         let cfg = RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(1),
             base_seed: 4,
+            ..Default::default()
         };
         let ra = run_scenario(&a, &cfg);
         let rb = run_scenario(&b, &cfg);

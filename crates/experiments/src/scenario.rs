@@ -154,6 +154,21 @@ impl Scenario {
 
     /// Instantiate the simulator for this scenario with a given RNG scope.
     pub fn build(&self, rng: RngFactory) -> MigrationSimulation {
+        self.build_with_config(rng, MigrationConfig::new(self.kind))
+    }
+
+    /// Like [`Scenario::build`], but with an explicit engine configuration
+    /// (the runner uses this to thread a fault-injection config through).
+    /// `config.kind` must agree with the scenario's mechanism.
+    pub fn build_with_config(
+        &self,
+        rng: RngFactory,
+        config: MigrationConfig,
+    ) -> MigrationSimulation {
+        assert_eq!(
+            config.kind, self.kind,
+            "engine config disagrees with the scenario's mechanism"
+        );
         let (src_spec, dst_spec) = hardware::pair(self.machine_set);
         let mut cluster = Cluster::new(Link::gigabit());
         let source = cluster.add_host(src_spec);
@@ -187,15 +202,7 @@ impl Scenario {
             );
         }
 
-        MigrationSimulation::new(
-            cluster,
-            workloads,
-            migrant,
-            source,
-            target,
-            MigrationConfig::new(self.kind),
-            rng,
-        )
+        MigrationSimulation::new(cluster, workloads, migrant, source, target, config, rng)
     }
 
     /// A stable identifier for seeding and file names, e.g.
@@ -238,7 +245,10 @@ mod tests {
 
     #[test]
     fn memload_load_families_pin_ratio_at_95() {
-        for fam in [ExperimentFamily::MemloadSource, ExperimentFamily::MemloadTarget] {
+        for fam in [
+            ExperimentFamily::MemloadSource,
+            ExperimentFamily::MemloadTarget,
+        ] {
             let s = Scenario::family_scenarios(fam, MachineSet::O);
             assert_eq!(s.len(), 6);
             assert!(s.iter().all(|x| x.migrant_mem_ratio == Some(0.95)));

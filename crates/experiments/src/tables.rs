@@ -13,8 +13,8 @@ use wavm3_migration::{MigrationKind, MigrationRecord};
 use wavm3_models::evaluation::{evaluate_models, score_model};
 use wavm3_models::paper;
 use wavm3_models::{
-    train_huang, train_liu, train_strunk, train_wavm3, EnergyModel, HostRole, HuangModel,
-    LiuModel, ReadingSplit, StrunkModel, Wavm3Model,
+    train_huang, train_liu, train_strunk, train_wavm3, EnergyModel, HostRole, HuangModel, LiuModel,
+    ReadingSplit, StrunkModel, Wavm3Model,
 };
 
 /// Everything trained on one machine set's training runs.
@@ -67,7 +67,10 @@ pub const RUN_SPLIT_SEED: u64 = 0x5EED_5713;
 /// Table I — qualitative workload-impact matrix, with measured evidence.
 pub fn table1(dataset: &ExperimentDataset) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE I: Workload impact on VM migration (measured evidence)");
+    let _ = writeln!(
+        out,
+        "TABLE I: Workload impact on VM migration (measured evidence)"
+    );
     let _ = writeln!(out);
 
     // Evidence 1: source CPU load stretches the transfer phase.
@@ -76,7 +79,11 @@ pub fn table1(dataset: &ExperimentDataset) -> String {
             dataset
                 .runs
                 .iter()
-                .find(|r| r.scenario.family == family && r.scenario.kind == kind && r.scenario.label == label)
+                .find(|r| {
+                    r.scenario.family == family
+                        && r.scenario.kind == kind
+                        && r.scenario.label == label
+                })
                 .map(|r| {
                     let xs: Vec<f64> = r
                         .records
@@ -113,7 +120,11 @@ pub fn table1(dataset: &ExperimentDataset) -> String {
             .map(|r| {
                 let n = r.records.len() as f64;
                 (
-                    r.records.iter().map(|x| x.downtime.as_secs_f64()).sum::<f64>() / n,
+                    r.records
+                        .iter()
+                        .map(|x| x.downtime.as_secs_f64())
+                        .sum::<f64>()
+                        / n,
                     r.records.iter().map(|x| x.total_bytes as f64).sum::<f64>() / n,
                 )
             })
@@ -138,15 +149,43 @@ pub fn table1(dataset: &ExperimentDataset) -> String {
 pub fn table2() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "TABLE IIa: Experimental design");
-    let _ = writeln!(out, "{:<18} {:>14} {:>14} {:>18}", "Experiment", "source load", "target load", "migrating VM");
-    let _ = writeln!(out, "{:<18} {:>14} {:>14} {:>18}", "CPULOAD-SOURCE", "0-8 load VMs", "idle", "migrating-cpu");
-    let _ = writeln!(out, "{:<18} {:>14} {:>14} {:>18}", "CPULOAD-TARGET", "migrant only", "0-8 load VMs", "migrating-cpu");
-    let _ = writeln!(out, "{:<18} {:>14} {:>14} {:>18}", "MEMLOAD-VM", "migrant only", "idle", "migrating-mem 5-95%");
-    let _ = writeln!(out, "{:<18} {:>14} {:>14} {:>18}", "MEMLOAD-SOURCE", "0-8 load VMs", "idle", "migrating-mem 95%");
-    let _ = writeln!(out, "{:<18} {:>14} {:>14} {:>18}", "MEMLOAD-TARGET", "migrant only", "0-8 load VMs", "migrating-mem 95%");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>18}",
+        "Experiment", "source load", "target load", "migrating VM"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>18}",
+        "CPULOAD-SOURCE", "0-8 load VMs", "idle", "migrating-cpu"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>18}",
+        "CPULOAD-TARGET", "migrant only", "0-8 load VMs", "migrating-cpu"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>18}",
+        "MEMLOAD-VM", "migrant only", "idle", "migrating-mem 5-95%"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>18}",
+        "MEMLOAD-SOURCE", "0-8 load VMs", "idle", "migrating-mem 95%"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>14} {:>18}",
+        "MEMLOAD-TARGET", "migrant only", "0-8 load VMs", "migrating-mem 95%"
+    );
     let _ = writeln!(out);
     let _ = writeln!(out, "TABLE IIb: VM configurations");
-    let _ = writeln!(out, "{:<15} {:>6} {:>8} {:>8} {:>14} {:>8}", "ID", "vCPUs", "kernel", "RAM", "workload", "storage");
+    let _ = writeln!(
+        out,
+        "{:<15} {:>6} {:>8} {:>8} {:>14} {:>8}",
+        "ID", "vCPUs", "kernel", "RAM", "workload", "storage"
+    );
     for vm in vm_instances::all() {
         let _ = writeln!(
             out,
@@ -156,8 +195,17 @@ pub fn table2() -> String {
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "TABLE IIc: Hardware configuration");
-    let _ = writeln!(out, "{:<8} {:>8} {:>9} {:>20} {:>12} {:>10}", "Machine", "vCPUs", "RAM", "NIC", "idle power", "Xen");
-    for m in [hardware::m01(), hardware::m02(), hardware::o1(), hardware::o2()] {
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>9} {:>20} {:>12} {:>10}",
+        "Machine", "vCPUs", "RAM", "NIC", "idle power", "Xen"
+    );
+    for m in [
+        hardware::m01(),
+        hardware::m02(),
+        hardware::o1(),
+        hardware::o2(),
+    ] {
         let _ = writeln!(
             out,
             "{:<8} {:>8} {:>8}G {:>20} {:>10.0} W {:>10}",
@@ -192,8 +240,15 @@ fn wavm3_coeff_table(model: &Wavm3Model, paper_model: &Wavm3Model, title: &str) 
             let _ = writeln!(
                 out,
                 "{:<7} {:<11} {:>12.4} {:>12.4} {:>14.3e} {:>10.4} {:>10.2}   ({:.2} / {:.1})",
-                role, phase, c.alpha_cpu_host, c.beta_cpu_vm, c.beta_bw, c.gamma_dr, c.c,
-                p.alpha_cpu_host, p.c
+                role,
+                phase,
+                c.alpha_cpu_host,
+                c.beta_cpu_vm,
+                c.beta_bw,
+                c.gamma_dr,
+                c.c,
+                p.alpha_cpu_host,
+                p.c
             );
         }
     }
@@ -233,7 +288,10 @@ pub fn table5(dataset_m: &ExperimentDataset, dataset_o: &ExperimentDataset) -> O
     let non_live_o = non_live.with_idle_bias(o_idle);
 
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE V: WAVM3 NRMSE on both machine pairs (ours vs paper)");
+    let _ = writeln!(
+        out,
+        "TABLE V: WAVM3 NRMSE on both machine pairs (ours vs paper)"
+    );
     let _ = writeln!(
         out,
         "{:<7} {:>16} {:>16} {:>16} {:>16}",
@@ -276,20 +334,57 @@ pub fn table6(dataset_m: &ExperimentDataset) -> Option<String> {
     let (train, _) = dataset_m.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
     let bundle = train_all(&train)?;
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE VI: training coefficients of HUANG, LIU, STRUNK (live)");
-    let _ = writeln!(out, "{:<8} {:<7} {:>14} {:>14} {:>12}", "Model", "Host", "alpha", "beta", "C");
+    let _ = writeln!(
+        out,
+        "TABLE VI: training coefficients of HUANG, LIU, STRUNK (live)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<7} {:>14} {:>14} {:>12}",
+        "Model", "Host", "alpha", "beta", "C"
+    );
     let h = &bundle.huang_live;
-    let _ = writeln!(out, "{:<8} {:<7} {:>14.3} {:>14} {:>12.1}", "HUANG", "source", h.source.alpha, "-", h.source.c);
-    let _ = writeln!(out, "{:<8} {:<7} {:>14.3} {:>14} {:>12.1}", "HUANG", "target", h.target.alpha, "-", h.target.c);
+    let _ = writeln!(
+        out,
+        "{:<8} {:<7} {:>14.3} {:>14} {:>12.1}",
+        "HUANG", "source", h.source.alpha, "-", h.source.c
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<7} {:>14.3} {:>14} {:>12.1}",
+        "HUANG", "target", h.target.alpha, "-", h.target.c
+    );
     let l = &bundle.liu_live;
-    let _ = writeln!(out, "{:<8} {:<7} {:>14.3e} {:>14} {:>12.1}", "LIU", "source", l.source.alpha, "-", l.source.c);
-    let _ = writeln!(out, "{:<8} {:<7} {:>14.3e} {:>14} {:>12.1}", "LIU", "target", l.target.alpha, "-", l.target.c);
+    let _ = writeln!(
+        out,
+        "{:<8} {:<7} {:>14.3e} {:>14} {:>12.1}",
+        "LIU", "source", l.source.alpha, "-", l.source.c
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<7} {:>14.3e} {:>14} {:>12.1}",
+        "LIU", "target", l.target.alpha, "-", l.target.c
+    );
     let s = &bundle.strunk_live;
-    let _ = writeln!(out, "{:<8} {:<7} {:>14.3} {:>14.3} {:>12.1}", "STRUNK", "source", s.source.alpha_mem, s.source.beta_bw, s.source.c);
-    let _ = writeln!(out, "{:<8} {:<7} {:>14.3} {:>14.3} {:>12.1}", "STRUNK", "target", s.target.alpha_mem, s.target.beta_bw, s.target.c);
+    let _ = writeln!(
+        out,
+        "{:<8} {:<7} {:>14.3} {:>14.3} {:>12.1}",
+        "STRUNK", "source", s.source.alpha_mem, s.source.beta_bw, s.source.c
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<7} {:>14.3} {:>14.3} {:>12.1}",
+        "STRUNK", "target", s.target.alpha_mem, s.target.beta_bw, s.target.c
+    );
     let _ = writeln!(out);
-    let _ = writeln!(out, "(paper: HUANG src 2.27/671.92, dst 2.56/645.78; LIU src 2.43/494.2, dst 2.19/508.2;");
-    let _ = writeln!(out, "        STRUNK src 3.35/-3.47/201.1, dst 5.04/-0.5/201.1 -- units differ, shapes compare)");
+    let _ = writeln!(
+        out,
+        "(paper: HUANG src 2.27/671.92, dst 2.56/645.78; LIU src 2.43/494.2, dst 2.19/508.2;"
+    );
+    let _ = writeln!(
+        out,
+        "        STRUNK src 3.35/-3.47/201.1, dst 5.04/-0.5/201.1 -- units differ, shapes compare)"
+    );
     Some(out)
 }
 
@@ -298,7 +393,10 @@ pub fn table7(dataset_m: &ExperimentDataset) -> Option<String> {
     let (train, test) = dataset_m.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
     let bundle = train_all(&train)?;
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE VII: model comparison on m01-m02 (test runs; energies in kJ)");
+    let _ = writeln!(
+        out,
+        "TABLE VII: model comparison on m01-m02 (test runs; energies in kJ)"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:<7} {:>11} {:>11} {:>9} {:>11} {:>11} {:>9}   (paper NRMSE nl/l)",
@@ -361,7 +459,13 @@ mod tests {
     fn small_dataset(set: MachineSet) -> ExperimentDataset {
         use crate::scenario::ExperimentFamily as F;
         let mut scenarios = Vec::new();
-        for fam in [F::CpuloadSource, F::CpuloadTarget, F::MemloadVm, F::MemloadSource, F::MemloadTarget] {
+        for fam in [
+            F::CpuloadSource,
+            F::CpuloadTarget,
+            F::MemloadVm,
+            F::MemloadSource,
+            F::MemloadTarget,
+        ] {
             let mut all = Scenario::family_scenarios(fam, set);
             // Keep the extreme levels only, for speed.
             all.retain(|s| {
@@ -374,6 +478,7 @@ mod tests {
             &RunnerConfig {
                 repetitions: RepetitionPolicy::Fixed(2),
                 base_seed: 99,
+                ..Default::default()
             },
         )
     }
@@ -381,7 +486,14 @@ mod tests {
     #[test]
     fn table2_is_static_and_complete() {
         let t = table2();
-        for needle in ["CPULOAD-SOURCE", "MEMLOAD-TARGET", "migrating-mem", "m01", "o2", "Broadcom"] {
+        for needle in [
+            "CPULOAD-SOURCE",
+            "MEMLOAD-TARGET",
+            "migrating-mem",
+            "m01",
+            "o2",
+            "Broadcom",
+        ] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
     }

@@ -1,0 +1,501 @@
+//! # wavm3-faults — seeded fault injection for migration runs
+//!
+//! The paper's testbed is a healthy, dedicated gigabit LAN; real
+//! consolidation managers migrate over shared links that degrade, guests
+//! whose pre-copy refuses to converge, and toolstacks that abort mid-copy.
+//! This crate injects those conditions into the simulator deterministically:
+//! a [`FaultPlan`] is drawn up-front from the run's [`RngFactory`] scope, so
+//! a faulted run replays bit-identically regardless of thread count, and a
+//! run with faults disabled is byte-identical to one built before this crate
+//! existed ([`FaultConfig::default`] injects nothing and draws nothing).
+//!
+//! Three fault classes (paper-extension §"robustness"):
+//!
+//! * **link degradation** — transient windows during which the effective
+//!   migration bandwidth is multiplied by a factor `< 1` (congestion,
+//!   packet loss and the ensuing TCP backoff);
+//! * **pre-copy non-convergence** — a dirty-page storm that forces the
+//!   final stop-and-copy after a configurable round cap, earlier than the
+//!   engine's own termination policy would have fired;
+//! * **migration abort** — the toolstack cancels the migration at a drawn
+//!   instant; the VM rolls back to the source and the energy spent tearing
+//!   the half-built target state down is accounted as rollback energy.
+//!
+//! What actually happened is recorded as [`FaultEvent`]s on the migration
+//! record, and [`RetryPolicy`] gives runners an exponential-backoff retry
+//! loop over aborted attempts.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wavm3_simkit::{Interval, RngFactory, SimDuration, SimTime};
+
+/// Transient link-degradation windows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaultConfig {
+    /// Expected number of degradation windows per run (0 = off). Windows
+    /// are drawn as `max_windows` independent Bernoulli trials with
+    /// `p = mean_windows / max_windows`, so the count is binomial with
+    /// this mean.
+    pub mean_windows: f64,
+    /// Hard cap on windows per run.
+    pub max_windows: usize,
+    /// Shortest window.
+    pub min_duration: SimDuration,
+    /// Longest window.
+    pub max_duration: SimDuration,
+    /// Strongest degradation: bandwidth multiplier at the bottom of the
+    /// drawn range (0 = total outage).
+    pub min_factor: f64,
+    /// Weakest degradation: multiplier at the top of the drawn range.
+    pub max_factor: f64,
+    /// Earliest instant a window may start.
+    pub earliest: SimTime,
+    /// Latest instant a window may start.
+    pub latest: SimTime,
+}
+
+impl Default for LinkFaultConfig {
+    fn default() -> Self {
+        LinkFaultConfig {
+            mean_windows: 0.0,
+            max_windows: 4,
+            min_duration: SimDuration::from_secs(3),
+            max_duration: SimDuration::from_secs(15),
+            min_factor: 0.05,
+            max_factor: 0.5,
+            earliest: SimTime::from_secs(10),
+            latest: SimTime::from_secs(90),
+        }
+    }
+}
+
+/// Pre-copy non-convergence (dirty-page storm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NonConvergenceFault {
+    /// Per-run probability that the storm occurs (0 = off).
+    pub probability: f64,
+    /// Pre-copy rounds allowed before the forced stop-and-copy.
+    pub round_cap: usize,
+}
+
+impl Default for NonConvergenceFault {
+    fn default() -> Self {
+        NonConvergenceFault {
+            probability: 0.0,
+            round_cap: 2,
+        }
+    }
+}
+
+/// Migration abort with rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbortFault {
+    /// Per-run probability of an abort being scheduled (0 = off). An
+    /// abort scheduled after the transfer already finished has no effect.
+    pub probability: f64,
+    /// Earliest abort instant.
+    pub earliest: SimTime,
+    /// Latest abort instant.
+    pub latest: SimTime,
+}
+
+impl Default for AbortFault {
+    fn default() -> Self {
+        AbortFault {
+            probability: 0.0,
+            earliest: SimTime::from_secs(15),
+            latest: SimTime::from_secs(60),
+        }
+    }
+}
+
+/// Complete fault-injection configuration. The default injects nothing,
+/// so every pre-existing run is byte-identical with faults "enabled but
+/// empty".
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Link degradation windows.
+    pub link: LinkFaultConfig,
+    /// Pre-copy non-convergence storm.
+    pub non_convergence: NonConvergenceFault,
+    /// Mid-migration abort.
+    pub abort: AbortFault,
+}
+
+impl FaultConfig {
+    /// `true` when at least one fault class can fire.
+    pub fn is_enabled(&self) -> bool {
+        self.link.mean_windows > 0.0
+            || self.non_convergence.probability > 0.0
+            || self.abort.probability > 0.0
+    }
+
+    /// A moderate all-classes preset (the `--faults` CLI default): some
+    /// runs see a degraded link, some refuse to converge, a few abort.
+    pub fn light() -> Self {
+        FaultConfig {
+            link: LinkFaultConfig {
+                mean_windows: 1.5,
+                ..LinkFaultConfig::default()
+            },
+            non_convergence: NonConvergenceFault {
+                probability: 0.25,
+                round_cap: 2,
+            },
+            abort: AbortFault {
+                probability: 0.15,
+                ..AbortFault::default()
+            },
+        }
+    }
+}
+
+/// One scheduled link-degradation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkWindow {
+    /// When the degradation is active.
+    pub window: Interval,
+    /// Multiplier applied to the effective bandwidth while active.
+    pub bandwidth_factor: f64,
+}
+
+/// Everything that will go wrong in one run, drawn up-front.
+///
+/// The plan is generated from named [`RngFactory`] streams
+/// (`fault.link` / `fault.converge` / `fault.abort`), so enabling one
+/// fault class never perturbs the draws of another, and the same run seed
+/// always produces the same plan — on any thread count.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    link_windows: Vec<LinkWindow>,
+    force_stop_after_rounds: Option<usize>,
+    abort_at: Option<SimTime>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing fails.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Draw a plan from `cfg` under the run's RNG scope. A fully disabled
+    /// config short-circuits to [`FaultPlan::none`] without touching any
+    /// stream.
+    pub fn generate(cfg: &FaultConfig, rng: &RngFactory) -> Self {
+        if !cfg.is_enabled() {
+            return FaultPlan::none();
+        }
+        let mut plan = FaultPlan::none();
+
+        if cfg.link.mean_windows > 0.0 && cfg.link.max_windows > 0 {
+            let mut link_rng = rng.stream("fault.link");
+            let p = (cfg.link.mean_windows / cfg.link.max_windows as f64).clamp(0.0, 1.0);
+            for _ in 0..cfg.link.max_windows {
+                if !link_rng.gen_bool(p) {
+                    continue;
+                }
+                let start = uniform_time(&mut link_rng, cfg.link.earliest, cfg.link.latest);
+                let span =
+                    uniform_duration(&mut link_rng, cfg.link.min_duration, cfg.link.max_duration);
+                let factor = uniform_f64(&mut link_rng, cfg.link.min_factor, cfg.link.max_factor)
+                    .clamp(0.0, 1.0);
+                plan.link_windows.push(LinkWindow {
+                    window: Interval::starting_at(start, span),
+                    bandwidth_factor: factor,
+                });
+            }
+            plan.link_windows
+                .sort_by_key(|w| (w.window.start, w.window.end));
+        }
+
+        if cfg.non_convergence.probability > 0.0 {
+            let mut conv_rng = rng.stream("fault.converge");
+            if conv_rng.gen_bool(cfg.non_convergence.probability.clamp(0.0, 1.0)) {
+                plan.force_stop_after_rounds = Some(cfg.non_convergence.round_cap.max(1));
+            }
+        }
+
+        if cfg.abort.probability > 0.0 {
+            let mut abort_rng = rng.stream("fault.abort");
+            if abort_rng.gen_bool(cfg.abort.probability.clamp(0.0, 1.0)) {
+                plan.abort_at = Some(uniform_time(
+                    &mut abort_rng,
+                    cfg.abort.earliest,
+                    cfg.abort.latest,
+                ));
+            }
+        }
+
+        plan
+    }
+
+    /// Bandwidth multiplier active at `t`: the minimum factor over every
+    /// window containing `t` (overlapping outages don't recover each
+    /// other), `1.0` when none is active.
+    pub fn bandwidth_factor_at(&self, t: SimTime) -> f64 {
+        self.link_windows
+            .iter()
+            .filter(|w| w.window.contains(t))
+            .map(|w| w.bandwidth_factor)
+            .fold(1.0, f64::min)
+    }
+
+    /// The scheduled link-degradation windows, in start order.
+    pub fn link_windows(&self) -> &[LinkWindow] {
+        &self.link_windows
+    }
+
+    /// `Some(cap)` when a non-convergence storm forces stop-and-copy
+    /// after `cap` pre-copy rounds.
+    pub fn force_stop_after_rounds(&self) -> Option<usize> {
+        self.force_stop_after_rounds
+    }
+
+    /// The scheduled abort instant, if any.
+    pub fn abort_at(&self) -> Option<SimTime> {
+        self.abort_at
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.link_windows.is_empty()
+            && self.force_stop_after_rounds.is_none()
+            && self.abort_at.is_none()
+    }
+
+    /// Test/bench helper: a plan with exactly these components.
+    pub fn from_parts(
+        link_windows: Vec<LinkWindow>,
+        force_stop_after_rounds: Option<usize>,
+        abort_at: Option<SimTime>,
+    ) -> Self {
+        FaultPlan {
+            link_windows,
+            force_stop_after_rounds,
+            abort_at,
+        }
+    }
+}
+
+/// One fault that actually fired during a run, recorded on the migration
+/// record in occurrence order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A link-degradation window became active during the transfer.
+    LinkDegraded {
+        /// The scheduled window.
+        window: Interval,
+        /// Bandwidth multiplier applied while active.
+        bandwidth_factor: f64,
+    },
+    /// A non-convergence storm forced the final stop-and-copy.
+    ForcedStopAndCopy {
+        /// When the forced pass started.
+        at: SimTime,
+        /// Pre-copy rounds completed before the force.
+        after_rounds: usize,
+    },
+    /// The migration was aborted and rolled back to the source.
+    Aborted {
+        /// Abort instant.
+        at: SimTime,
+        /// Bytes already pushed over the link when the abort fired.
+        bytes_sent: u64,
+    },
+}
+
+/// Retry-with-exponential-backoff over aborted migration attempts.
+///
+/// Backoff is *simulated* time — the runner charges it to the schedule,
+/// not the wall clock. `backoff_before(k)` is the pause before attempt
+/// `k` (1-based retries): `base * multiplier^(k-1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (1 = no retries).
+    pub max_attempts: u32,
+    /// Pause before the first retry.
+    pub base_backoff: SimDuration,
+    /// Growth factor per further retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_secs(5),
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, aborted or not.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Simulated pause before retry attempt `attempt` (1-based; attempt 0
+    /// is the initial try and has no backoff).
+    pub fn backoff_before(&self, attempt: u32) -> SimDuration {
+        if attempt == 0 {
+            return SimDuration::ZERO;
+        }
+        let scale = self.multiplier.max(1.0).powi(attempt as i32 - 1);
+        SimDuration::from_secs_f64(self.base_backoff.as_secs_f64() * scale)
+    }
+}
+
+fn uniform_f64<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    rng.gen_range(lo..hi)
+}
+
+fn uniform_time<R: Rng>(rng: &mut R, lo: SimTime, hi: SimTime) -> SimTime {
+    if hi <= lo {
+        return lo;
+    }
+    SimTime::from_micros(rng.gen_range(lo.as_micros()..=hi.as_micros()))
+}
+
+fn uniform_duration<R: Rng>(rng: &mut R, lo: SimDuration, hi: SimDuration) -> SimDuration {
+    if hi <= lo {
+        return lo;
+    }
+    SimDuration::from_micros(rng.gen_range(lo.as_micros()..=hi.as_micros()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_cfg() -> FaultConfig {
+        FaultConfig {
+            link: LinkFaultConfig {
+                mean_windows: 2.0,
+                ..LinkFaultConfig::default()
+            },
+            non_convergence: NonConvergenceFault {
+                probability: 1.0,
+                round_cap: 2,
+            },
+            abort: AbortFault {
+                probability: 1.0,
+                ..AbortFault::default()
+            },
+        }
+    }
+
+    #[test]
+    fn default_config_is_off_and_draws_nothing() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.is_enabled());
+        let plan = FaultPlan::generate(&cfg, &RngFactory::new(1));
+        assert!(plan.is_empty());
+        assert_eq!(plan.bandwidth_factor_at(SimTime::from_secs(30)), 1.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = enabled_cfg();
+        let a = FaultPlan::generate(&cfg, &RngFactory::new(7));
+        let b = FaultPlan::generate(&cfg, &RngFactory::new(7));
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(&cfg, &RngFactory::new(8));
+        assert_ne!(a, c, "different scope, different plan");
+    }
+
+    #[test]
+    fn certain_probabilities_always_schedule() {
+        let plan = FaultPlan::generate(&enabled_cfg(), &RngFactory::new(3));
+        assert_eq!(plan.force_stop_after_rounds(), Some(2));
+        let at = plan.abort_at().expect("abort scheduled");
+        assert!(at >= SimTime::from_secs(15) && at <= SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn windows_respect_config_bounds() {
+        let cfg = enabled_cfg();
+        for seed in 0..32 {
+            let plan = FaultPlan::generate(&cfg, &RngFactory::new(seed));
+            assert!(plan.link_windows().len() <= cfg.link.max_windows);
+            for w in plan.link_windows() {
+                assert!(w.window.start >= cfg.link.earliest);
+                assert!(w.window.start <= cfg.link.latest);
+                assert!(w.window.duration() >= cfg.link.min_duration);
+                assert!(w.window.duration() <= cfg.link.max_duration);
+                assert!(w.bandwidth_factor >= cfg.link.min_factor);
+                assert!(w.bandwidth_factor <= cfg.link.max_factor);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_is_min_over_active_windows() {
+        let plan = FaultPlan::from_parts(
+            vec![
+                LinkWindow {
+                    window: Interval::new(SimTime::from_secs(10), SimTime::from_secs(30)),
+                    bandwidth_factor: 0.5,
+                },
+                LinkWindow {
+                    window: Interval::new(SimTime::from_secs(20), SimTime::from_secs(40)),
+                    bandwidth_factor: 0.2,
+                },
+            ],
+            None,
+            None,
+        );
+        assert_eq!(plan.bandwidth_factor_at(SimTime::from_secs(15)), 0.5);
+        assert_eq!(plan.bandwidth_factor_at(SimTime::from_secs(25)), 0.2);
+        assert_eq!(plan.bandwidth_factor_at(SimTime::from_secs(35)), 0.2);
+        assert_eq!(plan.bandwidth_factor_at(SimTime::from_secs(45)), 1.0);
+    }
+
+    #[test]
+    fn fault_classes_use_independent_streams() {
+        // Turning the link class off must not change the abort draw.
+        let rng = RngFactory::new(11);
+        let full = FaultPlan::generate(&enabled_cfg(), &rng);
+        let mut abort_only = enabled_cfg();
+        abort_only.link.mean_windows = 0.0;
+        abort_only.non_convergence.probability = 0.0;
+        let partial = FaultPlan::generate(&abort_only, &rng);
+        assert_eq!(full.abort_at(), partial.abort_at());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps_nothing() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_secs(5),
+            multiplier: 2.0,
+        };
+        assert_eq!(p.backoff_before(0), SimDuration::ZERO);
+        assert_eq!(p.backoff_before(1), SimDuration::from_secs(5));
+        assert_eq!(p.backoff_before(2), SimDuration::from_secs(10));
+        assert_eq!(p.backoff_before(3), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn plan_roundtrips_through_serde() {
+        let plan = FaultPlan::generate(&enabled_cfg(), &RngFactory::new(5));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn light_preset_enables_every_class() {
+        let cfg = FaultConfig::light();
+        assert!(cfg.is_enabled());
+        assert!(cfg.link.mean_windows > 0.0);
+        assert!(cfg.non_convergence.probability > 0.0);
+        assert!(cfg.abort.probability > 0.0);
+    }
+}

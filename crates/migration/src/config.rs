@@ -1,6 +1,7 @@
 //! Migration engine configuration.
 
 use serde::{Deserialize, Serialize};
+use wavm3_faults::FaultConfig;
 use wavm3_simkit::SimDuration;
 
 /// Which migration mechanism to run (paper §III-A).
@@ -162,6 +163,9 @@ pub struct MigrationConfig {
     pub timing: TimingConfig,
     /// `CPU_migr` parameters.
     pub cpu_cost: MigrationCpuCost,
+    /// Fault injection (default: nothing fails; the engine behaves exactly
+    /// as it did before the fault subsystem existed).
+    pub faults: FaultConfig,
 }
 
 impl MigrationConfig {
@@ -173,6 +177,15 @@ impl MigrationConfig {
             service: ServicePower::default(),
             timing: TimingConfig::default(),
             cpu_cost: MigrationCpuCost::default(),
+            faults: FaultConfig::default(),
+        }
+    }
+
+    /// The same defaults with fault injection switched on.
+    pub fn with_faults(kind: MigrationKind, faults: FaultConfig) -> Self {
+        MigrationConfig {
+            faults,
+            ..MigrationConfig::new(kind)
         }
     }
 
@@ -223,7 +236,10 @@ mod tests {
         let t = TimingConfig::default();
         assert!(t.tick < t.initiation);
         assert!(t.post_run_min <= t.post_run_max);
-        assert!(t.pre_run.as_secs_f64() >= 10.0, "meters need 20 samples to stabilise");
+        assert!(
+            t.pre_run.as_secs_f64() >= 10.0,
+            "meters need 20 samples to stabilise"
+        );
     }
 
     #[test]

@@ -54,6 +54,6 @@ pub mod sla;
 pub use config::{
     MigrationConfig, MigrationCpuCost, MigrationKind, PrecopyConfig, ServicePower, TimingConfig,
 };
-pub use record::{FeatureSample, MigrationRecord, RoundStats};
+pub use record::{FeatureSample, MigrationOutcome, MigrationRecord, RoundStats};
 pub use simulation::MigrationSimulation;
 pub use sla::SlaReport;

@@ -3,8 +3,19 @@
 use crate::config::MigrationKind;
 use serde::{Deserialize, Serialize};
 use wavm3_cluster::MachineSet;
+use wavm3_faults::FaultEvent;
 use wavm3_power::{EnergyBreakdown, MigrationPhase, PhaseTimes, PowerTrace, TelemetryRecorder};
 use wavm3_simkit::{SimDuration, SimTime};
+
+/// How the migration ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrationOutcome {
+    /// The VM runs on the target; the source was cleaned up.
+    Completed,
+    /// An injected abort rolled the VM back to the source; the record's
+    /// `te` is the abort instant and its post-`te` energy is rollback.
+    Aborted,
+}
 
 /// One regression row: the workload features of paper §IV-B and the two
 /// measured powers, taken at a 2 Hz meter instant.
@@ -82,6 +93,16 @@ pub struct MigrationRecord {
     pub target_energy: EnergyBreakdown,
     /// The machines' idle power, watts (the paper's cross-set bias term).
     pub idle_power_w: f64,
+    /// How the run ended (aborts only occur under fault injection).
+    pub outcome: MigrationOutcome,
+    /// Injected faults that actually fired, in occurrence order. After a
+    /// retried run, the events of failed attempts are carried forward.
+    pub fault_events: Vec<FaultEvent>,
+    /// Which attempt produced this record (0 = first try; only retried
+    /// fault-injected runs are ever > 0).
+    pub attempt: u32,
+    /// Total simulated retry backoff charged before this attempt started.
+    pub retry_backoff: SimDuration,
 }
 
 impl MigrationRecord {
@@ -116,6 +137,16 @@ impl MigrationRecord {
     /// Measured total migration energy (source + target), joules.
     pub fn total_energy_j(&self) -> f64 {
         self.source_energy.total_j() + self.target_energy.total_j()
+    }
+
+    /// `true` when the run was rolled back by an injected abort.
+    pub fn is_aborted(&self) -> bool {
+        self.outcome == MigrationOutcome::Aborted
+    }
+
+    /// Combined rollback energy of both hosts, joules.
+    pub fn rollback_energy_j(&self) -> f64 {
+        self.source_energy.rollback_j + self.target_energy.rollback_j
     }
 }
 
@@ -186,13 +217,19 @@ mod tests {
                 initiation_j: 1000.0,
                 transfer_j: 20_000.0,
                 activation_j: 1500.0,
+                rollback_j: 0.0,
             },
             target_energy: EnergyBreakdown {
                 initiation_j: 900.0,
                 transfer_j: 17_000.0,
                 activation_j: 1800.0,
+                rollback_j: 0.0,
             },
             idle_power_w: 430.0,
+            outcome: MigrationOutcome::Completed,
+            fault_events: Vec::new(),
+            attempt: 0,
+            retry_backoff: SimDuration::ZERO,
         }
     }
 

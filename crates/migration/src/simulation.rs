@@ -11,13 +11,14 @@
 //! on their own 2 Hz schedule, exactly like the paper's instrumentation.
 
 use crate::config::{MigrationConfig, MigrationKind};
-use crate::record::{FeatureSample, MigrationRecord, RoundStats};
+use crate::record::{FeatureSample, MigrationOutcome, MigrationRecord, RoundStats};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wavm3_cluster::{Cluster, HostId, VmId, PAGE_SIZE_BYTES};
+use wavm3_faults::{FaultEvent, FaultPlan};
 use wavm3_power::{
-    channels, ground_truth_power, EnergyBreakdown, PhaseTimes, PowerInputs, PowerMeter,
-    PowerTrace, TelemetryRecorder,
+    channels, ground_truth_power, EnergyBreakdown, PhaseTimes, PowerInputs, PowerMeter, PowerTrace,
+    TelemetryRecorder,
 };
 use wavm3_simkit::{RngFactory, SimDuration, SimTime};
 use wavm3_workloads::Workload;
@@ -142,13 +143,9 @@ impl MigrationSimulation {
             "migrant must start on the source host"
         );
         assert!(
-            cluster.host(target).fits_ram(
-                cluster
-                    .vm(migrant)
-                    .expect("migrant exists")
-                    .spec
-                    .ram_mib
-            ),
+            cluster
+                .host(target)
+                .fits_ram(cluster.vm(migrant).expect("migrant exists").spec.ram_mib),
             "migrant does not fit on the target host"
         );
         MigrationSimulation {
@@ -219,9 +216,19 @@ impl MigrationSimulation {
         let mut samples: Vec<FeatureSample> = Vec::new();
         let mut rounds: Vec<RoundStats> = Vec::new();
 
-        // Phase instants, filled in as the run progresses.
+        // Fault plan for this run, drawn from the same RNG scope as the
+        // rest of the run's noise — identical on every replay. A disabled
+        // config yields the empty plan without touching any stream.
+        let fault_plan = FaultPlan::generate(&cfg.faults, &self.rng);
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
+        let mut link_window_seen = vec![false; fault_plan.link_windows().len()];
+        let mut aborted = false;
+
+        // Phase instants, filled in as the run progresses. `ts` is mutable
+        // only because an abort during initiation collapses the transfer
+        // phase to zero length.
         let ms = SimTime::ZERO + cfg.timing.pre_run;
-        let ts = ms + cfg.timing.initiation;
+        let mut ts = ms + cfg.timing.initiation;
         let mut te: Option<SimTime> = None;
         let mut me: Option<SimTime> = None;
 
@@ -290,8 +297,14 @@ impl MigrationSimulation {
                 let me_t = me.expect("me set");
                 let min_end = me_t + cfg.timing.post_run_min;
                 let max_end = me_t + cfg.timing.post_run_max;
-                let stable = src_meter.trace().series.is_stable(20, TAIL_STABILITY_TOLERANCE)
-                    && dst_meter.trace().series.is_stable(20, TAIL_STABILITY_TOLERANCE);
+                let stable = src_meter
+                    .trace()
+                    .series
+                    .is_stable(20, TAIL_STABILITY_TOLERANCE)
+                    && dst_meter
+                        .trace()
+                        .series
+                        .is_stable(20, TAIL_STABILITY_TOLERANCE);
                 if (now >= min_end && stable) || now >= max_end {
                     stage = Stage::Finished;
                     // Take the final meter samples before leaving so the
@@ -300,6 +313,41 @@ impl MigrationSimulation {
             }
             if stage == Stage::Finished {
                 break;
+            }
+
+            // --- Injected abort: roll the migration back to the source. ---
+            // Post-copy runs are only abortable before the handover (once
+            // the VM executes on the target there is nothing to roll back
+            // to); pre-copy/non-live runs are abortable until `te`.
+            if !aborted
+                && matches!(stage, Stage::Initiation | Stage::Transfer)
+                && !migrant_on_target
+                && fault_plan.abort_at().is_some_and(|t| now >= t)
+            {
+                aborted = true;
+                fault_events.push(FaultEvent::Aborted {
+                    at: now,
+                    bytes_sent: total_bytes.round() as u64,
+                });
+                // The VM never left the source; resume it if this
+                // migration suspended it (non-live, or a live
+                // stop-and-copy pass caught mid-flight).
+                let vm = self.cluster.vm_mut(self.migrant).unwrap();
+                if !vm.is_running() {
+                    vm.resume();
+                    resume_time = Some(now);
+                }
+                // Timeline: `te` = abort instant; the activation-length
+                // window that follows holds target teardown and source
+                // cleanup, accounted as rollback energy.
+                if stage == Stage::Initiation {
+                    ts = now; // the transfer never started
+                }
+                te = Some(now);
+                me = Some(now + cfg.timing.activation);
+                xfer = None;
+                dirty_pages = 0.0;
+                stage = Stage::Activation;
             }
 
             // --- Refresh workload CPU demands. ---
@@ -335,8 +383,7 @@ impl MigrationSimulation {
                     .vm(self.migrant)
                     .map(|v| v.is_running())
                     .unwrap_or(false);
-            let dirty_intensity = if cfg.kind == MigrationKind::Live && migrant_running_on_source
-            {
+            let dirty_intensity = if cfg.kind == MigrationKind::Live && migrant_running_on_source {
                 let w = self.workloads.get(&self.migrant);
                 w.map(|w| (w.page_write_rate(now) / PEAK_PAGE_WRITE_RATE).min(1.0))
                     .unwrap_or(0.0)
@@ -381,11 +428,26 @@ impl MigrationSimulation {
             let dst_bg = bg_line_share(&self.cluster, self.target);
             current_bw = if stage == Stage::Transfer {
                 let free_line = (1.0 - src_bg.max(dst_bg)).max(0.02);
+                // Injected link degradation throttles the physical link;
+                // the sender-side rate cap still applies on top.
+                let fault_factor = fault_plan.bandwidth_factor_at(now);
+                if fault_factor < 1.0 {
+                    for (i, w) in fault_plan.link_windows().iter().enumerate() {
+                        if w.window.contains(now) && !link_window_seen[i] {
+                            link_window_seen[i] = true;
+                            fault_events.push(FaultEvent::LinkDegraded {
+                                window: w.window,
+                                bandwidth_factor: w.bandwidth_factor,
+                            });
+                        }
+                    }
+                }
                 let bw = self
                     .cluster
                     .link
                     .effective_bandwidth(src_alloc.scale, dst_alloc.scale)
-                    * free_line;
+                    * free_line
+                    * fault_factor;
                 match cfg.precopy.rate_limit_bps {
                     Some(cap) => bw.min(cap.max(1.0)),
                     None => bw,
@@ -456,13 +518,26 @@ impl MigrationSimulation {
                         } else {
                             // Live pre-copy round boundary: decide.
                             let threshold = cfg.precopy.stop_threshold_pages as f64;
-                            let stall =
-                                d_end as f64 >= cfg.precopy.stall_ratio * pages_sent;
+                            let stall = d_end as f64 >= cfg.precopy.stall_ratio * pages_sent;
                             let cap = x.round + 1 >= cfg.precopy.max_rounds;
+                            // Injected dirty-page storm: force the final
+                            // pass at the fault's round cap where the
+                            // engine's own rules would keep iterating.
+                            let forced = d_end > 0
+                                && fault_plan
+                                    .force_stop_after_rounds()
+                                    .is_some_and(|c| x.round + 1 >= c)
+                                && !(d_end as f64 <= threshold || stall || cap);
+                            if forced {
+                                fault_events.push(FaultEvent::ForcedStopAndCopy {
+                                    at: t_cur,
+                                    after_rounds: x.round + 1,
+                                });
+                            }
                             if d_end == 0 {
                                 finish(&mut te, &mut me, t_cur);
                                 stage = Stage::Activation;
-                            } else if d_end as f64 <= threshold || stall || cap {
+                            } else if d_end as f64 <= threshold || stall || cap || forced {
                                 // Final stop-and-copy: suspend the VM.
                                 self.cluster.vm_mut(self.migrant).unwrap().suspend();
                                 suspend_time = Some(t_cur);
@@ -496,7 +571,8 @@ impl MigrationSimulation {
                 if stage == Stage::Activation {
                     if !migrant_on_target {
                         let te_t = te.expect("te set");
-                        self.cluster.relocate_vm(self.migrant, self.source, self.target);
+                        self.cluster
+                            .relocate_vm(self.migrant, self.source, self.target);
                         let vm = self.cluster.vm_mut(self.migrant).unwrap();
                         vm.resume();
                         migrant_on_target = true;
@@ -512,10 +588,7 @@ impl MigrationSimulation {
             let dst_nic_util = (migr_nic + dst_bg).min(1.0);
             let (svc_src, svc_dst) = match stage {
                 Stage::Initiation => (cfg.service.init_source_w, cfg.service.init_target_w),
-                Stage::Transfer => (
-                    cfg.service.transfer_source_w,
-                    cfg.service.transfer_target_w,
-                ),
+                Stage::Transfer => (cfg.service.transfer_source_w, cfg.service.transfer_target_w),
                 Stage::Activation => (
                     cfg.service.activation_source_w,
                     cfg.service.activation_target_w,
@@ -567,7 +640,11 @@ impl MigrationSimulation {
                 let migrant_cpu_fraction = {
                     let vm = self.cluster.vm(self.migrant).expect("migrant exists");
                     if vm.is_running() && migrant_vcpus > 0.0 {
-                        let host = if migrant_on_target { &dst_alloc } else { &src_alloc };
+                        let host = if migrant_on_target {
+                            &dst_alloc
+                        } else {
+                            &src_alloc
+                        };
                         (host.granted(vm.cpu_demand()) / migrant_vcpus).clamp(0.0, 1.0)
                     } else {
                         0.0
@@ -583,6 +660,15 @@ impl MigrationSimulation {
                 telemetry.record(channels::CPU_VM, t_sample, migrant_cpu_fraction);
                 telemetry.record(channels::DIRTY_RATIO, t_sample, dirty_ratio);
                 telemetry.record(channels::BANDWIDTH, t_sample, current_bw);
+                if !fault_plan.is_empty() {
+                    // Extra channel only on faulted runs, so fault-free
+                    // records stay byte-identical to the pre-fault engine.
+                    telemetry.record(
+                        channels::FAULT_BW_FACTOR,
+                        t_sample,
+                        fault_plan.bandwidth_factor_at(t_sample),
+                    );
+                }
 
                 // Phase classification needs final te/me; defer by storing
                 // a provisional phase and fixing Normal/Activation below.
@@ -616,8 +702,17 @@ impl MigrationSimulation {
 
         let source_trace = src_meter.into_trace();
         let target_trace = dst_meter.into_trace();
-        let source_energy = EnergyBreakdown::from_trace(&source_trace, &phases);
-        let target_energy = EnergyBreakdown::from_trace(&target_trace, &phases);
+        let (source_energy, target_energy) = if aborted {
+            (
+                EnergyBreakdown::from_trace_aborted(&source_trace, &phases),
+                EnergyBreakdown::from_trace_aborted(&target_trace, &phases),
+            )
+        } else {
+            (
+                EnergyBreakdown::from_trace(&source_trace, &phases),
+                EnergyBreakdown::from_trace(&target_trace, &phases),
+            )
+        };
 
         MigrationRecord {
             kind: cfg.kind,
@@ -636,6 +731,14 @@ impl MigrationSimulation {
             source_energy,
             target_energy,
             idle_power_w,
+            outcome: if aborted {
+                MigrationOutcome::Aborted
+            } else {
+                MigrationOutcome::Completed
+            },
+            fault_events,
+            attempt: 0,
+            retry_backoff: SimDuration::ZERO,
         }
     }
 }
@@ -797,7 +900,10 @@ mod tests {
             .unwrap();
         let after = r
             .source_trace
-            .mean_power_between(r.phases.me + SimDuration::from_secs(2), r.phases.me + SimDuration::from_secs(8))
+            .mean_power_between(
+                r.phases.me + SimDuration::from_secs(2),
+                r.phases.me + SimDuration::from_secs(8),
+            )
             .unwrap();
         assert!(
             after < during,
@@ -810,7 +916,12 @@ mod tests {
         let r = scenario(MigrationKind::Live, 1, 1, None, 8);
         // Samples cover all four phases.
         use wavm3_power::MigrationPhase as P;
-        for phase in [P::NormalExecution, P::Initiation, P::Transfer, P::Activation] {
+        for phase in [
+            P::NormalExecution,
+            P::Initiation,
+            P::Transfer,
+            P::Activation,
+        ] {
             assert!(
                 !r.samples_in_phase(phase).is_empty(),
                 "no samples in {phase:?}"
@@ -826,7 +937,9 @@ mod tests {
         // Energies are positive and phases ordered.
         assert!(r.source_energy.total_j() > 0.0);
         assert!(r.target_energy.total_j() > 0.0);
-        assert!(r.phases.ms < r.phases.ts && r.phases.ts < r.phases.te && r.phases.te < r.phases.me);
+        assert!(
+            r.phases.ms < r.phases.ts && r.phases.ts < r.phases.te && r.phases.te < r.phases.me
+        );
         // Bandwidth feature is 0 outside transfer, positive inside.
         for s in &r.samples {
             match s.phase {
@@ -848,7 +961,10 @@ mod tests {
         assert_eq!(a.phases, b.phases);
         assert_eq!(a.source_trace, b.source_trace);
         let c = scenario(MigrationKind::Live, 2, 0, Some(0.55), 43);
-        assert_ne!(a.source_trace, c.source_trace, "different seed, different noise");
+        assert_ne!(
+            a.source_trace, c.source_trace,
+            "different seed, different noise"
+        );
     }
 
     #[test]

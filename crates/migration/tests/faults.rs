@@ -1,0 +1,190 @@
+//! Behavioural tests for fault injection in the migration engine: aborts
+//! roll back with rollback energy, link windows slow the transfer, and a
+//! non-convergence storm forces the stop-and-copy at the round cap.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wavm3_cluster::{hardware, vm_instances, Cluster, Link, VmId};
+use wavm3_faults::{AbortFault, FaultConfig, FaultEvent, LinkFaultConfig, NonConvergenceFault};
+use wavm3_migration::{MigrationConfig, MigrationKind, MigrationOutcome, MigrationSimulation};
+use wavm3_power::telemetry::channels;
+use wavm3_simkit::{RngFactory, SimTime};
+use wavm3_workloads::{MatMulWorkload, PageDirtierWorkload, Workload};
+
+fn run(
+    kind: MigrationKind,
+    faults: FaultConfig,
+    mem_ratio: Option<f64>,
+    seed: u64,
+) -> wavm3_migration::MigrationRecord {
+    let mut cluster = Cluster::new(Link::gigabit());
+    let src = cluster.add_host(hardware::m01());
+    let dst = cluster.add_host(hardware::m02());
+    let mut workloads: BTreeMap<VmId, Arc<dyn Workload>> = BTreeMap::new();
+    let vm = match mem_ratio {
+        Some(r) => {
+            let id = cluster.boot_vm(src, vm_instances::migrating_mem());
+            workloads.insert(id, Arc::new(PageDirtierWorkload::with_ratio(r)));
+            id
+        }
+        None => {
+            let id = cluster.boot_vm(src, vm_instances::migrating_cpu());
+            workloads.insert(id, Arc::new(MatMulWorkload::full(4)));
+            id
+        }
+    };
+    MigrationSimulation::new(
+        cluster,
+        workloads,
+        vm,
+        src,
+        dst,
+        MigrationConfig::with_faults(kind, faults),
+        RngFactory::new(seed),
+    )
+    .run()
+}
+
+fn certain_abort(earliest_s: u64, latest_s: u64) -> FaultConfig {
+    FaultConfig {
+        abort: AbortFault {
+            probability: 1.0,
+            earliest: SimTime::from_secs(earliest_s),
+            latest: SimTime::from_secs(latest_s),
+        },
+        ..FaultConfig::default()
+    }
+}
+
+#[test]
+fn default_config_changes_nothing() {
+    let baseline = run(MigrationKind::Live, FaultConfig::default(), None, 11);
+    assert_eq!(baseline.outcome, MigrationOutcome::Completed);
+    assert!(baseline.fault_events.is_empty());
+    assert_eq!(baseline.source_energy.rollback_j, 0.0);
+    assert_eq!(baseline.target_energy.rollback_j, 0.0);
+    assert!(
+        baseline
+            .telemetry
+            .channel(channels::FAULT_BW_FACTOR)
+            .is_none(),
+        "an empty fault plan must not add telemetry channels"
+    );
+}
+
+#[test]
+fn abort_mid_transfer_rolls_back_with_rollback_energy() {
+    // pre_run 12 s + 2 s initiation; a 4 GiB image takes ~40 s, so 20–21 s
+    // is safely inside the transfer phase.
+    let record = run(MigrationKind::Live, certain_abort(20, 21), None, 11);
+    assert_eq!(record.outcome, MigrationOutcome::Aborted);
+    assert!(record.is_aborted());
+    assert!(matches!(
+        record.fault_events.as_slice(),
+        [FaultEvent::Aborted { bytes_sent, .. }] if *bytes_sent > 0
+    ));
+    // Post-abort energy is rollback, not activation.
+    assert_eq!(record.source_energy.activation_j, 0.0);
+    assert_eq!(record.target_energy.activation_j, 0.0);
+    assert!(record.rollback_energy_j() > 0.0);
+    // The abort cut the transfer short.
+    let baseline = run(MigrationKind::Live, FaultConfig::default(), None, 11);
+    assert!(record.phases.transfer() < baseline.phases.transfer());
+    assert!(record.total_bytes < baseline.total_bytes);
+}
+
+#[test]
+fn abort_during_initiation_yields_zero_length_transfer() {
+    // Initiation spans [12 s, 14 s); abort inside it.
+    let record = run(MigrationKind::Live, certain_abort(12, 13), None, 7);
+    assert_eq!(record.outcome, MigrationOutcome::Aborted);
+    assert_eq!(record.phases.transfer().as_secs_f64(), 0.0);
+    assert_eq!(record.total_bytes, 0);
+    assert_eq!(record.source_energy.transfer_j, 0.0);
+}
+
+#[test]
+fn abort_scheduled_after_completion_is_inert() {
+    // The whole migration ends well before 500 s.
+    let record = run(MigrationKind::Live, certain_abort(500, 501), None, 11);
+    assert_eq!(record.outcome, MigrationOutcome::Completed);
+    assert!(record.fault_events.is_empty());
+    assert_eq!(record.rollback_energy_j(), 0.0);
+}
+
+#[test]
+fn link_windows_shrink_bandwidth_and_stretch_the_transfer() {
+    let faults = FaultConfig {
+        link: LinkFaultConfig {
+            mean_windows: 4.0, // p = 1: all four windows certain
+            max_windows: 4,
+            min_factor: 0.05,
+            max_factor: 0.2,
+            ..LinkFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    };
+    let degraded = run(MigrationKind::Live, faults, None, 11);
+    let baseline = run(MigrationKind::Live, FaultConfig::default(), None, 11);
+    assert_eq!(degraded.outcome, MigrationOutcome::Completed);
+    assert!(
+        degraded
+            .fault_events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::LinkDegraded { bandwidth_factor, .. } if *bandwidth_factor < 1.0)),
+        "events: {:?}",
+        degraded.fault_events
+    );
+    assert!(
+        degraded.phases.transfer() > baseline.phases.transfer(),
+        "degraded {:?} vs baseline {:?}",
+        degraded.phases.transfer(),
+        baseline.phases.transfer()
+    );
+    // The telemetry channel mirrors the plan: it must dip below 1.
+    let ch = degraded
+        .telemetry
+        .channel(channels::FAULT_BW_FACTOR)
+        .expect("fault runs record the bandwidth-factor channel");
+    assert!(ch.iter().any(|(_, v)| v < 1.0));
+    assert!(ch.iter().all(|(_, v)| v > 0.0 && v <= 1.0));
+}
+
+#[test]
+fn non_convergence_storm_forces_stop_and_copy_at_the_cap() {
+    let faults = FaultConfig {
+        non_convergence: NonConvergenceFault {
+            probability: 1.0,
+            round_cap: 1,
+        },
+        ..FaultConfig::default()
+    };
+    // A moderately dirty guest normally takes several pre-copy rounds.
+    let baseline = run(MigrationKind::Live, FaultConfig::default(), Some(0.35), 5);
+    assert!(
+        baseline.precopy_rounds() > 1,
+        "baseline must need > 1 round for the cap to matter, got {}",
+        baseline.precopy_rounds()
+    );
+    let capped = run(MigrationKind::Live, faults, Some(0.35), 5);
+    assert_eq!(capped.outcome, MigrationOutcome::Completed);
+    assert!(capped.precopy_rounds() <= 1, "rounds: {:?}", capped.rounds);
+    assert!(capped.fault_events.iter().any(|e| matches!(
+        e,
+        FaultEvent::ForcedStopAndCopy {
+            after_rounds: 1,
+            ..
+        }
+    )));
+    // The forced stop-and-copy moves a bigger residual dirty set while the
+    // VM is suspended, so downtime can only grow.
+    assert!(capped.downtime >= baseline.downtime);
+}
+
+#[test]
+fn same_seed_same_faults_reproduce_bit_identically() {
+    let faults = FaultConfig::light();
+    let a = run(MigrationKind::Live, faults, Some(0.55), 42);
+    let b = run(MigrationKind::Live, faults, Some(0.55), 42);
+    assert_eq!(a, b);
+}

@@ -104,10 +104,10 @@ mod tests {
         let rows = evaluate_models(&[&wavm3, &liu_live], &refs);
         // 2 kinds × 2 models × 2 roles.
         assert_eq!(rows.len(), 8);
-        assert!(rows.iter().any(|r| r.model == "WAVM3" && r.role == HostRole::Target));
         assert!(rows
             .iter()
-            .all(|r| r.errors.n == 12, ));
+            .any(|r| r.model == "WAVM3" && r.role == HostRole::Target));
+        assert!(rows.iter().all(|r| r.errors.n == 12,));
     }
 
     #[test]
@@ -121,7 +121,13 @@ mod tests {
     #[test]
     fn observed_energy_selects_role() {
         let r = synthetic_record(0, MigrationKind::Live);
-        assert_eq!(observed_energy(HostRole::Source, &r), r.source_energy.total_j());
-        assert_eq!(observed_energy(HostRole::Target, &r), r.target_energy.total_j());
+        assert_eq!(
+            observed_energy(HostRole::Source, &r),
+            r.source_energy.total_j()
+        );
+        assert_eq!(
+            observed_energy(HostRole::Target, &r),
+            r.target_energy.total_j()
+        );
     }
 }

@@ -111,8 +111,14 @@ mod tests {
     #[test]
     fn linear_in_host_cpu_only() {
         let m = HuangModel {
-            source: HuangCoeffs { alpha: 2.27, c: 671.92 },
-            target: HuangCoeffs { alpha: 2.56, c: 645.77 },
+            source: HuangCoeffs {
+                alpha: 2.27,
+                c: 671.92,
+            },
+            target: HuangCoeffs {
+                alpha: 2.56,
+                c: 645.77,
+            },
         };
         let s = FeatureSample {
             t: SimTime::from_secs(1),
@@ -140,8 +146,14 @@ mod tests {
     #[test]
     fn vm_variant_tracks_guest_not_host() {
         let m = HuangVmModel {
-            source: HuangCoeffs { alpha: 2.0, c: 500.0 },
-            target: HuangCoeffs { alpha: 2.0, c: 500.0 },
+            source: HuangCoeffs {
+                alpha: 2.0,
+                c: 500.0,
+            },
+            target: HuangCoeffs {
+                alpha: 2.0,
+                c: 500.0,
+            },
         };
         let mut s = FeatureSample {
             t: SimTime::from_secs(1),

@@ -64,7 +64,6 @@ pub use model::{EnergyModel, PowerModel};
 pub use strunk::StrunkModel;
 pub use training::{
     train_huang, train_huang_vm, train_liu, train_strunk, train_wavm3, train_wavm3_masked,
-    FeatureMask,
-    ReadingSplit,
+    FeatureMask, ReadingSplit,
 };
 pub use wavm3::{HostCoeffs, PhaseCoeffs, Wavm3Model};

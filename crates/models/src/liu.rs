@@ -115,8 +115,14 @@ mod tests {
     #[test]
     fn energy_is_affine_in_bytes() {
         let m = LiuModel {
-            source: LiuCoeffs { alpha: 1e-5, c: 500.0 },
-            target: LiuCoeffs { alpha: 2e-5, c: 300.0 },
+            source: LiuCoeffs {
+                alpha: 1e-5,
+                c: 500.0,
+            },
+            target: LiuCoeffs {
+                alpha: 2e-5,
+                c: 300.0,
+            },
         };
         let mut r = tiny_record();
         r.total_bytes = 1_000_000_000;

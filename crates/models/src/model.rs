@@ -69,7 +69,7 @@ mod tests {
     #[test]
     fn integration_counts_only_migration_samples() {
         use wavm3_cluster::MachineSet;
-        use wavm3_migration::MigrationKind;
+        use wavm3_migration::{MigrationKind, MigrationOutcome};
         use wavm3_power::{EnergyBreakdown, PhaseTimes, PowerTrace, TelemetryRecorder};
         use wavm3_simkit::{SimDuration, SimTime};
 
@@ -114,13 +114,19 @@ mod tests {
                 initiation_j: 0.0,
                 transfer_j: 0.0,
                 activation_j: 0.0,
+                rollback_j: 0.0,
             },
             target_energy: EnergyBreakdown {
                 initiation_j: 0.0,
                 transfer_j: 0.0,
                 activation_j: 0.0,
+                rollback_j: 0.0,
             },
             idle_power_w: 430.0,
+            outcome: MigrationOutcome::Completed,
+            fault_events: Vec::new(),
+            attempt: 0,
+            retry_backoff: SimDuration::ZERO,
         };
         let m = Flat(100.0);
         // Three migration-window samples × 100 W × 0.5 s.

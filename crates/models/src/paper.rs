@@ -155,14 +155,54 @@ pub struct PaperNrmse {
 
 /// Table VII — the paper's published NRMSE grid on m01–m02.
 pub const TABLE_VII_NRMSE: [PaperNrmse; 8] = [
-    PaperNrmse { model: "WAVM3", host: "source", non_live_pct: 11.8, live_pct: 11.8 },
-    PaperNrmse { model: "WAVM3", host: "target", non_live_pct: 12.0, live_pct: 5.0 },
-    PaperNrmse { model: "HUANG", host: "source", non_live_pct: 12.0, live_pct: 15.7 },
-    PaperNrmse { model: "HUANG", host: "target", non_live_pct: 12.8, live_pct: 12.9 },
-    PaperNrmse { model: "LIU", host: "source", non_live_pct: 26.9, live_pct: 36.3 },
-    PaperNrmse { model: "LIU", host: "target", non_live_pct: 25.3, live_pct: 29.4 },
-    PaperNrmse { model: "STRUNK", host: "source", non_live_pct: 17.7, live_pct: 35.4 },
-    PaperNrmse { model: "STRUNK", host: "target", non_live_pct: 30.0, live_pct: 36.2 },
+    PaperNrmse {
+        model: "WAVM3",
+        host: "source",
+        non_live_pct: 11.8,
+        live_pct: 11.8,
+    },
+    PaperNrmse {
+        model: "WAVM3",
+        host: "target",
+        non_live_pct: 12.0,
+        live_pct: 5.0,
+    },
+    PaperNrmse {
+        model: "HUANG",
+        host: "source",
+        non_live_pct: 12.0,
+        live_pct: 15.7,
+    },
+    PaperNrmse {
+        model: "HUANG",
+        host: "target",
+        non_live_pct: 12.8,
+        live_pct: 12.9,
+    },
+    PaperNrmse {
+        model: "LIU",
+        host: "source",
+        non_live_pct: 26.9,
+        live_pct: 36.3,
+    },
+    PaperNrmse {
+        model: "LIU",
+        host: "target",
+        non_live_pct: 25.3,
+        live_pct: 29.4,
+    },
+    PaperNrmse {
+        model: "STRUNK",
+        host: "source",
+        non_live_pct: 17.7,
+        live_pct: 35.4,
+    },
+    PaperNrmse {
+        model: "STRUNK",
+        host: "target",
+        non_live_pct: 30.0,
+        live_pct: 36.2,
+    },
 ];
 
 /// Table V — WAVM3 NRMSE on both machine sets (percent).
@@ -182,8 +222,20 @@ pub struct TableVRow {
 
 /// Table V as published.
 pub const TABLE_V: [TableVRow; 2] = [
-    TableVRow { host: "source", m_non_live_pct: 11.8, m_live_pct: 11.8, o_non_live_pct: 12.5, o_live_pct: 12.7 },
-    TableVRow { host: "target", m_non_live_pct: 12.0, m_live_pct: 5.0, o_non_live_pct: 16.3, o_live_pct: 17.2 },
+    TableVRow {
+        host: "source",
+        m_non_live_pct: 11.8,
+        m_live_pct: 11.8,
+        o_non_live_pct: 12.5,
+        o_live_pct: 12.7,
+    },
+    TableVRow {
+        host: "target",
+        m_non_live_pct: 12.0,
+        m_live_pct: 5.0,
+        o_non_live_pct: 16.3,
+        o_live_pct: 17.2,
+    },
 ];
 
 #[cfg(test)]
@@ -209,7 +261,11 @@ mod tests {
     fn published_models_produce_plausible_watts() {
         let m = wavm3_live();
         let r = tiny_record();
-        for s in r.samples.iter().filter(|s| s.phase == MigrationPhase::Transfer) {
+        for s in r
+            .samples
+            .iter()
+            .filter(|s| s.phase == MigrationPhase::Transfer)
+        {
             let p = m.predict_power(HostRole::Source, s);
             assert!((300.0..1200.0).contains(&p), "implausible power {p}");
         }
@@ -234,9 +290,13 @@ mod tests {
             }
         }
         // Non-live: HUANG is competitive (the paper's §VII-A nuance).
-        assert!((get("WAVM3", "source").non_live_pct - get("HUANG", "source").non_live_pct).abs() < 1.0);
+        assert!(
+            (get("WAVM3", "source").non_live_pct - get("HUANG", "source").non_live_pct).abs() < 1.0
+        );
         // The headline: up to 7.9 points NRMSE improvement on live target.
-        assert!((get("HUANG", "target").live_pct - get("WAVM3", "target").live_pct - 7.9).abs() < 0.11);
+        assert!(
+            (get("HUANG", "target").live_pct - get("WAVM3", "target").live_pct - 7.9).abs() < 0.11
+        );
     }
 
     #[test]

@@ -71,8 +71,16 @@ mod tests {
     #[test]
     fn energy_uses_memory_and_bandwidth() {
         let m = StrunkModel {
-            source: StrunkCoeffs { alpha_mem: 3.35, beta_bw: -3.47, c: 201.1 },
-            target: StrunkCoeffs { alpha_mem: 5.04, beta_bw: -0.5, c: 201.1 },
+            source: StrunkCoeffs {
+                alpha_mem: 3.35,
+                beta_bw: -3.47,
+                c: 201.1,
+            },
+            target: StrunkCoeffs {
+                alpha_mem: 5.04,
+                beta_bw: -0.5,
+                c: 201.1,
+            },
         };
         let r = tiny_record();
         let (mem, bw) = StrunkModel::features(&r);
@@ -87,7 +95,11 @@ mod tests {
         // Two records differing only in host CPU produce identical
         // predictions — the model's documented blind spot.
         let m = StrunkModel {
-            source: StrunkCoeffs { alpha_mem: 1.0, beta_bw: 1.0, c: 0.0 },
+            source: StrunkCoeffs {
+                alpha_mem: 1.0,
+                beta_bw: 1.0,
+                c: 0.0,
+            },
             target: StrunkCoeffs::default(),
         };
         let a = tiny_record();

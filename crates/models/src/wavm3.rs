@@ -222,7 +222,10 @@ mod tests {
         assert_eq!(shifted.target.initiation.c, m.target.initiation.c + delta);
         assert_eq!(shifted.source.activation.c, m.source.activation.c + delta);
         // Slopes untouched.
-        assert_eq!(shifted.source.transfer.alpha_cpu_host, m.source.transfer.alpha_cpu_host);
+        assert_eq!(
+            shifted.source.transfer.alpha_cpu_host,
+            m.source.transfer.alpha_cpu_host
+        );
         assert_eq!(shifted.trained_idle_w, 165.0);
         // Round trip restores the original.
         let back = shifted.with_idle_bias(430.0);

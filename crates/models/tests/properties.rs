@@ -28,7 +28,11 @@ fn arb_sample() -> impl Strategy<Value = FeatureSample> {
             cpu_target: ct,
             cpu_vm: cv,
             dirty_ratio: dr,
-            bandwidth_bps: if phase == MigrationPhase::Transfer { bw } else { 0.0 },
+            bandwidth_bps: if phase == MigrationPhase::Transfer {
+                bw
+            } else {
+                0.0
+            },
             power_source_w: 0.0,
             power_target_w: 0.0,
         })

@@ -163,9 +163,29 @@ mod tests {
             service_w: 5.0,
         };
         let f = |i: PowerInputs| ground_truth_power(&p, i);
-        assert!(f(PowerInputs { cpu_utilisation: 0.6, ..base }) > f(base));
-        assert!(f(PowerInputs { nic_utilisation: 0.6, ..base }) > f(base));
-        assert!(f(PowerInputs { mem_activity: 0.6, ..base }) > f(base));
-        assert!(f(PowerInputs { service_w: 10.0, ..base }) > f(base));
+        assert!(
+            f(PowerInputs {
+                cpu_utilisation: 0.6,
+                ..base
+            }) > f(base)
+        );
+        assert!(
+            f(PowerInputs {
+                nic_utilisation: 0.6,
+                ..base
+            }) > f(base)
+        );
+        assert!(
+            f(PowerInputs {
+                mem_activity: 0.6,
+                ..base
+            }) > f(base)
+        );
+        assert!(
+            f(PowerInputs {
+                service_w: 10.0,
+                ..base
+            }) > f(base)
+        );
     }
 }

@@ -55,7 +55,10 @@ pub struct PhaseTimes {
 impl PhaseTimes {
     /// Validate ordering `ms ≤ ts ≤ te ≤ me`.
     pub fn new(ms: SimTime, ts: SimTime, te: SimTime, me: SimTime) -> Self {
-        assert!(ms <= ts && ts <= te && te <= me, "phase instants out of order");
+        assert!(
+            ms <= ts && ts <= te && te <= me,
+            "phase instants out of order"
+        );
         PhaseTimes { ms, ts, te, me }
     }
 
@@ -102,6 +105,10 @@ pub struct EnergyBreakdown {
     pub transfer_j: f64,
     /// `E(a)(h, v)` — activation-phase energy.
     pub activation_j: f64,
+    /// Energy spent rolling back an aborted migration (fault-injection
+    /// extension): the teardown window of an aborted run and, after
+    /// retries, the whole cost of the failed attempts. Zero on clean runs.
+    pub rollback_j: f64,
 }
 
 impl EnergyBreakdown {
@@ -111,12 +118,26 @@ impl EnergyBreakdown {
             initiation_j: trace.energy_between(phases.ms, phases.ts),
             transfer_j: trace.energy_between(phases.ts, phases.te),
             activation_j: trace.energy_between(phases.te, phases.me),
+            rollback_j: 0.0,
         }
     }
 
-    /// `E_migr(h, v)` — the total migration energy (Eq. 4).
+    /// Integrate an *aborted* run: the window after the abort instant
+    /// (`te` = abort) holds teardown/rollback work, not a VM activation,
+    /// so it is attributed to `rollback_j` and `activation_j` stays zero.
+    pub fn from_trace_aborted(trace: &PowerTrace, phases: &PhaseTimes) -> Self {
+        EnergyBreakdown {
+            initiation_j: trace.energy_between(phases.ms, phases.ts),
+            transfer_j: trace.energy_between(phases.ts, phases.te),
+            activation_j: 0.0,
+            rollback_j: trace.energy_between(phases.te, phases.me),
+        }
+    }
+
+    /// `E_migr(h, v)` — the total migration energy (Eq. 4), including any
+    /// rollback energy of aborted/retried runs.
     pub fn total_j(&self) -> f64 {
-        self.initiation_j + self.transfer_j + self.activation_j
+        self.initiation_j + self.transfer_j + self.activation_j + self.rollback_j
     }
 }
 
@@ -145,12 +166,24 @@ mod tests {
     #[test]
     fn phase_classification_boundaries() {
         let p = phases();
-        assert_eq!(p.phase_at(SimTime::from_secs(5)), MigrationPhase::NormalExecution);
-        assert_eq!(p.phase_at(SimTime::from_secs(10)), MigrationPhase::Initiation);
+        assert_eq!(
+            p.phase_at(SimTime::from_secs(5)),
+            MigrationPhase::NormalExecution
+        );
+        assert_eq!(
+            p.phase_at(SimTime::from_secs(10)),
+            MigrationPhase::Initiation
+        );
         assert_eq!(p.phase_at(SimTime::from_secs(12)), MigrationPhase::Transfer);
         assert_eq!(p.phase_at(SimTime::from_secs(49)), MigrationPhase::Transfer);
-        assert_eq!(p.phase_at(SimTime::from_secs(50)), MigrationPhase::Activation);
-        assert_eq!(p.phase_at(SimTime::from_secs(53)), MigrationPhase::NormalExecution);
+        assert_eq!(
+            p.phase_at(SimTime::from_secs(50)),
+            MigrationPhase::Activation
+        );
+        assert_eq!(
+            p.phase_at(SimTime::from_secs(53)),
+            MigrationPhase::NormalExecution
+        );
     }
 
     #[test]
@@ -174,7 +207,24 @@ mod tests {
         assert!((e.initiation_j - 200.0).abs() < 1e-9);
         assert!((e.transfer_j - 3800.0).abs() < 1e-9);
         assert!((e.activation_j - 300.0).abs() < 1e-9);
+        assert_eq!(e.rollback_j, 0.0);
         assert!((e.total_j() - 4300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aborted_breakdown_reattributes_the_tail_to_rollback() {
+        let p = phases();
+        let mut tr = PowerTrace::new("m01");
+        tr.record(SimTime::ZERO, 100.0);
+        tr.record(SimTime::from_secs(60), 100.0);
+        let e = EnergyBreakdown::from_trace_aborted(&tr, &p);
+        assert!((e.initiation_j - 200.0).abs() < 1e-9);
+        assert!((e.transfer_j - 3800.0).abs() < 1e-9);
+        assert_eq!(e.activation_j, 0.0, "an aborted VM never activates");
+        assert!((e.rollback_j - 300.0).abs() < 1e-9);
+        // Same total either way: the joules were drawn regardless.
+        let clean = EnergyBreakdown::from_trace(&tr, &p);
+        assert!((e.total_j() - clean.total_j()).abs() < 1e-9);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub mod channels {
     pub const DIRTY_RATIO: &str = "mem.dirty_ratio";
     /// Effective migration bandwidth `BW(S,T,t)` (bytes/s).
     pub const BANDWIDTH: &str = "net.bandwidth";
+    /// Injected link-fault bandwidth multiplier (`[0,1]`, 1 = healthy).
+    /// Only recorded on runs with a non-empty fault plan.
+    pub const FAULT_BW_FACTOR: &str = "fault.bw_factor";
 }
 
 /// Named time-series channels (BTreeMap: deterministic iteration order).
@@ -113,6 +116,7 @@ mod tests {
             channels::CPU_VM,
             channels::DIRTY_RATIO,
             channels::BANDWIDTH,
+            channels::FAULT_BW_FACTOR,
         ];
         let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());

@@ -74,8 +74,7 @@ mod tests {
         assert_eq!(tr.len(), 2);
         assert!((tr.total_energy() - 5000.0).abs() < 1e-9);
         assert!(
-            (tr.energy_between(SimTime::from_secs(2), SimTime::from_secs(4)) - 1000.0).abs()
-                < 1e-9
+            (tr.energy_between(SimTime::from_secs(2), SimTime::from_secs(4)) - 1000.0).abs() < 1e-9
         );
         assert_eq!(
             tr.mean_power_between(SimTime::ZERO, SimTime::from_secs(10)),
@@ -99,6 +98,9 @@ mod tests {
         let tr = PowerTrace::new("o1");
         assert!(tr.is_empty());
         assert_eq!(tr.total_energy(), 0.0);
-        assert_eq!(tr.mean_power_between(SimTime::ZERO, SimTime::from_secs(1)), None);
+        assert_eq!(
+            tr.mean_power_between(SimTime::ZERO, SimTime::from_secs(1)),
+            None
+        );
     }
 }

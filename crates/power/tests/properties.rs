@@ -2,11 +2,19 @@
 
 use proptest::prelude::*;
 use wavm3_cluster::PowerProfile;
-use wavm3_power::{ground_truth_power, EnergyBreakdown, PhaseTimes, PowerInputs, PowerMeter, PowerTrace};
+use wavm3_power::{
+    ground_truth_power, EnergyBreakdown, PhaseTimes, PowerInputs, PowerMeter, PowerTrace,
+};
 use wavm3_simkit::{RngFactory, SimTime};
 
 fn arb_profile() -> impl Strategy<Value = PowerProfile> {
-    (50.0f64..600.0, 50.0f64..500.0, 0.5f64..1.5, 0.0f64..60.0, 0.0f64..120.0)
+    (
+        50.0f64..600.0,
+        50.0f64..500.0,
+        0.5f64..1.5,
+        0.0f64..60.0,
+        0.0f64..120.0,
+    )
         .prop_map(|(idle, dynamic, exp, nic, mem)| PowerProfile {
             idle_w: idle,
             cpu_dynamic_w: dynamic,
@@ -18,13 +26,14 @@ fn arb_profile() -> impl Strategy<Value = PowerProfile> {
 }
 
 fn arb_inputs() -> impl Strategy<Value = PowerInputs> {
-    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..100.0)
-        .prop_map(|(cpu, nic, mem, svc)| PowerInputs {
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..100.0).prop_map(|(cpu, nic, mem, svc)| {
+        PowerInputs {
             cpu_utilisation: cpu,
             nic_utilisation: nic,
             mem_activity: mem,
             service_w: svc,
-        })
+        }
+    })
 }
 
 proptest! {

@@ -23,12 +23,14 @@
 //! ```
 
 pub mod event;
+pub mod interval;
 pub mod periodic;
 pub mod rng;
 pub mod series;
 pub mod time;
 
 pub use event::EventQueue;
+pub use interval::Interval;
 pub use periodic::PeriodicSchedule;
 pub use rng::{RngFactory, StreamRng};
 pub use series::TimeSeries;

@@ -92,9 +92,18 @@ mod tests {
     fn next_at_or_after_lands_on_grid() {
         let g = grid();
         assert_eq!(g.next_at_or_after(SimTime::ZERO), SimTime::ZERO);
-        assert_eq!(g.next_at_or_after(SimTime::from_millis(1)), SimTime::from_millis(500));
-        assert_eq!(g.next_at_or_after(SimTime::from_millis(500)), SimTime::from_millis(500));
-        assert_eq!(g.next_at_or_after(SimTime::from_millis(501)), SimTime::from_millis(1000));
+        assert_eq!(
+            g.next_at_or_after(SimTime::from_millis(1)),
+            SimTime::from_millis(500)
+        );
+        assert_eq!(
+            g.next_at_or_after(SimTime::from_millis(500)),
+            SimTime::from_millis(500)
+        );
+        assert_eq!(
+            g.next_at_or_after(SimTime::from_millis(501)),
+            SimTime::from_millis(1000)
+        );
     }
 
     #[test]
@@ -113,12 +122,19 @@ mod tests {
     #[test]
     fn inverted_and_empty_windows() {
         let g = grid();
-        assert_eq!(g.count_between(SimTime::from_secs(5), SimTime::from_secs(1)), 0);
+        assert_eq!(
+            g.count_between(SimTime::from_secs(5), SimTime::from_secs(1)),
+            0
+        );
         assert_eq!(
             g.count_between(SimTime::from_millis(501), SimTime::from_millis(999)),
             0
         );
-        assert_eq!(g.iter_between(SimTime::from_secs(5), SimTime::from_secs(1)).count(), 0);
+        assert_eq!(
+            g.iter_between(SimTime::from_secs(5), SimTime::from_secs(1))
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -126,7 +142,10 @@ mod tests {
         let g = PeriodicSchedule::new(SimTime::from_millis(250), SimDuration::from_millis(100));
         assert_eq!(g.instant(1), SimTime::from_millis(350));
         assert_eq!(g.next_at_or_after(SimTime::ZERO), SimTime::from_millis(250));
-        assert_eq!(g.count_between(SimTime::from_millis(250), SimTime::from_millis(550)), 4);
+        assert_eq!(
+            g.count_between(SimTime::from_millis(250), SimTime::from_millis(550)),
+            4
+        );
     }
 
     #[test]

@@ -406,7 +406,10 @@ mod tests {
     fn smoothing_preserves_constants_and_flattens_noise() {
         let mut s = TimeSeries::new();
         for i in 0..40u64 {
-            s.push(SimTime::from_millis(i * 500), if i % 2 == 0 { 90.0 } else { 110.0 });
+            s.push(
+                SimTime::from_millis(i * 500),
+                if i % 2 == 0 { 90.0 } else { 110.0 },
+            );
         }
         let sm = s.smooth(4);
         assert_eq!(sm.len(), s.len());

@@ -210,7 +210,10 @@ mod tests {
     fn negative_and_nan_seconds_saturate_to_zero() {
         assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
         assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -252,7 +255,11 @@ mod tests {
         v.sort();
         assert_eq!(
             v,
-            vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_secs(3)]
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_secs(3)
+            ]
         );
     }
 

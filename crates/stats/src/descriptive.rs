@@ -206,7 +206,11 @@ mod tests {
         let mut st = VarianceStopper::new(3, 100, 0.10);
         // Alternating large jumps keep the variance changing.
         for i in 0..6 {
-            st.push(if i % 2 == 0 { 0.0 } else { 100.0 + i as f64 * 50.0 });
+            st.push(if i % 2 == 0 {
+                0.0
+            } else {
+                100.0 + i as f64 * 50.0
+            });
         }
         assert!(!st.is_satisfied());
         // Long run of identical values stabilises the variance estimate.

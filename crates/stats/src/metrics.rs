@@ -11,7 +11,11 @@
 use serde::{Deserialize, Serialize};
 
 fn check(pred: &[f64], obs: &[f64]) {
-    assert_eq!(pred.len(), obs.len(), "prediction/observation length mismatch");
+    assert_eq!(
+        pred.len(),
+        obs.len(),
+        "prediction/observation length mismatch"
+    );
     assert!(!pred.is_empty(), "error metrics need at least one sample");
 }
 
@@ -28,7 +32,8 @@ pub fn mae(pred: &[f64], obs: &[f64]) -> f64 {
 /// Root mean square error.
 pub fn rmse(pred: &[f64], obs: &[f64]) -> f64 {
     check(pred, obs);
-    (pred.iter()
+    (pred
+        .iter()
         .zip(obs)
         .map(|(p, o)| (p - o) * (p - o))
         .sum::<f64>()
@@ -76,13 +81,13 @@ pub fn r_squared(pred: &[f64], obs: &[f64]) -> f64 {
     check(pred, obs);
     let mean_obs = obs.iter().sum::<f64>() / obs.len() as f64;
     let ss_tot: f64 = obs.iter().map(|o| (o - mean_obs) * (o - mean_obs)).sum();
-    let ss_res: f64 = pred
-        .iter()
-        .zip(obs)
-        .map(|(p, o)| (p - o) * (p - o))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(obs).map(|(p, o)| (p - o) * (p - o)).sum();
     if ss_tot < 1e-300 {
-        return if ss_res < 1e-300 { 1.0 } else { f64::NEG_INFINITY };
+        return if ss_res < 1e-300 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - ss_res / ss_tot
 }

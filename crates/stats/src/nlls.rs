@@ -170,7 +170,11 @@ mod tests {
         };
         let out = levenberg_marquardt(res, &[0.0, 0.0], &LmOptions::default());
         assert!(out.converged);
-        assert!((out.parameters[0] - 3.0).abs() < 1e-6, "{:?}", out.parameters);
+        assert!(
+            (out.parameters[0] - 3.0).abs() < 1e-6,
+            "{:?}",
+            out.parameters
+        );
         assert!((out.parameters[1] - 2.0).abs() < 1e-6);
         assert!(out.ssr < 1e-10);
     }
@@ -187,7 +191,11 @@ mod tests {
                 .collect()
         };
         let out = levenberg_marquardt(res, &[1.0, 0.1], &LmOptions::default());
-        assert!((out.parameters[0] - 5.0).abs() < 1e-4, "{:?}", out.parameters);
+        assert!(
+            (out.parameters[0] - 5.0).abs() < 1e-4,
+            "{:?}",
+            out.parameters
+        );
         assert!((out.parameters[1] - 0.7).abs() < 1e-4);
     }
 
@@ -203,7 +211,11 @@ mod tests {
                 .collect()
         };
         let out = levenberg_marquardt(res, &[400.0, 300.0, 1.0], &LmOptions::default());
-        assert!((out.parameters[0] - 430.0).abs() < 0.5, "{:?}", out.parameters);
+        assert!(
+            (out.parameters[0] - 430.0).abs() < 0.5,
+            "{:?}",
+            out.parameters
+        );
         assert!((out.parameters[1] - 390.0).abs() < 0.5);
         assert!((out.parameters[2] - 1.15).abs() < 0.01);
     }

@@ -103,7 +103,10 @@ mod tests {
                 vec![a, b]
             })
             .collect();
-        let y: Vec<f64> = rows.iter().map(|r| 10.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 10.0 + 2.0 * r[0] - 3.0 * r[1])
+            .collect();
         let x = design_with_intercept(&rows);
         let fit = fit_ols(&x, &y).unwrap();
         assert!((fit.coefficients[0] - 10.0).abs() < 1e-9);
@@ -131,9 +134,7 @@ mod tests {
 
     #[test]
     fn collinear_features_rejected() {
-        let rows: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![i as f64, 2.0 * i as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let x = Matrix::from_nested(rows);
         assert!(fit_ols(&x, &y).is_none());

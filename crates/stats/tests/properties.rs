@@ -1,7 +1,9 @@
 //! Property-based tests of the numerical substrate.
 
 use proptest::prelude::*;
-use wavm3_stats::{fit_ols, levenberg_marquardt, mae, nrmse, r_squared, rmse, LmOptions, Matrix, Summary};
+use wavm3_stats::{
+    fit_ols, levenberg_marquardt, mae, nrmse, r_squared, rmse, LmOptions, Matrix, Summary,
+};
 
 fn small_f64() -> impl Strategy<Value = f64> {
     (-100.0f64..100.0).prop_filter("finite", |v| v.is_finite())

@@ -73,7 +73,8 @@ impl Workload for MatMulWorkload {
             return 0.0;
         }
         let ripple = 1.0
-            + 0.5 * self.ripple
+            + 0.5
+                * self.ripple
                 * (std::f64::consts::TAU * (t.as_secs_f64() / self.ripple_period_s + self.phase))
                     .sin();
         (self.target_cores * ripple).max(0.0)
@@ -105,7 +106,10 @@ mod tests {
         let w = MatMulWorkload::full(4);
         let t = SimTime::from_secs(3);
         let d = w.cpu_demand(t);
-        assert!((d - 4.0).abs() < 4.0 * 0.02, "demand {d} should be ~4 cores");
+        assert!(
+            (d - 4.0).abs() < 4.0 * 0.02,
+            "demand {d} should be ~4 cores"
+        );
     }
 
     #[test]
@@ -119,7 +123,10 @@ mod tests {
             hi = hi.max(d);
         }
         assert!(hi > lo, "demand must ripple");
-        assert!(hi <= 4.0 * 1.016 && lo >= 4.0 * 0.984, "ripple within ±1.6%");
+        assert!(
+            hi <= 4.0 * 1.016 && lo >= 4.0 * 0.984,
+            "ripple within ±1.6%"
+        );
     }
 
     #[test]
@@ -140,7 +147,10 @@ mod tests {
     #[test]
     fn small_working_set() {
         let w = MatMulWorkload::full(4);
-        assert!(w.working_set_fraction() < 0.05, "CPU workload barely dirties memory");
+        assert!(
+            w.working_set_fraction() < 0.05,
+            "CPU workload barely dirties memory"
+        );
         assert!(w.page_write_rate(SimTime::ZERO) > 0.0);
     }
 

@@ -96,9 +96,18 @@ mod tests {
 
     #[test]
     fn ratio_clamps() {
-        assert_eq!(PageDirtierWorkload::with_ratio(1.5).working_set_fraction(), 1.0);
-        assert_eq!(PageDirtierWorkload::with_ratio(-0.5).working_set_fraction(), 0.0);
-        assert_eq!(PageDirtierWorkload::with_ratio(0.55).working_set_fraction(), 0.55);
+        assert_eq!(
+            PageDirtierWorkload::with_ratio(1.5).working_set_fraction(),
+            1.0
+        );
+        assert_eq!(
+            PageDirtierWorkload::with_ratio(-0.5).working_set_fraction(),
+            0.0
+        );
+        assert_eq!(
+            PageDirtierWorkload::with_ratio(0.55).working_set_fraction(),
+            0.55
+        );
     }
 
     #[test]
@@ -121,11 +130,17 @@ mod tests {
         let total = 1_048_576; // 4 GiB of pages
         let after_long = w.expected_dirty_pages(total, 600.0);
         let ws = 0.5 * total as f64;
-        assert!((after_long - ws).abs() / ws < 1e-6, "saturates at working set");
+        assert!(
+            (after_long - ws).abs() / ws < 1e-6,
+            "saturates at working set"
+        );
         // Early in a round, dirtying is roughly linear at the write rate.
         let after_short = w.expected_dirty_pages(total, 0.1);
         let linear = 0.1 * PageDirtierWorkload::DEFAULT_WRITE_RATE;
-        assert!((after_short - linear).abs() / linear < 0.05, "{after_short} vs {linear}");
+        assert!(
+            (after_short - linear).abs() / linear < 0.05,
+            "{after_short} vs {linear}"
+        );
     }
 
     #[test]
@@ -158,6 +173,9 @@ mod tests {
         let total = 1_000_000;
         let lo = PageDirtierWorkload::with_ratio(0.05).expected_dirty_pages(total, 30.0);
         let hi = PageDirtierWorkload::with_ratio(0.95).expected_dirty_pages(total, 30.0);
-        assert!(hi > lo * 2.0, "95% ratio must dirty far more than 5%: {hi} vs {lo}");
+        assert!(
+            hi > lo * 2.0,
+            "95% ratio must dirty far more than 5%: {hi} vs {lo}"
+        );
     }
 }

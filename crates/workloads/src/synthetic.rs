@@ -47,7 +47,10 @@ pub fn generate_utilisation(
     duration: SimDuration,
     rng: &mut StreamRng,
 ) -> TimeSeries {
-    assert!(!spec.sample_period.is_zero(), "sample period must be positive");
+    assert!(
+        !spec.sample_period.is_zero(),
+        "sample period must be positive"
+    );
     let dt = spec.sample_period.as_secs_f64();
     let sigma_w = spec.std_dev * (2.0 / spec.tau_s.max(1e-6)).sqrt();
     let mut x = 0.0_f64; // OU deviation from the mean
@@ -57,8 +60,7 @@ pub fn generate_utilisation(
     while t <= end {
         let seconds = t.as_secs_f64();
         let diurnal = if spec.diurnal_swing > 0.0 {
-            0.5 * spec.diurnal_swing
-                * (std::f64::consts::TAU * seconds / 86_400.0).sin()
+            0.5 * spec.diurnal_swing * (std::f64::consts::TAU * seconds / 86_400.0).sin()
         } else {
             0.0
         };

@@ -62,7 +62,12 @@ pub struct TraceWorkload {
 
 impl TraceWorkload {
     /// Build from recorded series. `working_set` clamps to `[0, 1]`.
-    pub fn new(name: impl Into<String>, cpu: TimeSeries, writes: TimeSeries, working_set: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        cpu: TimeSeries,
+        writes: TimeSeries,
+        working_set: f64,
+    ) -> Self {
         TraceWorkload {
             name: name.into(),
             cpu,

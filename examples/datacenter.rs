@@ -29,16 +29,39 @@ fn main() {
         loads.insert(id, load);
         id
     };
-    boot(&mut cluster, h0, vm_instances::migrating_cpu(), VmLoad::cpu_bound(4.0));
-    boot(&mut cluster, h1, vm_instances::migrating_cpu(), VmLoad::cpu_bound(4.0));
+    boot(
+        &mut cluster,
+        h0,
+        vm_instances::migrating_cpu(),
+        VmLoad::cpu_bound(4.0),
+    );
+    boot(
+        &mut cluster,
+        h1,
+        vm_instances::migrating_cpu(),
+        VmLoad::cpu_bound(4.0),
+    );
     for _ in 0..4 {
-        boot(&mut cluster, h2, vm_instances::load_cpu(), VmLoad::cpu_bound(4.0));
+        boot(
+            &mut cluster,
+            h2,
+            vm_instances::load_cpu(),
+            VmLoad::cpu_bound(4.0),
+        );
     }
     for _ in 0..3 {
-        boot(&mut cluster, h3, vm_instances::load_cpu(), VmLoad::cpu_bound(4.0));
+        boot(
+            &mut cluster,
+            h3,
+            vm_instances::load_cpu(),
+            VmLoad::cpu_bound(4.0),
+        );
     }
 
-    println!("steady power, everything on: {:.0} W", cluster_steady_power(&cluster, &loads));
+    println!(
+        "steady power, everything on: {:.0} W",
+        cluster_steady_power(&cluster, &loads)
+    );
 
     let model = paper::wavm3_live();
     let manager = ConsolidationManager::new(&model, PolicyConfig::default());

@@ -20,6 +20,7 @@ fn main() {
     let cfg = RunnerConfig {
         repetitions: RepetitionPolicy::Fixed(4),
         base_seed: 2015,
+        ..Default::default()
     };
     let dataset = ExperimentDataset::collect(Scenario::full_campaign(MachineSet::M), &cfg);
     println!(
@@ -32,7 +33,10 @@ fn main() {
     println!("  {} training runs, {} test runs", train.len(), test.len());
     let bundle = train_all(&train).expect("training succeeds on the full campaign");
 
-    println!("\n{:<8} {:<7} {:>14} {:>14}", "model", "host", "NRMSE non-live", "NRMSE live");
+    println!(
+        "\n{:<8} {:<7} {:>14} {:>14}",
+        "model", "host", "NRMSE non-live", "NRMSE live"
+    );
     let models_nl: [(&str, &dyn EnergyModel); 4] = [
         ("WAVM3", &bundle.wavm3_non_live),
         ("HUANG", &bundle.huang_non_live),

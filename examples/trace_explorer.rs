@@ -73,15 +73,17 @@ fn main() {
             r.round,
             r.bytes_sent as f64 / (1 << 20) as f64,
             r.duration.as_secs_f64(),
-            if r.stop_and_copy { "  [stop-and-copy]" } else { "" }
+            if r.stop_and_copy {
+                "  [stop-and-copy]"
+            } else {
+                ""
+            }
         );
     }
 
     // CSV dump for real plotting.
     std::fs::create_dir_all("out").expect("create out/");
-    std::fs::write("out/trace_source.csv", record.source_trace.to_csv())
-        .expect("write source CSV");
-    std::fs::write("out/trace_target.csv", record.target_trace.to_csv())
-        .expect("write target CSV");
+    std::fs::write("out/trace_source.csv", record.source_trace.to_csv()).expect("write source CSV");
+    std::fs::write("out/trace_target.csv", record.target_trace.to_csv()).expect("write target CSV");
     println!("\nfull traces written to out/trace_source.csv and out/trace_target.csv");
 }

@@ -27,7 +27,10 @@ fn trained_model() -> wavm3::models::Wavm3Model {
         let mut all = Scenario::family_scenarios(fam, MachineSet::M);
         all.retain(|s| {
             s.kind == MigrationKind::Live
-                && matches!(s.label.as_str(), "0 VM" | "5 VM" | "8 VM" | "5%" | "55%" | "95%")
+                && matches!(
+                    s.label.as_str(),
+                    "0 VM" | "5 VM" | "8 VM" | "5%" | "55%" | "95%"
+                )
         });
         scenarios.extend(all);
     }
@@ -36,6 +39,7 @@ fn trained_model() -> wavm3::models::Wavm3Model {
         &RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(3),
             base_seed: 0xC0115,
+            ..Default::default()
         },
     );
     let (train, _) = dataset.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
@@ -64,7 +68,10 @@ fn simulate_move(mem_ratio: Option<f64>, source_load_vms: usize, seed: u64) -> (
     };
     for i in 0..source_load_vms {
         let id = cluster.boot_vm(src, vm_instances::load_cpu());
-        workloads.insert(id, Arc::new(MatMulWorkload::full(4).with_phase(i as f64 * 0.137)));
+        workloads.insert(
+            id,
+            Arc::new(MatMulWorkload::full(4).with_phase(i as f64 * 0.137)),
+        );
     }
     let record = MigrationSimulation::new(
         cluster,
@@ -91,7 +98,11 @@ fn planned_inputs(mem_ratio: Option<f64>, source_load_vms: usize) -> PlannerInpu
         vcpus: if mem_ratio.is_some() { 1 } else { 4 },
         vm_cpu_fraction: 1.0,
         working_set_fraction: mem_ratio.unwrap_or(0.015),
-        page_write_rate: if mem_ratio.is_some() { 220_000.0 } else { 400.0 },
+        page_write_rate: if mem_ratio.is_some() {
+            220_000.0
+        } else {
+            400.0
+        },
         source_other_cores: source_load_vms as f64 * 4.0,
         target_other_cores: 0.0,
         source_capacity: 32.0,
@@ -159,7 +170,10 @@ fn planner_ranks_moves_like_the_simulator() {
     };
     let plan_cheap = cost(None, 0);
     let plan_hot = cost(Some(0.95), 0);
-    assert!(plan_hot > plan_cheap, "planner must rank the hot move dearer");
+    assert!(
+        plan_hot > plan_cheap,
+        "planner must rank the hot move dearer"
+    );
     let sim_cheap = sim_cost(None, 0, 55);
     let sim_hot = sim_cost(Some(0.95), 0, 55);
     assert!(sim_hot > sim_cheap, "simulator agrees on the ranking");

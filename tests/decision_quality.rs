@@ -21,7 +21,12 @@ fn campaign() -> ExperimentDataset {
         ExperimentFamily::MemloadSource,
     ] {
         let mut all = Scenario::family_scenarios(fam, MachineSet::M);
-        all.retain(|s| matches!(s.label.as_str(), "0 VM" | "5 VM" | "8 VM" | "5%" | "55%" | "95%"));
+        all.retain(|s| {
+            matches!(
+                s.label.as_str(),
+                "0 VM" | "5 VM" | "8 VM" | "5%" | "55%" | "95%"
+            )
+        });
         scenarios.extend(all);
     }
     ExperimentDataset::collect(
@@ -29,6 +34,7 @@ fn campaign() -> ExperimentDataset {
         &RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(3),
             base_seed: 0xDEC1,
+            ..Default::default()
         },
     )
 }

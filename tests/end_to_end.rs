@@ -24,7 +24,12 @@ fn campaign(set: MachineSet) -> ExperimentDataset {
         ExperimentFamily::MemloadTarget,
     ] {
         let mut all = Scenario::family_scenarios(fam, set);
-        all.retain(|s| matches!(s.label.as_str(), "0 VM" | "5 VM" | "8 VM" | "5%" | "55%" | "95%"));
+        all.retain(|s| {
+            matches!(
+                s.label.as_str(),
+                "0 VM" | "5 VM" | "8 VM" | "5%" | "55%" | "95%"
+            )
+        });
         scenarios.extend(all);
     }
     ExperimentDataset::collect(
@@ -32,6 +37,7 @@ fn campaign(set: MachineSet) -> ExperimentDataset {
         &RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(3),
             base_seed: 0xE2E,
+            ..Default::default()
         },
     )
 }
@@ -152,7 +158,10 @@ fn huang_host_interpretation_beats_literal_vm_reading() {
         h < v,
         "host-CPU HUANG ({h:.1}%) must beat the literal VM-CPU reading ({v:.1}%)"
     );
-    assert!(v > 2.0 * h, "the gap should be decisive: {h:.1}% vs {v:.1}%");
+    assert!(
+        v > 2.0 * h,
+        "the gap should be decisive: {h:.1}% vs {v:.1}%"
+    );
 }
 
 #[test]
@@ -172,6 +181,7 @@ fn variance_rule_protocol_runs() {
         &RunnerConfig {
             repetitions: RepetitionPolicy::paper(),
             base_seed: 3,
+            ..Default::default()
         },
     );
     assert!(

@@ -1,0 +1,193 @@
+//! Property-based invariants of the fault-injection subsystem, plus the
+//! determinism guarantee: a faulted campaign is byte-identical across
+//! rayon thread counts and across same-seed invocations.
+
+use proptest::prelude::*;
+use wavm3::cluster::MachineSet;
+use wavm3::experiments::scenario::ExperimentFamily;
+use wavm3::experiments::{run_all, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3::faults::{
+    AbortFault, FaultConfig, FaultEvent, LinkFaultConfig, NonConvergenceFault, RetryPolicy,
+};
+use wavm3::migration::{MigrationConfig, MigrationKind, MigrationRecord};
+use wavm3::simkit::{RngFactory, SimDuration, SimTime};
+
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    let link =
+        (0.0f64..=4.0, 0.05f64..=0.5, 0.1f64..=0.5).prop_map(|(mean_windows, min_factor, span)| {
+            LinkFaultConfig {
+                mean_windows,
+                min_factor,
+                max_factor: (min_factor + span).min(1.0),
+                ..LinkFaultConfig::default()
+            }
+        });
+    let non_convergence =
+        (0.0f64..=1.0, 1usize..=4).prop_map(|(probability, round_cap)| NonConvergenceFault {
+            probability,
+            round_cap,
+        });
+    let abort =
+        (0.0f64..=1.0, 12u64..=60, 0u64..=30).prop_map(|(probability, start, span)| AbortFault {
+            probability,
+            earliest: SimTime::from_secs(start),
+            latest: SimTime::from_secs(start + span),
+        });
+    (link, non_convergence, abort).prop_map(|(link, non_convergence, abort)| FaultConfig {
+        link,
+        non_convergence,
+        abort,
+    })
+}
+
+fn scenario(kind: MigrationKind, mem_ratio: Option<f64>) -> Scenario {
+    Scenario {
+        family: ExperimentFamily::CpuloadSource,
+        kind,
+        machine_set: MachineSet::M,
+        source_load_vms: 0,
+        target_load_vms: 0,
+        migrant_mem_ratio: mem_ratio,
+        label: "prop".into(),
+    }
+}
+
+fn assert_record_invariants(r: &MigrationRecord) {
+    // Monotone phase timeline, even through aborts and forced stops.
+    assert!(r.phases.ms <= r.phases.ts, "{:?}", r.phases);
+    assert!(r.phases.ts <= r.phases.te, "{:?}", r.phases);
+    assert!(r.phases.te <= r.phases.me, "{:?}", r.phases);
+    // Per-phase energies are non-negative on both hosts and sum to the
+    // reported totals.
+    for e in [&r.source_energy, &r.target_energy] {
+        assert!(e.initiation_j >= 0.0, "{e:?}");
+        assert!(e.transfer_j >= 0.0, "{e:?}");
+        assert!(e.activation_j >= 0.0, "{e:?}");
+        assert!(e.rollback_j >= 0.0, "{e:?}");
+        let sum = e.initiation_j + e.transfer_j + e.activation_j + e.rollback_j;
+        assert!(
+            (sum - e.total_j()).abs() <= 1e-9 * sum.max(1.0),
+            "phases sum {sum} != total {}",
+            e.total_j()
+        );
+    }
+    if r.is_aborted() {
+        // Rollback replaces activation on an aborted run.
+        assert_eq!(r.source_energy.activation_j, 0.0);
+        assert_eq!(r.target_energy.activation_j, 0.0);
+        assert!(
+            r.fault_events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Aborted { .. })),
+            "aborted run must log the abort: {:?}",
+            r.fault_events
+        );
+    }
+}
+
+proptest! {
+    // Each case simulates at least one full migration; keep the count
+    // moderate so the suite stays fast.
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn faulted_runs_keep_structural_invariants(
+        faults in arb_faults(),
+        mem in prop_oneof![Just(None), Just(Some(0.35)), Just(Some(0.95))],
+        seed in 0u64..1_000,
+    ) {
+        let r = scenario(MigrationKind::Live, mem)
+            .build_with_config(
+                RngFactory::new(seed),
+                MigrationConfig::with_faults(MigrationKind::Live, faults),
+            )
+            .run();
+        assert_record_invariants(&r);
+        // Without a runner there are no retries, so attempt stays 0 and
+        // only an abort can charge rollback energy.
+        prop_assert_eq!(r.attempt, 0);
+        prop_assert_eq!(r.retry_backoff, SimDuration::ZERO);
+        if !r.is_aborted() {
+            prop_assert_eq!(r.rollback_energy_j(), 0.0);
+        }
+    }
+
+    #[test]
+    fn retried_campaigns_respect_the_attempt_cap(
+        faults in arb_faults(),
+        max_attempts in 1u32..=4,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(2),
+            base_seed: seed,
+            faults: Some(faults),
+            retry: RetryPolicy { max_attempts, ..RetryPolicy::default() },
+        };
+        let records = wavm3::experiments::run_scenario(&scenario(MigrationKind::Live, None), &cfg);
+        for r in &records {
+            assert_record_invariants(r);
+            // Retries never exceed the cap...
+            prop_assert!(r.attempt < max_attempts, "attempt {} cap {max_attempts}", r.attempt);
+            // ...and the accumulated backoff is exactly the policy's
+            // exponential schedule up to this attempt.
+            let expected: f64 = (1..=r.attempt)
+                .map(|k| cfg.retry.backoff_before(k).as_secs_f64())
+                .sum();
+            prop_assert!((r.retry_backoff.as_secs_f64() - expected).abs() < 1e-9);
+            // A record may still end aborted only when every attempt was
+            // spent.
+            if r.is_aborted() {
+                prop_assert_eq!(r.attempt + 1, max_attempts);
+            }
+        }
+    }
+}
+
+/// The acceptance scenario: a faulted campaign must be byte-identical
+/// across rayon thread counts and across two same-seed invocations.
+#[test]
+fn faulted_campaign_is_deterministic_across_thread_counts() {
+    let scenarios: Vec<Scenario> = vec![
+        scenario(MigrationKind::Live, None),
+        scenario(MigrationKind::NonLive, None),
+        {
+            let mut s = scenario(MigrationKind::Live, Some(0.55));
+            s.label = "prop-mem".into();
+            s
+        },
+    ];
+    let cfg = RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(3),
+        base_seed: 0xFA_15_7E,
+        faults: Some(FaultConfig::light()),
+        ..Default::default()
+    };
+
+    let on_threads = |n: usize| -> Vec<Vec<MigrationRecord>> {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("build rayon pool")
+            .install(|| run_all(&scenarios, &cfg))
+    };
+
+    let single = on_threads(1);
+    let multi = on_threads(4);
+    let repeat = on_threads(4);
+
+    // Structured equality…
+    assert_eq!(single, multi, "1-thread vs 4-thread records diverged");
+    assert_eq!(multi, repeat, "same-seed invocations diverged");
+    // …and byte equality of the serialized records (what lands on disk).
+    let bytes = |r: &Vec<Vec<MigrationRecord>>| serde_json::to_string(r).expect("serialize");
+    assert_eq!(bytes(&single), bytes(&multi));
+    assert_eq!(bytes(&multi), bytes(&repeat));
+
+    // The campaign exercised the fault machinery at all.
+    let all: Vec<&MigrationRecord> = single.iter().flatten().collect();
+    assert!(
+        all.iter().any(|r| !r.fault_events.is_empty()),
+        "light fault mix should fire at least once in 9 runs"
+    );
+}

@@ -1,0 +1,234 @@
+//! Golden snapshots of every table (I–VII) and figure (2–7) export.
+//!
+//! Each artefact is rendered from a fixed-seed reduced campaign and
+//! compared cell by cell against a checked-in golden file under
+//! `tests/golden/`. Numeric cells compare with a small tolerance (so a
+//! libm or float-formatting difference doesn't fail the suite), text
+//! cells compare exactly (so a renamed column or reordered row does).
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_snapshots
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::figures;
+use wavm3_experiments::tables;
+use wavm3_experiments::{ExperimentDataset, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3_migration::MigrationKind;
+
+/// Relative tolerance for numeric cells.
+const REL_TOL: f64 = 1e-3;
+/// Absolute floor below which numbers are considered equal.
+const ABS_TOL: f64 = 1e-3;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compare `actual` against the stored golden file, or rewrite the golden
+/// when `UPDATE_GOLDEN` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden file {name}; regenerate with UPDATE_GOLDEN=1 cargo test --test golden_snapshots")
+    });
+    compare(name, &golden, actual);
+}
+
+fn compare(name: &str, golden: &str, actual: &str) {
+    let g_lines: Vec<&str> = golden.lines().collect();
+    let a_lines: Vec<&str> = actual.lines().collect();
+    assert_eq!(
+        g_lines.len(),
+        a_lines.len(),
+        "{name}: line count changed ({} golden vs {} actual)",
+        g_lines.len(),
+        a_lines.len()
+    );
+    for (i, (gl, al)) in g_lines.iter().zip(&a_lines).enumerate() {
+        let gt: Vec<&str> = tokens(gl);
+        let at: Vec<&str> = tokens(al);
+        assert_eq!(
+            gt.len(),
+            at.len(),
+            "{name}:{}: cell count changed\n golden: {gl}\n actual: {al}",
+            i + 1
+        );
+        for (gc, ac) in gt.iter().zip(&at) {
+            assert!(
+                cells_match(gc, ac),
+                "{name}:{}: cell {gc:?} became {ac:?}\n golden: {gl}\n actual: {al}",
+                i + 1
+            );
+        }
+    }
+}
+
+fn tokens(line: &str) -> Vec<&str> {
+    line.split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// Two cells match if they are identical text, or if their numeric cores
+/// agree within tolerance and their non-numeric decoration (units, `%`,
+/// parentheses) is identical.
+fn cells_match(golden: &str, actual: &str) -> bool {
+    if golden == actual {
+        return true;
+    }
+    fn strip(s: &str) -> &str {
+        s.trim_matches(|c: char| !(c.is_ascii_digit() || c == '-' || c == '.'))
+    }
+    let (gc, ac) = (strip(golden), strip(actual));
+    let decoration = |full: &str, core: &str| full.replace(core, "\u{0}");
+    if decoration(golden, gc) != decoration(actual, ac) {
+        return false;
+    }
+    match (gc.parse::<f64>(), ac.parse::<f64>()) {
+        (Ok(g), Ok(a)) => {
+            let scale = g.abs().max(a.abs());
+            (g - a).abs() <= ABS_TOL + REL_TOL * scale
+        }
+        _ => false,
+    }
+}
+
+/// The snapshot campaign seed. Changing it invalidates every golden file.
+const GOLDEN_SEED: u64 = 0x90_1DEA;
+
+fn figure_cfg() -> RunnerConfig {
+    RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(1),
+        base_seed: GOLDEN_SEED,
+        ..Default::default()
+    }
+}
+
+/// A reduced Table IIa campaign (extreme sweep levels, 2 reps) that still
+/// exercises every family — the same shape the table unit tests use.
+fn small_dataset(set: MachineSet) -> ExperimentDataset {
+    use wavm3_experiments::ExperimentFamily as F;
+    let mut scenarios = Vec::new();
+    for fam in [
+        F::CpuloadSource,
+        F::CpuloadTarget,
+        F::MemloadVm,
+        F::MemloadSource,
+        F::MemloadTarget,
+    ] {
+        let mut all = Scenario::family_scenarios(fam, set);
+        all.retain(|s| {
+            s.label == "0 VM" || s.label == "8 VM" || s.label == "5%" || s.label == "95%"
+        });
+        scenarios.extend(all);
+    }
+    ExperimentDataset::collect(
+        scenarios,
+        &RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(2),
+            base_seed: GOLDEN_SEED,
+            ..Default::default()
+        },
+    )
+}
+
+fn dataset_m() -> &'static ExperimentDataset {
+    static DS: OnceLock<ExperimentDataset> = OnceLock::new();
+    DS.get_or_init(|| small_dataset(MachineSet::M))
+}
+
+fn dataset_o() -> &'static ExperimentDataset {
+    static DS: OnceLock<ExperimentDataset> = OnceLock::new();
+    DS.get_or_init(|| small_dataset(MachineSet::O))
+}
+
+#[test]
+fn golden_table1() {
+    check("table1.txt", &tables::table1(dataset_m()));
+}
+
+#[test]
+fn golden_table2() {
+    check("table2.txt", &tables::table2());
+}
+
+#[test]
+fn golden_table3() {
+    let t = tables::table3_4(dataset_m(), MigrationKind::NonLive).expect("table III trains");
+    check("table3.txt", &t);
+}
+
+#[test]
+fn golden_table4() {
+    let t = tables::table3_4(dataset_m(), MigrationKind::Live).expect("table IV trains");
+    check("table4.txt", &t);
+}
+
+#[test]
+fn golden_table5() {
+    let t = tables::table5(dataset_m(), dataset_o()).expect("table V trains");
+    check("table5.txt", &t);
+}
+
+#[test]
+fn golden_table6() {
+    let t = tables::table6(dataset_m()).expect("table VI trains");
+    check("table6.txt", &t);
+}
+
+#[test]
+fn golden_table7() {
+    let t = tables::table7(dataset_m()).expect("table VII trains");
+    check("table7.txt", &t);
+}
+
+#[test]
+fn golden_fig2() {
+    check("fig2.csv", &figures::fig2(&figure_cfg()).csv);
+}
+
+#[test]
+fn golden_fig3() {
+    check("fig3.csv", &figures::fig3(&figure_cfg()).csv);
+}
+
+#[test]
+fn golden_fig4() {
+    check("fig4.csv", &figures::fig4(&figure_cfg()).csv);
+}
+
+#[test]
+fn golden_fig5() {
+    check("fig5.csv", &figures::fig5(&figure_cfg()).csv);
+}
+
+#[test]
+fn golden_fig6() {
+    check("fig6.csv", &figures::fig6(&figure_cfg()).csv);
+}
+
+#[test]
+fn golden_fig7() {
+    check("fig7.csv", &figures::fig7(&figure_cfg()).csv);
+}
+
+#[test]
+fn tolerant_cell_comparison_behaves() {
+    assert!(cells_match("1.0000", "1.0001"));
+    assert!(cells_match("12.3%", "12.3%"));
+    assert!(cells_match("(0.531)", "(0.5311)"));
+    assert!(!cells_match("1.0", "1.1"));
+    assert!(!cells_match("12.3%", "12.3"));
+    assert!(!cells_match("live", "non-live"));
+}

@@ -13,10 +13,7 @@ use wavm3::simkit::RngFactory;
 fn arb_scenario() -> impl Strategy<Value = (Scenario, u64)> {
     let kind = prop_oneof![Just(MigrationKind::Live), Just(MigrationKind::NonLive)];
     let set = prop_oneof![Just(MachineSet::M), Just(MachineSet::O)];
-    let ratio = prop_oneof![
-        Just(None),
-        (1u32..=19).prop_map(|p| Some(p as f64 * 0.05)),
-    ];
+    let ratio = prop_oneof![Just(None), (1u32..=19).prop_map(|p| Some(p as f64 * 0.05)),];
     (kind, set, 0usize..=8, 0usize..=8, ratio, 0u64..1_000).prop_map(
         |(kind, machine_set, src, dst, ratio, seed)| {
             // MEMLOAD sweeps are live-only in the paper, but the engine
@@ -157,7 +154,6 @@ fn records_serialize_round_trip() {
     };
     let record = scenario.build(RngFactory::new(77)).run();
     let json = serde_json::to_string(&record).expect("serialise");
-    let back: wavm3::migration::MigrationRecord =
-        serde_json::from_str(&json).expect("deserialise");
+    let back: wavm3::migration::MigrationRecord = serde_json::from_str(&json).expect("deserialise");
     assert_eq!(record, back);
 }

@@ -258,6 +258,9 @@ fn table1_nonlive_immune_to_dirtying() {
     let lo = run(F::MemloadVm, NonLive, 0, 0, Some(0.05), 11);
     let hi = run(F::MemloadVm, NonLive, 0, 0, Some(0.95), 11);
     let rel = (lo.total_bytes as f64 - hi.total_bytes as f64).abs() / lo.total_bytes as f64;
-    assert!(rel < 0.01, "non-live bytes must not depend on DR ({rel:.4})");
+    assert!(
+        rel < 0.01,
+        "non-live bytes must not depend on DR ({rel:.4})"
+    );
     assert_eq!(lo.precopy_rounds(), hi.precopy_rounds());
 }

@@ -45,11 +45,23 @@ fn telemetry_channels_mirror_feature_samples() {
 
     // Values agree exactly at every instant.
     for s in &record.samples {
-        assert_eq!(record.telemetry.value_at(channels::CPU_SOURCE, s.t), s.cpu_source);
-        assert_eq!(record.telemetry.value_at(channels::CPU_TARGET, s.t), s.cpu_target);
+        assert_eq!(
+            record.telemetry.value_at(channels::CPU_SOURCE, s.t),
+            s.cpu_source
+        );
+        assert_eq!(
+            record.telemetry.value_at(channels::CPU_TARGET, s.t),
+            s.cpu_target
+        );
         assert_eq!(record.telemetry.value_at(channels::CPU_VM, s.t), s.cpu_vm);
-        assert_eq!(record.telemetry.value_at(channels::DIRTY_RATIO, s.t), s.dirty_ratio);
-        assert_eq!(record.telemetry.value_at(channels::BANDWIDTH, s.t), s.bandwidth_bps);
+        assert_eq!(
+            record.telemetry.value_at(channels::DIRTY_RATIO, s.t),
+            s.dirty_ratio
+        );
+        assert_eq!(
+            record.telemetry.value_at(channels::BANDWIDTH, s.t),
+            s.bandwidth_bps
+        );
     }
 
     // And the meter traces share the same grid.

@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace uses
+//! ([`Criterion::benchmark_group`], `bench_function`, `sample_size`,
+//! [`black_box`], `criterion_group!`, `criterion_main!`) over a simple
+//! wall-clock measurement loop — no statistical analysis, plots, or
+//! baseline comparison.
+//!
+//! Mode handling matches cargo's conventions: under `cargo bench`, cargo
+//! passes `--bench` and each routine is warmed up and sampled with timing
+//! output; under `cargo test` (no `--bench` flag) every routine runs
+//! exactly once so benchmarks stay compile- and run-checked without
+//! burning CI time. Unknown CLI flags are ignored.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from CLI args (`--bench` selects measurement mode; the first
+    /// free argument filters benchmark ids by substring).
+    pub fn from_args() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => bench_mode = false,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { bench_mode, filter }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Print a closing line (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if self.bench_mode {
+            println!("criterion (vendored stand-in): benchmarks complete");
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Define one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            bench_mode: self.criterion.bench_mode,
+            samples: if self.criterion.bench_mode {
+                self.sample_size
+            } else {
+                1
+            },
+            budget: self.measurement_time,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        if self.criterion.bench_mode && bencher.iterations > 0 {
+            let per_iter = bencher.total.as_secs_f64() / bencher.iterations as f64;
+            println!(
+                "{full_id:<48} {:>12.3} µs/iter ({} iterations)",
+                per_iter * 1e6,
+                bencher.iterations
+            );
+        }
+        self
+    }
+
+    /// End the group (API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    bench_mode: bool,
+    samples: usize,
+    budget: Duration,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time the routine. In test mode it runs exactly once; in bench mode
+    /// it is warmed up once, then run `sample_size` times or until the
+    /// measurement budget elapses, whichever comes first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            black_box(routine());
+            self.iterations = 0;
+            return;
+        }
+        black_box(routine()); // warm-up
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iterations += 1;
+            if started.elapsed() > self.budget && self.iterations >= 10 {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut count = 0;
+        g.sample_size(50);
+        g.bench_function("once", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bench_mode_samples_and_reports() {
+        let mut c = Criterion {
+            bench_mode: true,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        let mut count = 0u64;
+        g.sample_size(10);
+        g.bench_function("sampled", |b| b.iter(|| count += 1));
+        // warm-up + 10 samples
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            bench_mode: true,
+            filter: Some("match_me".into()),
+        };
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        g.bench_function("match_me_exactly", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `par_iter().map(..).collect()`, `par_chunks_mut(..).enumerate()
+//! .for_each(..)`, and `ThreadPoolBuilder::..build()..install(..)` — with
+//! *real* OS threads via `std::thread::scope`, not a sequential fallback.
+//! Work is split into contiguous per-thread chunks and results are
+//! reassembled in input order, so parallel collection is deterministic and
+//! order-preserving (the property rayon's indexed parallel iterators
+//! guarantee and this workspace's determinism tests assert).
+//!
+//! There is no work-stealing pool; each parallel call spawns scoped
+//! threads. That is plenty for the coarse-grained scenario fan-outs and
+//! matrix kernels here, and keeps the implementation dependency-free.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`] on the
+    /// calling thread; parallel calls read it at dispatch time.
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    NUM_THREADS_OVERRIDE.with(|o| o.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Run `f(index)` for every index in `0..len` on `current_num_threads()`
+/// scoped threads, splitting the index space into contiguous chunks.
+fn parallel_for<F: Fn(usize) + Sync>(len: usize, f: F) {
+    let threads = current_num_threads().clamp(1, len.max(1));
+    if threads <= 1 || len <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let f = &f;
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            scope.spawn(move || {
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// par_iter().map(..).collect()
+// ---------------------------------------------------------------------------
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item; evaluation happens at `collect` time, in parallel.
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, U, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; a parallel map pipeline.
+pub struct ParMap<'a, T, U, F> {
+    items: &'a [T],
+    f: F,
+    _out: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<'a, T: Sync, U, F> ParMap<'a, T, U, F>
+where
+    F: Fn(&'a T) -> U + Sync,
+    U: Send,
+{
+    /// Evaluate the pipeline across threads and collect in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<U>,
+    {
+        let len = self.items.len();
+        let mut slots: Vec<Option<U>> = Vec::with_capacity(len);
+        slots.resize_with(len, || None);
+        {
+            let slot_ptr = SendPtr(slots.as_mut_ptr());
+            let items = self.items;
+            let f = &self.f;
+            parallel_for(len, |i| {
+                let value = f(&items[i]);
+                // SAFETY: each index is visited exactly once, so no two
+                // threads ever write the same slot, and the Vec outlives
+                // the scoped threads inside `parallel_for`.
+                unsafe {
+                    *slot_ptr.at(i) = Some(value);
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("parallel map filled every slot"))
+            .collect()
+    }
+}
+
+/// Raw-pointer wrapper so disjoint slot writes can cross thread bounds.
+/// Closures must go through [`SendPtr::at`] so they capture the (Sync)
+/// wrapper rather than the raw pointer field itself.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Pointer to the `i`-th element.
+    ///
+    /// # Safety
+    /// Caller must keep writes to distinct indices disjoint and within
+    /// the allocation this pointer was created from.
+    unsafe fn at(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// par_chunks_mut(..).enumerate().for_each(..)
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over mutable, disjoint chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(move |(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let mut slots: Vec<Option<&'a mut [T]>> = self.chunks.into_iter().map(Some).collect();
+        let len = slots.len();
+        let slot_ptr = SendPtr(slots.as_mut_ptr());
+        let f = &f;
+        parallel_for(len, |i| {
+            // SAFETY: each index is taken exactly once; chunks are disjoint
+            // borrows produced by `chunks_mut`.
+            let chunk = unsafe { (*slot_ptr.at(i)).take().expect("chunk taken twice") };
+            f((i, chunk));
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prelude traits
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    //! Import surface matching `rayon::prelude::*`.
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// `.par_iter()` on borrowable collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+    /// Create a borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.par_chunks_mut(..)` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into disjoint mutable chunks of at most `chunk_size`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker-thread count (0 = auto, like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool. Infallible here; `Result` matches rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type matching `rayon::ThreadPoolBuildError` (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle that scopes parallel calls to a fixed thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing any parallel
+    /// calls it makes on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        NUM_THREADS_OVERRIDE.with(|o| {
+            let prev = o.replace(self.num_threads);
+            let result = op();
+            o.set(prev);
+            result
+        })
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _out: Vec<u32> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|x| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    *x
+                })
+                .collect()
+        });
+        assert!(seen.lock().unwrap().len() > 1, "expected parallel workers");
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        let mut data = vec![0u64; 100];
+        data.par_chunks_mut(7)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x = i as u64 + 1));
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[99], 100u64.div_ceil(7));
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        single.install(|| assert_eq!(current_num_threads(), 1));
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread_results() {
+        let input: Vec<u64> = (0..500).collect();
+        let run = |n: usize| {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            pool.install(|| {
+                input
+                    .par_iter()
+                    .map(|x| x.wrapping_mul(0x9E37_79B9))
+                    .collect::<Vec<u64>>()
+            })
+        };
+        assert_eq!(run(1), run(8));
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — structs with named fields, tuple/newtype
+//! structs, and enums with unit, tuple, and struct variants — by walking
+//! the raw `proc_macro::TokenStream` (no `syn`/`quote`, which are equally
+//! unavailable offline). Generated code targets the vendored value-tree
+//! `serde` crate: structs become objects, newtypes are transparent, unit
+//! variants are strings, and data variants are `{"Variant": payload}`
+//! single-key objects, matching serde's JSON conventions.
+//!
+//! Unsupported shapes (generics, `#[serde(...)]` attributes, unions) fail
+//! with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// One parsed field list.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The parsed item a derive applies to.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+fn skip_attributes(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next(); // '#'
+        it.next(); // [...]
+    }
+}
+
+fn skip_visibility(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next(); // pub(crate) / pub(super)
+        }
+    }
+}
+
+/// Split a token sequence on top-level commas (commas inside `<...>` are
+/// nested; grouped delimiters arrive as atomic `Group` trees).
+fn split_top_level_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parse `name: Type` fields out of a brace group's tokens.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for part in split_top_level_commas(group.into_iter().collect()) {
+        let mut it = part.into_iter().peekable();
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => continue, // trailing comma
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected `:` after field name".into()),
+        }
+        // The rest of the part is the type; nothing to record.
+    }
+    Ok(names)
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    split_top_level_commas(group.into_iter().collect())
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .count()
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut it = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Tuple(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let variants = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())?
+                }
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::serde::Value::Object(::std::vec![{}])",
+                        entries.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::__private::field(v, {f:?}, {name:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"object\", {name:?}, v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join("\n")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array().ok_or_else(|| \
+                             ::serde::Error::expected(\"array\", {name:?}, v))?;\n\
+                         if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected {n} elements for {name}, found {{}}\", items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let items = payload.as_array().ok_or_else(|| \
+                                         ::serde::Error::expected(\"array\", {name:?}, payload))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::Error::custom(\
+                                             ::std::format!(\"expected {n} elements for {name}::{vname}, found {{}}\", items.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::__private::field(payload, {f:?}, {name:?})?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => {{\n\
+                                 let (vname, payload) = ::serde::__private::variant(v, {name:?})?;\n\
+                                 match vname {{\n\
+                                     {}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
