@@ -1,0 +1,68 @@
+//! Observability overhead benchmarks: the same migration run and scenario
+//! repetition with the obs session disabled (the production default for
+//! golden regeneration) and fully enabled (trace + metrics + profiling).
+//!
+//! The disabled numbers are the ones that matter — the acceptance bar is
+//! <2% overhead on a plain run versus the pre-obs baseline recorded in
+//! `BENCH_baseline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wavm3_bench::{baseline_scenario, bench_runner};
+use wavm3_experiments::runner::run_scenario;
+use wavm3_migration::MigrationKind;
+use wavm3_obs::{ObsConfig, Session};
+use wavm3_simkit::RngFactory;
+
+fn bench_disabled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_disabled");
+    g.sample_size(20);
+    g.bench_function("migration_run", |b| {
+        let scenario = baseline_scenario(MigrationKind::Live);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scenario.build(RngFactory::new(seed)).run())
+        });
+    });
+    g.bench_function("scenario_repetition", |b| {
+        let scenario = baseline_scenario(MigrationKind::Live);
+        let cfg = bench_runner(1);
+        b.iter(|| black_box(run_scenario(&scenario, &cfg)));
+    });
+    g.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    // One session spans all iterations: installing/tearing down the global
+    // singleton per iteration would measure lock churn, not tracing cost.
+    let session = Session::install(ObsConfig {
+        trace: true,
+        collect_level: wavm3_obs::Level::Debug,
+        console: None,
+        metrics: true,
+        profiling: true,
+    });
+    let mut g = c.benchmark_group("obs_enabled");
+    g.sample_size(20);
+    g.bench_function("migration_run_traced", |b| {
+        let scenario = baseline_scenario(MigrationKind::Live);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            wavm3_obs::run_scope(format!("bench|run{seed}"), || {
+                black_box(scenario.build(RngFactory::new(seed)).run())
+            })
+        });
+    });
+    g.bench_function("scenario_repetition_traced", |b| {
+        let scenario = baseline_scenario(MigrationKind::Live);
+        let cfg = bench_runner(1);
+        b.iter(|| black_box(run_scenario(&scenario, &cfg)));
+    });
+    g.finish();
+    let report = session.finish();
+    black_box(report.event_count());
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

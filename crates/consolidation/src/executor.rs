@@ -91,51 +91,90 @@ pub fn execute_plan(
     config: MigrationConfig,
     rng: &RngFactory,
 ) -> Vec<ExecutedMove> {
+    let _timer = wavm3_obs::profile::stage("executor.plan");
     let mut world = cluster.clone();
     let mut out = Vec::with_capacity(moves.len());
     for (i, mv) in moves.iter().enumerate() {
-        if world.locate_vm(mv.vm) != Some(mv.from) {
-            out.push(ExecutedMove::skipped(mv));
-            continue;
-        }
-        let workloads: BTreeMap<VmId, Arc<dyn Workload>> = world
-            .hosts()
-            .iter()
-            .flat_map(|h| h.vms().iter())
-            .map(|vm| {
-                let load = loads.get(&vm.id).copied().unwrap_or(VmLoad::cpu_bound(0.0));
-                (vm.id, workload_for(&load))
-            })
-            .collect();
-        let record: MigrationRecord = MigrationSimulation::new(
-            world.clone(),
-            workloads,
-            mv.vm,
-            mv.from,
-            mv.to,
-            config,
-            rng.child(i as u64),
-        )
-        .run();
-        let aborted = record.is_aborted();
-        out.push(ExecutedMove {
-            planned: mv.clone(),
-            outcome: if aborted {
-                MoveOutcome::Aborted
-            } else {
-                MoveOutcome::Executed
-            },
-            measured_j: record.total_energy_j(),
-            rollback_j: record.rollback_energy_j(),
-            downtime_s: record.downtime.as_secs_f64(),
-            transfer_s: record.phases.transfer().as_secs_f64(),
-            window_s: record.phases.total().as_secs_f64(),
+        // The whole move lifecycle traces under its own run key, so plan
+        // executions interleave deterministically with campaign buffers.
+        let executed = wavm3_obs::run_scope(format!("consolidation|move{i:03}"), || {
+            if world.locate_vm(mv.vm) != Some(mv.from) {
+                wavm3_obs::metrics::counter_add("executor.moves.skipped_stale", 1);
+                wavm3_obs::event!(
+                    wavm3_obs::Level::Warn, "wavm3_consolidation", "move.skipped_stale",
+                    wavm3_simkit::SimTime::ZERO,
+                    "vm" => mv.vm.to_string(),
+                    "from" => mv.from.to_string(),
+                    "to" => mv.to.to_string(),
+                );
+                return ExecutedMove::skipped(mv);
+            }
+            let workloads: BTreeMap<VmId, Arc<dyn Workload>> = world
+                .hosts()
+                .iter()
+                .flat_map(|h| h.vms().iter())
+                .map(|vm| {
+                    let load = loads.get(&vm.id).copied().unwrap_or(VmLoad::cpu_bound(0.0));
+                    (vm.id, workload_for(&load))
+                })
+                .collect();
+            let record: MigrationRecord = MigrationSimulation::new(
+                world.clone(),
+                workloads,
+                mv.vm,
+                mv.from,
+                mv.to,
+                config,
+                rng.child(i as u64),
+            )
+            .run();
+            let aborted = record.is_aborted();
+            let executed = ExecutedMove {
+                planned: mv.clone(),
+                outcome: if aborted {
+                    MoveOutcome::Aborted
+                } else {
+                    MoveOutcome::Executed
+                },
+                measured_j: record.total_energy_j(),
+                rollback_j: record.rollback_energy_j(),
+                downtime_s: record.downtime.as_secs_f64(),
+                transfer_s: record.phases.transfer().as_secs_f64(),
+                window_s: record.phases.total().as_secs_f64(),
+            };
+            wavm3_obs::metrics::counter_add(
+                if aborted {
+                    "executor.moves.aborted"
+                } else {
+                    "executor.moves.executed"
+                },
+                1,
+            );
+            let mut span = wavm3_obs::span(
+                wavm3_obs::Level::Info,
+                "wavm3_consolidation",
+                "move.execute",
+                record.phases.ms,
+            );
+            if span.is_active() {
+                span.record("vm", mv.vm.to_string());
+                span.record("from", mv.from.to_string());
+                span.record("to", mv.to.to_string());
+                span.record("outcome", if aborted { "aborted" } else { "executed" });
+                span.record("predicted_j", mv.assessment.migration_energy_j);
+                span.record("measured_j", executed.measured_j);
+                span.record("rollback_j", executed.rollback_j);
+                span.record("downtime_s", executed.downtime_s);
+            }
+            span.close(record.phases.me);
+            executed
         });
         // Commit the move to the working copy only when it completed: an
         // aborted migration rolled the VM back to the source.
-        if !aborted {
+        if executed.outcome == MoveOutcome::Executed {
             world.relocate_vm(mv.vm, mv.from, mv.to);
         }
+        out.push(executed);
     }
     out
 }

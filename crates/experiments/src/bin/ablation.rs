@@ -1,11 +1,14 @@
 //! Ablation study: retrain WAVM3 with each ingredient removed.
 
+use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::{ablation, tables};
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
-    let rows = ablation::run_ablation(&dataset).expect("training failed");
-    print!("{}", ablation::render(&rows));
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+        let rows = ablation::run_ablation(&dataset).ok_or("training failed: too few readings")?;
+        print!("{}", ablation::render(&rows));
+        Ok(())
+    })
 }

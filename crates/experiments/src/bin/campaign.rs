@@ -1,40 +1,31 @@
 //! Run the full Table IIa campaign on both machine sets and export the
 //! datasets as JSON for external analysis.
 
+use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
-use wavm3_experiments::tables;
+use wavm3_experiments::{export, tables};
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    std::fs::create_dir_all(&opts.out_dir).expect("create output directory");
-    for set in [MachineSet::M, MachineSet::O] {
-        let dataset = tables::run_campaign(set, &opts.runner);
-        let path = opts
-            .out_dir
-            .join(format!("dataset_{}.json", set.label().replace('-', "_")));
-        let json = serde_json::to_string(&dataset).expect("serialise dataset");
-        std::fs::write(&path, json).expect("write dataset");
-        let runs_path = opts
-            .out_dir
-            .join(format!("runs_{}.csv", set.label().replace('-', "_")));
-        std::fs::write(&runs_path, wavm3_experiments::export::runs_csv(&dataset))
-            .expect("write runs CSV");
-        let readings_path = opts
-            .out_dir
-            .join(format!("readings_{}.csv", set.label().replace('-', "_")));
-        std::fs::write(
-            &readings_path,
-            wavm3_experiments::export::readings_csv(&dataset),
-        )
-        .expect("write readings CSV");
-        println!(
-            "{}: {} scenarios, {} migrations -> {}, {}, {}",
-            set.label(),
-            dataset.runs.len(),
-            dataset.record_count(),
-            path.display(),
-            runs_path.display(),
-            readings_path.display()
-        );
-    }
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        for set in [MachineSet::M, MachineSet::O] {
+            let dataset = tables::run_campaign(set, &opts.runner);
+            let slug = set.label().replace('-', "_");
+            let path = opts.out_dir.join(format!("dataset_{slug}.json"));
+            export::write_file(&path, &serde_json::to_string(&dataset)?)?;
+            let runs_path = opts.out_dir.join(format!("runs_{slug}.csv"));
+            export::write_file(&runs_path, &export::runs_csv(&dataset))?;
+            let readings_path = opts.out_dir.join(format!("readings_{slug}.csv"));
+            export::write_file(&readings_path, &export::readings_csv(&dataset))?;
+            println!(
+                "{}: {} scenarios, {} migrations -> {}, {}, {}",
+                set.label(),
+                dataset.runs.len(),
+                dataset.record_count(),
+                path.display(),
+                runs_path.display(),
+                readings_path.display()
+            );
+        }
+        Ok(())
+    })
 }

@@ -2,9 +2,12 @@
 //! diagram; printed here with each actor's role as implemented by this
 //! reproduction, §III-B).
 
-fn main() {
-    println!(
-        r#"Fig 1: Summary of the migration process (actors and implementation map)
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|_opts| {
+        println!(
+            r#"Fig 1: Summary of the migration process (actors and implementation map)
 
   +------------------------+        selects VM + target, issues migration
   | Consolidation Manager  | -----------------------------------------------+
@@ -28,5 +31,7 @@ Actors modelled for energy (paper §III-B): migrating VM, source host,
 target host. The consolidation manager only initiates (not metered); the
 network's switch draw is constant and excluded. Per-actor workload impact
 is Table I (`cargo run -p wavm3-experiments --bin table1`)."#
-    );
+        );
+        Ok(())
+    })
 }

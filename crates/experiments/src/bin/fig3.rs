@@ -1,7 +1,10 @@
 //! Regenerate paper Fig. 3. See crate docs for flags.
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let fig = wavm3_experiments::figures::fig3(&opts.runner);
-    wavm3_experiments::cli::emit_figure(&opts, &fig);
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let fig = wavm3_experiments::figures::fig3(&opts.runner);
+        wavm3_experiments::cli::emit_figure(opts, &fig)
+    })
 }

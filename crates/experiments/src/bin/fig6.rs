@@ -1,7 +1,10 @@
 //! Regenerate paper Fig. 6. See crate docs for flags.
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let fig = wavm3_experiments::figures::fig6(&opts.runner);
-    wavm3_experiments::cli::emit_figure(&opts, &fig);
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let fig = wavm3_experiments::figures::fig6(&opts.runner);
+        wavm3_experiments::cli::emit_figure(opts, &fig)
+    })
 }

@@ -3,6 +3,7 @@
 //! guest-visible SLA impact.
 
 use std::collections::BTreeMap;
+use std::process::ExitCode;
 use std::sync::Arc;
 use wavm3_cluster::{hardware, vm_instances, Cluster, Link, MachineSet, VmId};
 use wavm3_migration::{
@@ -41,56 +42,58 @@ fn run(kind: MigrationKind, mem_ratio: Option<f64>, seed: u64) -> MigrationRecor
     .run()
 }
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let reps = match opts.runner.repetitions {
-        wavm3_experiments::RepetitionPolicy::Fixed(n) => n,
-        _ => 5,
-    };
-    println!("MECHANISMS (extension): non-live vs live pre-copy vs post-copy");
-    println!(
-        "{:<12} {:<10} {:>9} {:>10} {:>9} {:>10} {:>11} {:>9}",
-        "workload",
-        "mechanism",
-        "transfer",
-        "downtime",
-        "bytes",
-        "E_total",
-        "lost CPU-s",
-        "rel perf"
-    );
-    for (wl_label, ratio) in [("cpu-bound", None), ("mem 95%", Some(0.95))] {
-        for kind in [
-            MigrationKind::NonLive,
-            MigrationKind::Live,
-            MigrationKind::PostCopy,
-        ] {
-            let mut acc: Vec<MigrationRecord> = Vec::new();
-            for r in 0..reps {
-                acc.push(run(kind, ratio, opts.runner.base_seed ^ r as u64));
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let reps = match opts.runner.repetitions {
+            wavm3_experiments::RepetitionPolicy::Fixed(n) => n,
+            _ => 5,
+        };
+        println!("MECHANISMS (extension): non-live vs live pre-copy vs post-copy");
+        println!(
+            "{:<12} {:<10} {:>9} {:>10} {:>9} {:>10} {:>11} {:>9}",
+            "workload",
+            "mechanism",
+            "transfer",
+            "downtime",
+            "bytes",
+            "E_total",
+            "lost CPU-s",
+            "rel perf"
+        );
+        for (wl_label, ratio) in [("cpu-bound", None), ("mem 95%", Some(0.95))] {
+            for kind in [
+                MigrationKind::NonLive,
+                MigrationKind::Live,
+                MigrationKind::PostCopy,
+            ] {
+                let mut acc: Vec<MigrationRecord> = Vec::new();
+                for r in 0..reps {
+                    acc.push(run(kind, ratio, opts.runner.base_seed ^ r as u64));
+                }
+                let n = acc.len() as f64;
+                let mean = |f: &dyn Fn(&MigrationRecord) -> f64| acc.iter().map(f).sum::<f64>() / n;
+                let sla_mean = |f: &dyn Fn(&SlaReport) -> f64| {
+                    acc.iter()
+                        .map(|x| f(&SlaReport::from_record(x)))
+                        .sum::<f64>()
+                        / n
+                };
+                println!(
+                    "{:<12} {:<10} {:>8.1}s {:>9.2}s {:>7.2}G {:>8.1}kJ {:>10.1}s {:>8.0}%",
+                    wl_label,
+                    kind.label(),
+                    mean(&|x| x.phases.transfer().as_secs_f64()),
+                    mean(&|x| x.downtime.as_secs_f64()),
+                    mean(&|x| x.total_bytes as f64 / 1e9),
+                    mean(&|x| x.total_energy_j() / 1e3),
+                    sla_mean(&|s| s.lost_cpu_seconds),
+                    sla_mean(&|s| s.relative_performance) * 100.0,
+                );
             }
-            let n = acc.len() as f64;
-            let mean = |f: &dyn Fn(&MigrationRecord) -> f64| acc.iter().map(f).sum::<f64>() / n;
-            let sla_mean = |f: &dyn Fn(&SlaReport) -> f64| {
-                acc.iter()
-                    .map(|x| f(&SlaReport::from_record(x)))
-                    .sum::<f64>()
-                    / n
-            };
-            println!(
-                "{:<12} {:<10} {:>8.1}s {:>9.2}s {:>7.2}G {:>8.1}kJ {:>10.1}s {:>8.0}%",
-                wl_label,
-                kind.label(),
-                mean(&|x| x.phases.transfer().as_secs_f64()),
-                mean(&|x| x.downtime.as_secs_f64()),
-                mean(&|x| x.total_bytes as f64 / 1e9),
-                mean(&|x| x.total_energy_j() / 1e3),
-                sla_mean(&|s| s.lost_cpu_seconds),
-                sla_mean(&|s| s.relative_performance) * 100.0,
-            );
         }
-    }
-    println!();
-    println!("(post-copy: fixed sub-second downtime and single-pass bytes even for");
-    println!(" hot memory, paid for with degraded guest performance during transfer)");
+        println!();
+        println!("(post-copy: fixed sub-second downtime and single-pass bytes even for");
+        println!(" hot memory, paid for with degraded guest performance during transfer)");
+        Ok(())
+    })
 }

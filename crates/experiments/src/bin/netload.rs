@@ -1,9 +1,12 @@
 //! NETLOAD extension: live migration next to a network-intensive guest.
 
+use std::process::ExitCode;
 use wavm3_experiments::netload;
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let points = netload::run_netload_sweep(&opts.runner);
-    print!("{}", netload::render(&points));
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let points = netload::run_netload_sweep(&opts.runner);
+        print!("{}", netload::render(&points));
+        Ok(())
+    })
 }

@@ -1,49 +1,52 @@
 //! Regenerate every table and figure of the paper in one go, writing
 //! summaries and CSV series under the output directory.
 
+use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
-use wavm3_experiments::{figures, tables};
+use wavm3_experiments::{export, figures, tables};
 use wavm3_migration::MigrationKind;
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let out = &opts.out_dir;
-    std::fs::create_dir_all(out.join("summaries")).expect("create output directory");
-    let save = |name: &str, content: &str| {
-        std::fs::write(out.join("summaries").join(format!("{name}.txt")), content)
-            .expect("write summary");
-        println!("=== {name} ===\n{content}");
-    };
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let out = &opts.out_dir;
+        let save = |name: &str, content: &str| -> std::io::Result<()> {
+            export::write_file(&out.join("summaries").join(format!("{name}.txt")), content)?;
+            println!("=== {name} ===\n{content}");
+            Ok(())
+        };
 
-    eprintln!("running the m01-m02 campaign ...");
-    let m = tables::run_campaign(MachineSet::M, &opts.runner);
-    eprintln!("running the o1-o2 campaign ...");
-    let o = tables::run_campaign(MachineSet::O, &opts.runner);
+        eprintln!("running the m01-m02 campaign ...");
+        let m = tables::run_campaign(MachineSet::M, &opts.runner);
+        eprintln!("running the o1-o2 campaign ...");
+        let o = tables::run_campaign(MachineSet::O, &opts.runner);
 
-    save("table1", &tables::table1(&m));
-    save("table2", &tables::table2());
-    save(
-        "table3",
-        &tables::table3_4(&m, MigrationKind::NonLive).expect("table3"),
-    );
-    save(
-        "table4",
-        &tables::table3_4(&m, MigrationKind::Live).expect("table4"),
-    );
-    save("table5", &tables::table5(&m, &o).expect("table5"));
-    save("table6", &tables::table6(&m).expect("table6"));
-    save("table7", &tables::table7(&m).expect("table7"));
+        let trained = "training failed: too few readings";
+        save("table1", &tables::table1(&m))?;
+        save("table2", &tables::table2())?;
+        save(
+            "table3",
+            &tables::table3_4(&m, MigrationKind::NonLive).ok_or(trained)?,
+        )?;
+        save(
+            "table4",
+            &tables::table3_4(&m, MigrationKind::Live).ok_or(trained)?,
+        )?;
+        save("table5", &tables::table5(&m, &o).ok_or(trained)?)?;
+        save("table6", &tables::table6(&m).ok_or(trained)?)?;
+        save("table7", &tables::table7(&m).ok_or(trained)?)?;
 
-    for fig in [
-        figures::fig2(&opts.runner),
-        figures::fig3(&opts.runner),
-        figures::fig4(&opts.runner),
-        figures::fig5(&opts.runner),
-        figures::fig6(&opts.runner),
-        figures::fig7(&opts.runner),
-    ] {
-        std::fs::write(out.join(format!("{}.csv", fig.id)), &fig.csv).expect("write csv");
-        save(fig.id, &fig.summary);
-    }
-    eprintln!("all artefacts under {}", out.display());
+        for fig in [
+            figures::fig2(&opts.runner),
+            figures::fig3(&opts.runner),
+            figures::fig4(&opts.runner),
+            figures::fig5(&opts.runner),
+            figures::fig6(&opts.runner),
+            figures::fig7(&opts.runner),
+        ] {
+            export::write_file(&out.join(format!("{}.csv", fig.id)), &fig.csv)?;
+            save(fig.id, &fig.summary)?;
+        }
+        eprintln!("all artefacts under {}", out.display());
+        Ok(())
+    })
 }

@@ -1,10 +1,13 @@
 //! Regenerate paper Table I (workload impact, with measured evidence).
 
+use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
-    print!("{}", tables::table1(&dataset));
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+        print!("{}", tables::table1(&dataset));
+        Ok(())
+    })
 }

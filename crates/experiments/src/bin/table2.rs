@@ -1,5 +1,10 @@
 //! Regenerate paper Table II (experimental setup).
 
-fn main() {
-    print!("{}", wavm3_experiments::tables::table2());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|_opts| {
+        print!("{}", wavm3_experiments::tables::table2());
+        Ok(())
+    })
 }

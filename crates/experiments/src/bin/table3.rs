@@ -1,14 +1,16 @@
 //! Regenerate paper Table III (WAVM3 coefficients, non-live).
 
+use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
 use wavm3_migration::MigrationKind;
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
-    print!(
-        "{}",
-        tables::table3_4(&dataset, MigrationKind::NonLive).expect("training failed")
-    );
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+        let table = tables::table3_4(&dataset, MigrationKind::NonLive)
+            .ok_or("training failed: too few readings")?;
+        print!("{table}");
+        Ok(())
+    })
 }

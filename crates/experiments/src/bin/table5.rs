@@ -1,11 +1,15 @@
 //! Regenerate paper Table V (WAVM3 NRMSE on both machine sets).
 
+use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let m = tables::run_campaign(MachineSet::M, &opts.runner);
-    let o = tables::run_campaign(MachineSet::O, &opts.runner);
-    print!("{}", tables::table5(&m, &o).expect("training failed"));
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let m = tables::run_campaign(MachineSet::M, &opts.runner);
+        let o = tables::run_campaign(MachineSet::O, &opts.runner);
+        let table = tables::table5(&m, &o).ok_or("training failed: too few readings")?;
+        print!("{table}");
+        Ok(())
+    })
 }

@@ -1,10 +1,14 @@
 //! Regenerate paper Table VII (model comparison).
 
+use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
 
-fn main() {
-    let opts = wavm3_experiments::cli::parse_args();
-    let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
-    print!("{}", tables::table7(&dataset).expect("training failed"));
+fn main() -> ExitCode {
+    wavm3_experiments::cli::run(|opts| {
+        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+        let table = tables::table7(&dataset).ok_or("training failed: too few readings")?;
+        print!("{table}");
+        Ok(())
+    })
 }

@@ -3,11 +3,45 @@
 //! Flags: `--reps N` (fixed repetitions instead of the paper's variance
 //! rule), `--seed S` (campaign seed), `--out DIR` (CSV output directory,
 //! default `out/`), `--faults` (inject the light fault mix: transient link
-//! degradation, pre-copy non-convergence, occasional aborts with retry).
+//! degradation, pre-copy non-convergence, occasional aborts with retry),
+//! plus the observability trio: `--trace PATH` (deterministic JSONL event
+//! trace), `--log-level LVL` (human console subscriber on stderr), and
+//! `--metrics-out PATH` (metrics snapshot + wall-clock profiling JSON).
 
 use crate::runner::{RepetitionPolicy, RunnerConfig};
 use std::path::PathBuf;
+use std::process::ExitCode;
 use wavm3_faults::FaultConfig;
+use wavm3_obs::{Level, ObsConfig, Session};
+
+/// Observability flags shared by every experiment binary.
+#[derive(Debug, Clone, Default)]
+pub struct ObsCliOptions {
+    /// `--trace PATH`: write the deterministic JSONL event trace here.
+    pub trace: Option<PathBuf>,
+    /// `--log-level LVL`: echo events at `LVL` and above to stderr.
+    pub log_level: Option<Level>,
+    /// `--metrics-out PATH`: write the metrics + profiling JSON here.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl ObsCliOptions {
+    /// `true` when any observability sink was requested.
+    pub fn any(&self) -> bool {
+        self.trace.is_some() || self.log_level.is_some() || self.metrics_out.is_some()
+    }
+
+    /// The session configuration these flags describe.
+    pub fn session_config(&self) -> ObsConfig {
+        ObsConfig {
+            trace: self.trace.is_some(),
+            collect_level: Level::Debug,
+            console: self.log_level,
+            metrics: self.metrics_out.is_some(),
+            profiling: self.metrics_out.is_some(),
+        }
+    }
+}
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -16,6 +50,8 @@ pub struct CliOptions {
     pub runner: RunnerConfig,
     /// Where figure CSVs are written.
     pub out_dir: PathBuf,
+    /// Observability sinks.
+    pub obs: ObsCliOptions,
 }
 
 impl Default for CliOptions {
@@ -23,6 +59,7 @@ impl Default for CliOptions {
         CliOptions {
             runner: RunnerConfig::default(),
             out_dir: PathBuf::from("out"),
+            obs: ObsCliOptions::default(),
         }
     }
 }
@@ -59,6 +96,25 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> CliOptions {
             "--faults" => {
                 opts.runner.faults = Some(FaultConfig::light());
             }
+            "--trace" => {
+                let v = it.next().unwrap_or_else(|| usage("--trace needs a path"));
+                opts.obs.trace = Some(PathBuf::from(v));
+            }
+            "--log-level" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<Level>().ok())
+                    .unwrap_or_else(|| {
+                        usage("--log-level needs one of trace/debug/info/warn/error")
+                    });
+                opts.obs.log_level = Some(v);
+            }
+            "--metrics-out" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--metrics-out needs a path"));
+                opts.obs.metrics_out = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -70,21 +126,78 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--reps N] [--seed S] [--out DIR] [--faults]");
+    eprintln!(
+        "usage: <bin> [--reps N] [--seed S] [--out DIR] [--faults] \
+         [--trace PATH] [--log-level LVL] [--metrics-out PATH]"
+    );
     eprintln!("  default repetition policy: paper variance rule (>=10 runs, <10% variance delta)");
     eprintln!(
         "  --faults: seeded fault injection (link degradation, non-convergence, aborts+retry)"
     );
+    eprintln!("  --trace: write a deterministic sim-time JSONL event trace");
+    eprintln!("  --log-level: echo events (trace/debug/info/warn/error) to stderr");
+    eprintln!("  --metrics-out: write the metrics snapshot + wall-clock profile as JSON");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
+/// Run one experiment binary: parse the shared flags, install the
+/// requested observability session around `body`, and write the trace /
+/// metrics files afterwards. I/O failures (the binary's or the sinks')
+/// are reported on stderr and turn into a non-zero exit code instead of
+/// a panic.
+pub fn run(body: impl FnOnce(&CliOptions) -> Result<(), Box<dyn std::error::Error>>) -> ExitCode {
+    let opts = parse_args();
+    let session = opts
+        .obs
+        .any()
+        .then(|| Session::install(opts.obs.session_config()));
+
+    let result = body(&opts);
+
+    let mut sink_result: Result<(), Box<dyn std::error::Error>> = Ok(());
+    if let Some(session) = session {
+        let report = session.finish();
+        if let Some(path) = &opts.obs.trace {
+            match report.write_trace_jsonl(path) {
+                Ok(()) => eprintln!(
+                    "trace: {} events -> {}",
+                    report.event_count(),
+                    path.display()
+                ),
+                Err(e) => sink_result = Err(e.into()),
+            }
+        }
+        if let Some(path) = &opts.obs.metrics_out {
+            match report.write_metrics_json(path) {
+                Ok(()) => eprintln!("metrics: {}", path.display()),
+                Err(e) => sink_result = Err(e.into()),
+            }
+        }
+        let profile = wavm3_obs::profile::summarise(&report.profiling);
+        if !profile.is_empty() {
+            eprint!("{profile}");
+        }
+    }
+
+    match result.and(sink_result) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Write a figure's CSV into the output directory and print its summary.
-pub fn emit_figure(opts: &CliOptions, fig: &crate::figures::FigureOutput) {
-    std::fs::create_dir_all(&opts.out_dir).expect("create output directory");
+pub fn emit_figure(
+    opts: &CliOptions,
+    fig: &crate::figures::FigureOutput,
+) -> Result<(), Box<dyn std::error::Error>> {
     let path = opts.out_dir.join(format!("{}.csv", fig.id));
-    std::fs::write(&path, &fig.csv).expect("write figure CSV");
+    crate::export::write_file(&path, &fig.csv)?;
     println!("{}", fig.summary);
     println!("(series written to {})", path.display());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -99,6 +212,7 @@ mod tests {
             RepetitionPolicy::VarianceRule { min: 10, .. }
         ));
         assert_eq!(o.out_dir, PathBuf::from("out"));
+        assert!(!o.obs.any(), "observability defaults to off");
     }
 
     #[test]
@@ -120,5 +234,34 @@ mod tests {
         let o = parse_from(["--faults"].iter().map(|s| s.to_string()));
         let f = o.runner.faults.expect("--faults sets a config");
         assert!(f.is_enabled());
+    }
+
+    #[test]
+    fn obs_flags_parse_and_describe_a_session() {
+        let o = parse_from(
+            [
+                "--trace",
+                "t.jsonl",
+                "--log-level",
+                "warn",
+                "--metrics-out",
+                "m.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(
+            o.obs.trace.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+        assert_eq!(o.obs.log_level, Some(Level::Warn));
+        assert_eq!(
+            o.obs.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        assert!(o.obs.any());
+        let cfg = o.obs.session_config();
+        assert!(cfg.trace && cfg.metrics && cfg.profiling);
+        assert_eq!(cfg.console, Some(Level::Warn));
     }
 }

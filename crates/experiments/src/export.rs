@@ -4,7 +4,25 @@
 
 use crate::dataset::ExperimentDataset;
 use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 use wavm3_power::MigrationPhase;
+
+/// Write `contents` to `path`, creating missing parent directories and
+/// annotating any I/O error with the offending path. The regeneration
+/// binaries route every artefact through this instead of `unwrap()`ing,
+/// so a read-only or missing output directory is reported (with context)
+/// rather than crashing the whole campaign after the compute finished.
+pub fn write_file(path: &Path, contents: &str) -> io::Result<()> {
+    let annotate =
+        |p: &Path, e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", p.display()));
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| annotate(parent, e))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| annotate(path, e))
+}
 
 /// One CSV line per 2 Hz reading across every record: the regression view
 /// (features + measured powers).
@@ -186,6 +204,19 @@ mod tests {
         assert!(art.contains('I'));
         // 8 grid rows + 2 axis rows + marker row.
         assert_eq!(art.lines().count(), 11);
+    }
+
+    #[test]
+    fn write_file_creates_parents_and_annotates_errors() {
+        let dir = std::env::temp_dir().join(format!("wavm3-export-test-{}", std::process::id()));
+        let path = dir.join("nested/deep/fig.csv");
+        write_file(&path, "a,b\n1,2\n").expect("write with parent creation");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let err = write_file(Path::new("/dev/null/not-a-dir/fig.csv"), "x")
+            .expect_err("cannot create a directory under /dev/null");
+        assert!(err.to_string().contains("not-a-dir"), "{err}");
     }
 
     #[test]

@@ -95,15 +95,26 @@ fn scenario_rng(cfg: &RunnerConfig, scenario: &Scenario) -> RngFactory {
 /// record's `rollback_j` (energy spent and rolled back), and
 /// `retry_backoff` accumulates the exponential backoff simulated between
 /// attempts.
+/// Trace run key of one attempt: sorts by scenario, then repetition, then
+/// attempt, giving the merged JSONL stream its deterministic order.
+fn run_key(scenario: &Scenario, rep: u64, attempt: u32) -> String {
+    format!("{}|rep{rep:03}|att{attempt}", scenario.id())
+}
+
 fn run_repetition(
     scenario: &Scenario,
     cfg: &RunnerConfig,
     scope: &RngFactory,
     rep: u64,
 ) -> MigrationRecord {
+    let _timer = wavm3_obs::profile::stage("runner.repetition");
     let faults = match cfg.faults {
         Some(f) if f.is_enabled() => f,
-        _ => return scenario.build(scope.child(rep)).run(),
+        _ => {
+            return wavm3_obs::run_scope(run_key(scenario, rep, 0), || {
+                scenario.build(scope.child(rep)).run()
+            })
+        }
     };
     let max_attempts = cfg.retry.max_attempts.max(1);
     let mut carried_events = Vec::new();
@@ -118,14 +129,30 @@ fn run_repetition(
             scope.child(rep).child(attempt as u64)
         };
         let config = MigrationConfig::with_faults(scenario.kind, faults);
-        let mut record = scenario.build_with_config(rng, config).run();
-        record.attempt = attempt;
-        record.retry_backoff = backoff;
-        if !carried_events.is_empty() {
-            carried_events.append(&mut record.fault_events);
-            record.fault_events = std::mem::take(&mut carried_events);
-        }
-        if !record.is_aborted() || attempt + 1 >= max_attempts {
+        // The whole attempt (including the retry decision) runs inside its
+        // run scope so every event lands in the attempt's own buffer —
+        // worker threads never write the shared root buffer.
+        let (done, mut record) = wavm3_obs::run_scope(run_key(scenario, rep, attempt), || {
+            let mut record = scenario.build_with_config(rng, config).run();
+            record.attempt = attempt;
+            record.retry_backoff = backoff;
+            if !carried_events.is_empty() {
+                carried_events.append(&mut record.fault_events);
+                record.fault_events = std::mem::take(&mut carried_events);
+            }
+            let done = !record.is_aborted() || attempt + 1 >= max_attempts;
+            if !done {
+                wavm3_obs::metrics::counter_add("runner.retries", 1);
+                wavm3_obs::event!(
+                    wavm3_obs::Level::Warn, "wavm3_experiments", "runner.retry",
+                    record.phases.me,
+                    "attempt" => attempt,
+                    "next_backoff_s" => cfg.retry.backoff_before(attempt + 1).as_secs_f64(),
+                );
+            }
+            (done, record)
+        });
+        if done {
             record.source_energy.rollback_j += wasted_source_j;
             record.target_energy.rollback_j += wasted_target_j;
             return record;
@@ -140,8 +167,9 @@ fn run_repetition(
 
 /// Run one scenario under the repetition policy.
 pub fn run_scenario(scenario: &Scenario, cfg: &RunnerConfig) -> Vec<MigrationRecord> {
+    let _timer = wavm3_obs::profile::stage("runner.scenario");
     let scope = scenario_rng(cfg, scenario);
-    match cfg.repetitions {
+    let records = match cfg.repetitions {
         RepetitionPolicy::Fixed(n) => (0..n)
             .map(|rep| run_repetition(scenario, cfg, &scope, rep as u64))
             .collect(),
@@ -150,23 +178,49 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunnerConfig) -> Vec<MigrationRec
             max,
             threshold,
         } => {
-            let mut stopper = VarianceStopper::new(min.max(2), max.max(min.max(2)), threshold);
-            let mut records = Vec::new();
-            let mut rep = 0u64;
-            while !stopper.is_satisfied() {
-                let record = run_repetition(scenario, cfg, &scope, rep);
-                stopper.push(record.source_energy.total_j());
-                records.push(record);
-                rep += 1;
-            }
-            records
+            // Progress events collect under their own run key ("z-" sorts
+            // after every "repNNN" buffer of the same scenario).
+            wavm3_obs::run_scope(format!("{}|z-progress", scenario.id()), || {
+                let mut stopper = VarianceStopper::new(min.max(2), max.max(min.max(2)), threshold);
+                let mut records = Vec::new();
+                let mut rep = 0u64;
+                while !stopper.is_satisfied() {
+                    let record = run_repetition(scenario, cfg, &scope, rep);
+                    stopper.push(record.source_energy.total_j());
+                    wavm3_obs::event!(
+                        wavm3_obs::Level::Debug, "wavm3_experiments", "runner.variance_progress",
+                        record.phases.me,
+                        "rep" => rep,
+                        "runs" => stopper.runs() as u64,
+                        "source_energy_j" => record.source_energy.total_j(),
+                        "relative_change" => stopper.relative_change().unwrap_or(f64::NAN),
+                        "satisfied" => stopper.is_satisfied(),
+                    );
+                    records.push(record);
+                    rep += 1;
+                }
+                records
+            })
         }
-    }
+    };
+    wavm3_obs::metrics::counter_add("runner.repetitions", records.len() as u64);
+    records
 }
 
 /// Run many scenarios in parallel; output order matches input order.
 pub fn run_all(scenarios: &[Scenario], cfg: &RunnerConfig) -> Vec<Vec<MigrationRecord>> {
-    scenarios.par_iter().map(|s| run_scenario(s, cfg)).collect()
+    let _timer = wavm3_obs::profile::stage("runner.campaign");
+    let started = std::time::Instant::now();
+    let results: Vec<Vec<MigrationRecord>> =
+        scenarios.par_iter().map(|s| run_scenario(s, cfg)).collect();
+    // Wall-clock campaign throughput: explicitly non-reproducible, which
+    // is why it lives in a gauge and never in the trace.
+    let elapsed = started.elapsed().as_secs_f64();
+    if elapsed > 0.0 {
+        let runs: usize = results.iter().map(Vec::len).sum();
+        wavm3_obs::metrics::gauge_set("runner.throughput_runs_per_s", runs as f64 / elapsed);
+    }
+    results
 }
 
 #[cfg(test)]

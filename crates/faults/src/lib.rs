@@ -304,6 +304,64 @@ pub enum FaultEvent {
     },
 }
 
+impl FaultEvent {
+    /// Short stable identifier for traces and metrics labels.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultEvent::LinkDegraded { .. } => "link_degraded",
+            FaultEvent::ForcedStopAndCopy { .. } => "forced_stop_and_copy",
+            FaultEvent::Aborted { .. } => "aborted",
+        }
+    }
+
+    /// The sim instant the fault took effect (window start for link
+    /// degradation).
+    pub fn at(&self) -> SimTime {
+        match self {
+            FaultEvent::LinkDegraded { window, .. } => window.start,
+            FaultEvent::ForcedStopAndCopy { at, .. } => *at,
+            FaultEvent::Aborted { at, .. } => *at,
+        }
+    }
+}
+
+/// Report `event` to the observability layer: a `fault.injected` trace
+/// event plus per-kind counters (`faults.injected`, `faults.<kind>`).
+/// Near-zero cost when no session is installed.
+pub fn observe_fault(event: &FaultEvent) {
+    wavm3_obs::metrics::counter_add("faults.injected", 1);
+    match event {
+        FaultEvent::LinkDegraded {
+            window,
+            bandwidth_factor,
+        } => {
+            wavm3_obs::metrics::counter_add("faults.link_degraded", 1);
+            wavm3_obs::event!(
+                wavm3_obs::Level::Warn, "wavm3_faults", "fault.injected", window.start,
+                "kind" => "link_degraded",
+                "window_end_us" => window.end,
+                "bandwidth_factor" => *bandwidth_factor,
+            );
+        }
+        FaultEvent::ForcedStopAndCopy { at, after_rounds } => {
+            wavm3_obs::metrics::counter_add("faults.forced_stop_and_copy", 1);
+            wavm3_obs::event!(
+                wavm3_obs::Level::Warn, "wavm3_faults", "fault.injected", *at,
+                "kind" => "forced_stop_and_copy",
+                "after_rounds" => *after_rounds as u64,
+            );
+        }
+        FaultEvent::Aborted { at, bytes_sent } => {
+            wavm3_obs::metrics::counter_add("faults.aborted", 1);
+            wavm3_obs::event!(
+                wavm3_obs::Level::Warn, "wavm3_faults", "fault.injected", *at,
+                "kind" => "aborted",
+                "bytes_sent" => *bytes_sent,
+            );
+        }
+    }
+}
+
 /// Retry-with-exponential-backoff over aborted migration attempts.
 ///
 /// Backoff is *simulated* time — the runner charges it to the schedule,

@@ -15,7 +15,8 @@ use crate::record::{FeatureSample, MigrationOutcome, MigrationRecord, RoundStats
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wavm3_cluster::{Cluster, HostId, VmId, PAGE_SIZE_BYTES};
-use wavm3_faults::{FaultEvent, FaultPlan};
+use wavm3_faults::{observe_fault, FaultEvent, FaultPlan};
+use wavm3_obs::{metrics, Level};
 use wavm3_power::{
     channels, ground_truth_power, EnergyBreakdown, PhaseTimes, PowerInputs, PowerMeter, PowerTrace,
     TelemetryRecorder,
@@ -257,6 +258,10 @@ impl MigrationSimulation {
                     // Suspend-and-copy: the VM stops at migration start.
                     self.cluster.vm_mut(self.migrant).unwrap().suspend();
                     suspend_time = Some(now);
+                    wavm3_obs::event!(
+                        Level::Debug, "wavm3_migration", "vm.suspend", now,
+                        "reason" => "non_live_start",
+                    );
                 }
             }
             if stage == Stage::Initiation && now >= ts {
@@ -274,6 +279,10 @@ impl MigrationSimulation {
                     // run on the target while memory follows over the wire.
                     self.cluster.vm_mut(self.migrant).unwrap().suspend();
                     suspend_time = Some(now);
+                    wavm3_obs::event!(
+                        Level::Debug, "wavm3_migration", "vm.suspend", now,
+                        "reason" => "postcopy_handover",
+                    );
                     self.cluster
                         .relocate_vm(self.migrant, self.source, self.target);
                     migrant_on_target = true;
@@ -286,6 +295,10 @@ impl MigrationSimulation {
             {
                 self.cluster.vm_mut(self.migrant).unwrap().resume();
                 resume_time = Some(now);
+                wavm3_obs::event!(
+                    Level::Debug, "wavm3_migration", "vm.resume", now,
+                    "reason" => "postcopy_target",
+                );
             }
             if stage == Stage::Activation {
                 let me_t = me.expect("me set when entering activation");
@@ -329,6 +342,7 @@ impl MigrationSimulation {
                     at: now,
                     bytes_sent: total_bytes.round() as u64,
                 });
+                observe_fault(fault_events.last().expect("just pushed"));
                 // The VM never left the source; resume it if this
                 // migration suspended it (non-live, or a live
                 // stop-and-copy pass caught mid-flight).
@@ -336,6 +350,10 @@ impl MigrationSimulation {
                 if !vm.is_running() {
                     vm.resume();
                     resume_time = Some(now);
+                    wavm3_obs::event!(
+                        Level::Debug, "wavm3_migration", "vm.resume", now,
+                        "reason" => "abort_rollback",
+                    );
                 }
                 // Timeline: `te` = abort instant; the activation-length
                 // window that follows holds target teardown and source
@@ -439,6 +457,7 @@ impl MigrationSimulation {
                                 window: w.window,
                                 bandwidth_factor: w.bandwidth_factor,
                             });
+                            observe_fault(fault_events.last().expect("just pushed"));
                         }
                     }
                 }
@@ -505,6 +524,13 @@ impl MigrationSimulation {
                             dirty_at_end_pages: d_end,
                             stop_and_copy: x.stop_and_copy,
                         });
+                        wavm3_obs::event!(
+                            Level::Debug, "wavm3_migration", "transfer.round", t_cur,
+                            "round" => x.round as u64,
+                            "bytes_sent" => x.round_bytes_sent.round() as u64,
+                            "dirty_at_end_pages" => d_end,
+                            "stop_and_copy" => x.stop_and_copy,
+                        );
                         let finish = |te_slot: &mut Option<SimTime>,
                                       me_slot: &mut Option<SimTime>,
                                       t_end: SimTime| {
@@ -533,6 +559,7 @@ impl MigrationSimulation {
                                     at: t_cur,
                                     after_rounds: x.round + 1,
                                 });
+                                observe_fault(fault_events.last().expect("just pushed"));
                             }
                             if d_end == 0 {
                                 finish(&mut te, &mut me, t_cur);
@@ -541,6 +568,10 @@ impl MigrationSimulation {
                                 // Final stop-and-copy: suspend the VM.
                                 self.cluster.vm_mut(self.migrant).unwrap().suspend();
                                 suspend_time = Some(t_cur);
+                                wavm3_obs::event!(
+                                    Level::Debug, "wavm3_migration", "vm.suspend", t_cur,
+                                    "reason" => "stop_and_copy",
+                                );
                                 *x = Xfer {
                                     round: x.round + 1,
                                     remaining_bytes: d_end as f64 * PAGE_SIZE_BYTES as f64,
@@ -577,6 +608,10 @@ impl MigrationSimulation {
                         vm.resume();
                         migrant_on_target = true;
                         resume_time = Some(te_t);
+                        wavm3_obs::event!(
+                            Level::Debug, "wavm3_migration", "vm.resume", te_t,
+                            "reason" => "activation",
+                        );
                     }
                     current_bw = 0.0;
                 }
@@ -713,6 +748,85 @@ impl MigrationSimulation {
                 EnergyBreakdown::from_trace(&target_trace, &phases),
             )
         };
+
+        // --- Observability: phase spans, run span, metrics. Gated so a
+        // run without an installed session pays a few atomic loads; all
+        // timestamps are sim time, so traces replay byte-identically. ---
+        if wavm3_obs::tracing_active() {
+            // Mean workload attributes over one phase window, computed
+            // from the phase-corrected feature samples.
+            let phase_span = |name: &'static str, lo: SimTime, hi: SimTime| {
+                let mut n = 0u32;
+                let (mut cpu_s, mut cpu_t, mut dr, mut bw) = (0.0, 0.0, 0.0, 0.0);
+                for s in &samples {
+                    if s.t >= lo && s.t < hi {
+                        n += 1;
+                        cpu_s += s.cpu_source;
+                        cpu_t += s.cpu_target;
+                        dr += s.dirty_ratio;
+                        bw += s.bandwidth_bps;
+                    }
+                }
+                let denom = n.max(1) as f64;
+                wavm3_obs::emit_span(
+                    Level::Info,
+                    "wavm3_migration",
+                    name,
+                    lo,
+                    hi,
+                    vec![
+                        ("samples", u64::from(n).into()),
+                        ("cpu_s_mean", (cpu_s / denom).into()),
+                        ("cpu_t_mean", (cpu_t / denom).into()),
+                        ("dr_mean", (dr / denom).into()),
+                        ("bw_mean_bps", (bw / denom).into()),
+                    ],
+                );
+            };
+            phase_span("phase.normal", SimTime::ZERO, ms);
+            phase_span("phase.initiation", ms, ts);
+            phase_span("phase.transfer", ts, te);
+            phase_span("phase.activation", te, me);
+            phase_span("phase.tail", me, now);
+            wavm3_obs::emit_span(
+                Level::Info,
+                "wavm3_migration",
+                "migration.run",
+                SimTime::ZERO,
+                now,
+                vec![
+                    ("kind", cfg.kind.label().into()),
+                    (
+                        "outcome",
+                        if aborted { "aborted" } else { "completed" }.into(),
+                    ),
+                    ("total_bytes", (total_bytes.round() as u64).into()),
+                    ("downtime_s", downtime.as_secs_f64().into()),
+                    ("rounds", (rounds.len() as u64).into()),
+                    ("fault_events", (fault_events.len() as u64).into()),
+                    ("vm_ram_mib", vm_ram_mib.into()),
+                ],
+            );
+        }
+        metrics::counter_add("migration.runs", 1);
+        if aborted {
+            metrics::counter_add("migration.aborted", 1);
+        }
+        metrics::observe(
+            "migration.transfer_s",
+            metrics::buckets::DURATION_S,
+            phases.transfer().as_secs_f64(),
+        );
+        metrics::observe(
+            "migration.downtime_s",
+            metrics::buckets::DURATION_S,
+            downtime.as_secs_f64(),
+        );
+        metrics::observe(
+            "migration.energy_kj",
+            metrics::buckets::ENERGY_KJ,
+            (source_energy.total_j() + target_energy.total_j()) / 1e3,
+        );
 
         MigrationRecord {
             kind: cfg.kind,

@@ -1,0 +1,106 @@
+//! Severity levels for trace events.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Event severity, ordered `Trace < Debug < Info < Warn < Error`.
+///
+/// A sink with filter level `L` accepts every event whose level is `>= L`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Level {
+    /// Finest-grained engine internals (per-tick detail).
+    Trace,
+    /// Per-round / per-sample detail.
+    Debug,
+    /// Run and phase lifecycle (the default).
+    #[default]
+    Info,
+    /// Injected faults, retries, degraded behaviour.
+    Warn,
+    /// Failures that abandon work.
+    Error,
+}
+
+impl Level {
+    /// All levels, ascending.
+    pub const ALL: [Level; 5] = [
+        Level::Trace,
+        Level::Debug,
+        Level::Info,
+        Level::Warn,
+        Level::Error,
+    ];
+
+    /// Lower-case name, as used in JSONL output and `--log-level`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error for an unrecognised level name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(pub String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown level {:?} (expected trace|debug|info|warn|error)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Ok(Level::Trace),
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" | "warning" => Ok(Level::Warn),
+            "error" => Ok(Level::Error),
+            other => Err(ParseLevelError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_ascending() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for lvl in Level::ALL {
+            assert_eq!(lvl.as_str().parse::<Level>().unwrap(), lvl);
+        }
+        assert_eq!("WARNING".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+    }
+}

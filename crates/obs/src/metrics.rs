@@ -1,0 +1,293 @@
+//! Metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! ## Determinism
+//!
+//! Counters and histogram bucket counts accumulate with integer addition
+//! and histogram sums accumulate in fixed-point microunits, so totals are
+//! independent of the order parallel workers contribute in — a snapshot of
+//! a seeded campaign is reproducible across thread counts. Gauges are
+//! last-write-wins and should only be set from deterministic points (or
+//! carry explicitly non-reproducible data such as wall-clock throughput,
+//! which the conventions below confine to the `runner.*` namespace).
+//!
+//! The process-wide registry (fed through [`counter_add`] & friends) is
+//! armed by an installed [`Session`](crate::Session) with `metrics: true`;
+//! without one the free functions are a single relaxed atomic load.
+
+use crate::session;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Well-known histogram bucket ladders.
+pub mod buckets {
+    /// Durations in seconds (phase lengths, downtime): 100 ms … 500 s.
+    pub const DURATION_S: &[f64] = &[
+        0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    ];
+    /// Energies in kilojoules: 0.1 kJ … 100 kJ.
+    pub const ENERGY_KJ: &[f64] = &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+}
+
+/// Fixed-point scale for deterministic histogram sums (microunits).
+const SUM_SCALE: f64 = 1e6;
+
+/// One histogram's state: counts per bucket plus a fixed-point sum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds; one final overflow bucket is implicit.
+    pub bounds: Vec<f64>,
+    /// Sample counts, `bounds.len() + 1` entries (last = overflow).
+    pub counts: Vec<u64>,
+    /// Total samples observed.
+    pub count: u64,
+    /// Sum of samples in fixed-point microunits (deterministic across
+    /// accumulation orders, unlike a float sum).
+    pub sum_micro: i64,
+}
+
+impl HistogramSnapshot {
+    fn new(bounds: &[f64]) -> Self {
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum_micro: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum_micro += (value * SUM_SCALE).round() as i64;
+        }
+    }
+
+    /// Sum of observed samples (decoded from fixed point).
+    pub fn sum(&self) -> f64 {
+        self.sum_micro as f64 / SUM_SCALE
+    }
+
+    /// Mean observed sample, or 0.0 before any observation.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum() / self.count as f64
+        }
+    }
+}
+
+/// Deterministic point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins instantaneous values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket distributions.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+/// A metrics registry. The workspace normally uses the process-wide one
+/// through the free functions below; standalone registries exist for
+/// tests and embedding.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Add `delta` to counter `name` (created at 0 on first use).
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        *self.lock().counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Set gauge `name` (last write wins).
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        self.lock().gauges.insert(name, value);
+    }
+
+    /// Observe `value` on histogram `name`. The first call fixes the
+    /// bucket bounds; later calls reuse them (`bounds` is then ignored).
+    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+        self.lock()
+            .histograms
+            .entry(name)
+            .or_insert_with(|| HistogramSnapshot::new(bounds))
+            .observe(value);
+    }
+
+    /// Deterministic snapshot (BTreeMap name order).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Drop all recorded metrics.
+    pub fn reset(&self) {
+        *self.lock() = RegistryInner::default();
+    }
+}
+
+fn global() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Add `delta` to the global counter `name`; no-op without a metrics
+/// session.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if session::metrics_active() {
+        global().counter_add(name, delta);
+    }
+}
+
+/// Set the global gauge `name`; no-op without a metrics session.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if session::metrics_active() {
+        global().gauge_set(name, value);
+    }
+}
+
+/// Observe on the global histogram `name`; no-op without a metrics
+/// session.
+#[inline]
+pub fn observe(name: &'static str, bounds: &'static [f64], value: f64) {
+    if session::metrics_active() {
+        global().observe(name, bounds, value);
+    }
+}
+
+/// Snapshot the global registry (empty without a metrics session).
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}
+
+pub(crate) fn reset_global() {
+    global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_upper_bound() {
+        let h = Registry::new();
+        let bounds: &[f64] = &[1.0, 2.0, 5.0];
+        for v in [0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 5.1, 99.0] {
+            h.observe("x", bounds, v);
+        }
+        let snap = h.snapshot();
+        let hist = &snap.histograms["x"];
+        //                 <=1  <=2  <=5  overflow
+        assert_eq!(hist.counts, vec![2, 2, 2, 2]);
+        assert_eq!(hist.count, 8);
+        let expected: f64 = 0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 5.1 + 99.0;
+        assert!((hist.sum() - expected).abs() < 1e-6);
+        assert!((hist.mean() - expected / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_point_sum_is_order_independent() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let values = [0.1, 0.2, 0.3, 1e6, 1e-6, 37.7];
+        for v in values {
+            a.observe("x", buckets::DURATION_S, v);
+        }
+        for v in values.iter().rev() {
+            b.observe("x", buckets::DURATION_S, *v);
+        }
+        assert_eq!(
+            a.snapshot().histograms["x"].sum_micro,
+            b.snapshot().histograms["x"].sum_micro
+        );
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        r.counter_add("runs", 2);
+        r.counter_add("runs", 3);
+        r.gauge_set("speed", 1.0);
+        r.gauge_set("speed", 4.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["runs"], 5);
+        assert_eq!(snap.gauges["speed"], 4.5);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let r = Registry::new();
+        r.counter_add("migration.runs", 7);
+        r.gauge_set("runner.throughput_runs_per_s", 123.25);
+        r.observe("migration.transfer_s", buckets::DURATION_S, 42.0);
+        r.observe("migration.transfer_s", buckets::DURATION_S, 600.0);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialise snapshot");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse snapshot");
+        assert_eq!(back, snap);
+        assert_eq!(back.histograms["migration.transfer_s"].count, 2);
+    }
+
+    #[test]
+    fn global_functions_are_inert_without_a_session() {
+        // Hold the session lock so no concurrent test arms the registry.
+        let _guard = crate::session::lock_for_tests();
+        counter_add("test.inert", 1);
+        observe("test.inert_h", buckets::DURATION_S, 1.0);
+        let snap = snapshot();
+        assert!(!snap.counters.contains_key("test.inert"));
+        assert!(!snap.histograms.contains_key("test.inert_h"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Wall-clock stage profiling.
+//!
+//! Stage timers measure *real* elapsed time ([`std::time::Instant`]), so
+//! their readings are inherently non-reproducible. They are therefore
+//! firewalled from the deterministic side of the crate: profiling data
+//! never enters the trace buffer or golden outputs — it only appears in
+//! the [`ObsReport::profiling`](crate::ObsReport) section and the
+//! per-campaign summary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+static PROF_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+pub(crate) fn set_active(on: bool) {
+    PROF_ACTIVE.store(on, Ordering::Relaxed);
+}
+
+/// `true` when a session armed the profiler.
+#[inline]
+pub fn profiling_active() -> bool {
+    PROF_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Accumulated wall-clock statistics of one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Completed timings.
+    pub count: u64,
+    /// Total wall time, milliseconds.
+    pub total_ms: f64,
+    /// Longest single timing, milliseconds.
+    pub max_ms: f64,
+}
+
+impl StageStats {
+    fn record(&mut self, elapsed: Duration) {
+        let ms = elapsed.as_secs_f64() * 1e3;
+        self.count += 1;
+        self.total_ms += ms;
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Mean wall time per timing, milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms / self.count as f64
+        }
+    }
+}
+
+/// Per-stage wall-clock statistics, by stage name.
+pub type ProfileSnapshot = BTreeMap<String, StageStats>;
+
+fn table() -> &'static Mutex<BTreeMap<&'static str, StageStats>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<&'static str, StageStats>>> = OnceLock::new();
+    TABLE.get_or_init(Mutex::default)
+}
+
+fn lock_table() -> MutexGuard<'static, BTreeMap<&'static str, StageStats>> {
+    table().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A running stage timer; records into the profile table on drop.
+#[must_use = "the timer records when dropped"]
+pub struct StageTimer {
+    inner: Option<(&'static str, Instant)>,
+}
+
+/// Start timing `name` (inert unless a profiling session is armed).
+#[inline]
+pub fn stage(name: &'static str) -> StageTimer {
+    StageTimer {
+        inner: profiling_active().then(|| (name, Instant::now())),
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.inner.take() {
+            lock_table()
+                .entry(name)
+                .or_default()
+                .record(start.elapsed());
+        }
+    }
+}
+
+/// Snapshot the profile table.
+pub fn snapshot() -> ProfileSnapshot {
+    lock_table()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect()
+}
+
+pub(crate) fn reset_global() {
+    lock_table().clear();
+}
+
+/// Human-readable per-campaign summary table (empty string when nothing
+/// was profiled).
+pub fn summarise(snapshot: &ProfileSnapshot) -> String {
+    if snapshot.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(
+        "profile: stage                              count   total_ms    mean_ms     max_ms\n",
+    );
+    for (name, s) in snapshot {
+        let _ = writeln!(
+            out,
+            "profile: {name:<34} {:>6} {:>10.1} {:>10.2} {:>10.2}",
+            s.count,
+            s.total_ms,
+            s.mean_ms(),
+            s.max_ms
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{ObsConfig, Session};
+
+    #[test]
+    fn timers_are_inert_without_a_session() {
+        let _guard = crate::session::lock_for_tests();
+        {
+            let _t = stage("inert.stage");
+        }
+        assert!(!snapshot().contains_key("inert.stage"));
+    }
+
+    #[test]
+    fn timers_accumulate_under_a_session() {
+        let session = Session::install(ObsConfig {
+            profiling: true,
+            ..ObsConfig::default()
+        });
+        for _ in 0..3 {
+            let _t = stage("unit.sleepless");
+        }
+        let report = session.finish();
+        let stats = report.profiling["unit.sleepless"];
+        assert_eq!(stats.count, 3);
+        assert!(stats.total_ms >= 0.0);
+        assert!(stats.max_ms >= stats.mean_ms());
+        let text = summarise(&report.profiling);
+        assert!(text.contains("unit.sleepless"));
+        assert!(summarise(&ProfileSnapshot::new()).is_empty());
+    }
+}

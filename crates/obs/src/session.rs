@@ -1,0 +1,346 @@
+//! Session lifecycle: installing sinks, collecting buffers, reporting.
+//!
+//! One [`Session`] is active per process at a time (installation takes a
+//! global lock, so concurrent tests serialise instead of interleaving).
+//! With no session installed, every instrumentation probe in the
+//! workspace reduces to a relaxed atomic load — the "null sink".
+
+use crate::event::Event;
+use crate::level::Level;
+use crate::metrics::{self, MetricsSnapshot};
+use crate::profile::{self, ProfileSnapshot};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+// --- Global sink state, read on the hot path. ------------------------------
+
+static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
+static METRICS_ACTIVE: AtomicBool = AtomicBool::new(false);
+/// 0 = console off, otherwise `level as u8 + 1`.
+static CONSOLE_LEVEL: AtomicU8 = AtomicU8::new(0);
+/// Minimum level the JSONL buffer collects.
+static COLLECT_LEVEL: AtomicU8 = AtomicU8::new(Level::Debug as u8);
+
+#[inline]
+pub(crate) fn trace_active() -> bool {
+    TRACE_ACTIVE.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn metrics_active() -> bool {
+    METRICS_ACTIVE.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn console_level() -> Option<Level> {
+    match CONSOLE_LEVEL.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(Level::ALL[(n - 1) as usize]),
+    }
+}
+
+#[inline]
+pub(crate) fn collect_level() -> Level {
+    Level::ALL[COLLECT_LEVEL.load(Ordering::Relaxed) as usize]
+}
+
+#[inline]
+pub(crate) fn any_active() -> bool {
+    trace_active() || metrics_active() || console_level().is_some()
+}
+
+// --- Collected buffers. ----------------------------------------------------
+
+#[derive(Default)]
+struct Collected {
+    /// Events emitted outside any run scope (main-thread campaign level).
+    root: Vec<Event>,
+    /// Closed run-scope buffers, in completion order (re-sorted by key at
+    /// flush, which is what makes the merged stream deterministic).
+    runs: Vec<(String, Vec<Event>)>,
+}
+
+fn collected() -> &'static Mutex<Collected> {
+    static COLLECTED: OnceLock<Mutex<Collected>> = OnceLock::new();
+    COLLECTED.get_or_init(Mutex::default)
+}
+
+fn lock_collected() -> MutexGuard<'static, Collected> {
+    collected().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub(crate) fn push_root_event(event: Event) {
+    lock_collected().root.push(event);
+}
+
+pub(crate) fn push_run_buffer(key: String, events: Vec<Event>) {
+    lock_collected().runs.push((key, events));
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+}
+
+/// Serialise against session installation — lets tests that assert on the
+/// *absence* of a session avoid racing tests that install one.
+#[cfg(test)]
+pub(crate) fn lock_for_tests() -> MutexGuard<'static, ()> {
+    session_lock().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+// --- Configuration and the session guard. ----------------------------------
+
+/// Which sinks a [`Session`] arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Collect events into the deterministic JSONL trace buffer.
+    pub trace: bool,
+    /// Minimum level the trace buffer records (default [`Level::Debug`]).
+    pub collect_level: Level,
+    /// Human-readable console subscriber on stderr, with its filter
+    /// level; `None` = silent.
+    pub console: Option<Level>,
+    /// Arm the global metrics registry.
+    pub metrics: bool,
+    /// Arm the wall-clock stage profiler.
+    pub profiling: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace: false,
+            collect_level: Level::Debug,
+            console: None,
+            metrics: false,
+            profiling: false,
+        }
+    }
+}
+
+/// An installed observability session. Dropping it (or calling
+/// [`Session::finish`]) disarms every sink and releases the global
+/// session lock.
+pub struct Session {
+    _lock: MutexGuard<'static, ()>,
+    config: ObsConfig,
+}
+
+impl Session {
+    /// Arm the configured sinks. Blocks until any other session in the
+    /// process has finished.
+    pub fn install(config: ObsConfig) -> Session {
+        let lock = session_lock().lock().unwrap_or_else(|p| p.into_inner());
+        *lock_collected() = Collected::default();
+        metrics::reset_global();
+        profile::reset_global();
+        COLLECT_LEVEL.store(config.collect_level as u8, Ordering::Relaxed);
+        CONSOLE_LEVEL.store(
+            config.console.map(|l| l as u8 + 1).unwrap_or(0),
+            Ordering::Relaxed,
+        );
+        TRACE_ACTIVE.store(config.trace, Ordering::Relaxed);
+        METRICS_ACTIVE.store(config.metrics, Ordering::Relaxed);
+        profile::set_active(config.profiling);
+        Session {
+            _lock: lock,
+            config,
+        }
+    }
+
+    /// The configuration this session was installed with.
+    pub fn config(&self) -> ObsConfig {
+        self.config
+    }
+
+    /// Disarm the sinks and hand back everything collected.
+    pub fn finish(self) -> ObsReport {
+        disarm();
+        let collected = std::mem::take(&mut *lock_collected());
+        let mut events = Vec::with_capacity(collected.runs.len() + 1);
+        if !collected.root.is_empty() {
+            // The root buffer's key sorts before any run key.
+            events.push((String::new(), collected.root));
+        }
+        events.extend(collected.runs);
+        events.sort_by(|a, b| a.0.cmp(&b.0));
+        let report = ObsReport {
+            events,
+            metrics: metrics::snapshot(),
+            profiling: profile::snapshot(),
+        };
+        metrics::reset_global();
+        profile::reset_global();
+        report
+        // `self._lock` releases here, letting the next session install.
+    }
+}
+
+fn disarm() {
+    TRACE_ACTIVE.store(false, Ordering::Relaxed);
+    METRICS_ACTIVE.store(false, Ordering::Relaxed);
+    CONSOLE_LEVEL.store(0, Ordering::Relaxed);
+    profile::set_active(false);
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        disarm();
+        *lock_collected() = Collected::default();
+        metrics::reset_global();
+        profile::reset_global();
+    }
+}
+
+/// Everything one session collected, ready to serialise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Run buffers sorted by run key (root buffer first, empty key).
+    /// Within a buffer, events are in emission order.
+    pub events: Vec<(String, Vec<Event>)>,
+    /// Deterministic metrics snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock stage profile (not reproducible; never in traces).
+    pub profiling: ProfileSnapshot,
+}
+
+impl ObsReport {
+    /// Total number of collected trace events.
+    pub fn event_count(&self) -> usize {
+        self.events.iter().map(|(_, evs)| evs.len()).sum()
+    }
+
+    /// The full deterministic JSONL trace (one event per line, run
+    /// buffers concatenated in key order).
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (_, events) in &self.events {
+            for ev in events {
+                out.push_str(&ev.to_jsonl());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Write [`ObsReport::trace_jsonl`] to `path`, creating parent
+    /// directories on demand.
+    pub fn write_trace_jsonl(&self, path: &Path) -> io::Result<()> {
+        write_with_context(path, &self.trace_jsonl())
+    }
+
+    /// Write the metrics snapshot (plus the profiling section) as a JSON
+    /// document to `path`, creating parent directories on demand.
+    ///
+    /// Layout: `{"counters":{…},"gauges":{…},"histograms":{…},
+    /// "profiling":{…}}`. Counters/histograms are seed-deterministic;
+    /// gauges may carry wall-clock data and `profiling` always does.
+    pub fn write_metrics_json(&self, path: &Path) -> io::Result<()> {
+        write_with_context(path, &self.metrics_json())
+    }
+
+    /// The JSON document written by [`ObsReport::write_metrics_json`].
+    pub fn metrics_json(&self) -> String {
+        use serde::{Serialize, Value};
+        // The metrics snapshot keeps its own serde schema (and round-trip);
+        // the file adds the wall-clock profiling appendix alongside it.
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let mut root = match self.metrics.to_value() {
+            Value::Object(pairs) => pairs,
+            other => vec![("metrics".to_string(), other)],
+        };
+        root.push(("profiling".to_string(), self.profiling.to_value()));
+        serde_json::to_string(&Raw(Value::Object(root))).expect("metrics snapshot serialises")
+    }
+}
+
+fn write_with_context(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| annotate(parent, e))?;
+        }
+    }
+    let mut f = std::fs::File::create(path).map_err(|e| annotate(path, e))?;
+    f.write_all(contents.as_bytes())
+        .map_err(|e| annotate(path, e))
+}
+
+fn annotate(path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavm3_simkit::SimTime;
+
+    #[test]
+    fn metrics_session_records_and_finish_disarms() {
+        let session = Session::install(ObsConfig {
+            metrics: true,
+            ..ObsConfig::default()
+        });
+        crate::metrics::counter_add("session.test", 3);
+        let report = session.finish();
+        assert_eq!(report.metrics.counters["session.test"], 3);
+        // Disarmed: later increments are dropped and the registry is clean.
+        crate::metrics::counter_add("session.test", 5);
+        assert!(crate::metrics::snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn metrics_json_has_metrics_and_profiling_sections() {
+        let session = Session::install(ObsConfig {
+            metrics: true,
+            profiling: true,
+            ..ObsConfig::default()
+        });
+        crate::metrics::counter_add("migration.runs", 2);
+        {
+            let _t = crate::profile::stage("unit.stage");
+        }
+        let report = session.finish();
+        let json = report.metrics_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"migration.runs\":2"));
+        assert!(json.contains("\"profiling\""));
+        assert!(json.contains("\"unit.stage\""));
+    }
+
+    #[test]
+    fn trace_files_are_written_with_parent_dirs() {
+        let session = Session::install(ObsConfig {
+            trace: true,
+            ..ObsConfig::default()
+        });
+        crate::event!(Level::Info, "t", "io.test", SimTime::ZERO, "ok" => true);
+        let report = session.finish();
+        let dir = std::env::temp_dir().join(format!("wavm3-obs-test-{}", std::process::id()));
+        let path = dir.join("deep/nested/trace.jsonl");
+        report.write_trace_jsonl(&path).expect("write trace");
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("io.test"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_errors_carry_the_path() {
+        let report = ObsReport {
+            events: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+            profiling: ProfileSnapshot::default(),
+        };
+        let err = report
+            .write_trace_jsonl(Path::new("/dev/null/not-a-dir/x.jsonl"))
+            .expect_err("cannot create a directory under /dev/null");
+        assert!(err.to_string().contains("not-a-dir"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Event emission: level gates, sim-time span guards and per-run scopes.
+//!
+//! ## Determinism contract
+//!
+//! Simulations run in parallel (rayon fans scenarios out over threads), so
+//! a single shared event stream would interleave nondeterministically.
+//! Instead every migration run executes inside a [`run_scope`] whose events
+//! collect in a thread-local buffer; when the scope closes, the buffer is
+//! handed to the session keyed by the scope's run key. At flush time the
+//! buffers are sorted by key — a pure function of the campaign structure —
+//! so the merged JSONL stream is byte-identical across thread counts.
+//!
+//! Events emitted outside any run scope (campaign-level progress from the
+//! main thread) land in the session's root buffer, which sorts first.
+
+use crate::event::{Event, FieldValue};
+use crate::level::Level;
+use crate::session;
+use std::cell::RefCell;
+use wavm3_simkit::SimTime;
+
+thread_local! {
+    /// Buffer of the innermost open run scope on this thread.
+    static RUN_BUF: RefCell<Option<RunBuf>> = const { RefCell::new(None) };
+}
+
+struct RunBuf {
+    key: String,
+    events: Vec<Event>,
+}
+
+/// `true` when any trace sink (JSONL buffer or console) is installed.
+#[inline]
+pub fn tracing_active() -> bool {
+    session::trace_active() || session::console_level().is_some()
+}
+
+/// `true` when an event at `level` would reach at least one sink. The
+/// [`event!`](crate::event!) macro consults this before evaluating fields.
+#[inline]
+pub fn event_enabled(level: Level) -> bool {
+    if session::trace_active() && level >= session::collect_level() {
+        return true;
+    }
+    matches!(session::console_level(), Some(min) if level >= min)
+}
+
+fn dispatch(event: Event) {
+    if let Some(min) = session::console_level() {
+        if event.level >= min {
+            eprintln!("{}", event.to_console());
+        }
+    }
+    if session::trace_active() && event.level >= session::collect_level() {
+        let buffered = RUN_BUF.with(|b| {
+            if let Some(buf) = b.borrow_mut().as_mut() {
+                buf.events.push(event.clone());
+                true
+            } else {
+                false
+            }
+        });
+        if !buffered {
+            session::push_root_event(event);
+        }
+    }
+}
+
+/// Emit a point event. Prefer the [`event!`](crate::event!) macro, which
+/// skips field construction when no sink accepts `level`.
+pub fn emit(
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    t: SimTime,
+    fields: Vec<(&'static str, FieldValue)>,
+) {
+    if !event_enabled(level) {
+        return;
+    }
+    dispatch(Event {
+        t,
+        level,
+        target,
+        name,
+        span_start: None,
+        fields,
+    });
+}
+
+/// Emit an already-closed span `[start, end]` in one call (used when the
+/// boundaries are only known after the fact, e.g. phase windows fixed up
+/// at the end of a run).
+pub fn emit_span(
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    start: SimTime,
+    end: SimTime,
+    fields: Vec<(&'static str, FieldValue)>,
+) {
+    if !event_enabled(level) {
+        return;
+    }
+    dispatch(Event {
+        t: end,
+        level,
+        target,
+        name,
+        span_start: Some(start),
+        fields,
+    });
+}
+
+/// An open sim-time span. Obtain with [`span`], attach attributes with
+/// [`Span::record`], and finish with [`Span::close`] at the end instant.
+///
+/// Dropping an unclosed active span emits it with `end == start` and an
+/// `"unclosed" = true` marker rather than losing it.
+#[must_use = "close the span with an end time, or it reports as unclosed"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    start: SimTime,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Open a span at `start`. When no sink accepts `level` the returned
+/// guard is inert and every operation on it is a no-op.
+pub fn span(level: Level, target: &'static str, name: &'static str, start: SimTime) -> Span {
+    if !event_enabled(level) {
+        return Span { inner: None };
+    }
+    Span {
+        inner: Some(SpanInner {
+            level,
+            target,
+            name,
+            start,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// `true` when the span will actually be emitted (use to skip
+    /// expensive attribute computation).
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach one attribute (no-op on inert spans).
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// Close the span at `end` and emit it.
+    pub fn close(mut self, end: SimTime) {
+        if let Some(inner) = self.inner.take() {
+            dispatch(Event {
+                t: end,
+                level: inner.level,
+                target: inner.target,
+                name: inner.name,
+                span_start: Some(inner.start),
+                fields: inner.fields,
+            });
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(mut inner) = self.inner.take() {
+            inner.fields.push(("unclosed", FieldValue::Bool(true)));
+            dispatch(Event {
+                t: inner.start,
+                level: inner.level,
+                target: inner.target,
+                name: inner.name,
+                span_start: Some(inner.start),
+                fields: inner.fields,
+            });
+        }
+    }
+}
+
+/// RAII guard restoring the previous thread-local buffer (panic-safe).
+pub struct RunScope {
+    previous: Option<RunBuf>,
+    armed: bool,
+}
+
+impl RunScope {
+    fn open(key: String) -> RunScope {
+        let previous = RUN_BUF.with(|b| {
+            b.borrow_mut().replace(RunBuf {
+                key,
+                events: Vec::new(),
+            })
+        });
+        RunScope {
+            previous,
+            armed: true,
+        }
+    }
+}
+
+impl Drop for RunScope {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        let closed = RUN_BUF.with(|b| {
+            let mut slot = b.borrow_mut();
+            let closed = slot.take();
+            *slot = self.previous.take();
+            closed
+        });
+        if let Some(buf) = closed {
+            session::push_run_buffer(buf.key, buf.events);
+        }
+    }
+}
+
+/// Run `f` with its trace events collected under `key`.
+///
+/// Keys must be unique across a session (e.g. `scenario-id|rep003|att0`)
+/// and are sorted lexicographically at flush time, so zero-pad any
+/// numeric components. Scopes nest: the inner scope's events flush under
+/// the inner key, and the outer buffer resumes afterwards. When tracing
+/// is off this is exactly `f()`.
+pub fn run_scope<R>(key: String, f: impl FnOnce() -> R) -> R {
+    if !session::trace_active() {
+        return f();
+    }
+    let _scope = RunScope::open(key);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{ObsConfig, Session};
+
+    fn test_session() -> Session {
+        Session::install(ObsConfig {
+            trace: true,
+            collect_level: Level::Debug,
+            console: None,
+            metrics: false,
+            profiling: false,
+        })
+    }
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        // Hold the session lock so no concurrent test installs sinks
+        // while this one asserts on the disabled state.
+        let _guard = crate::session::lock_for_tests();
+        assert!(!tracing_active());
+        assert!(!event_enabled(Level::Error));
+        crate::event!(Level::Error, "t", "n", SimTime::ZERO, "k" => 1u64);
+        let mut sp = span(Level::Error, "t", "n", SimTime::ZERO);
+        assert!(!sp.is_active());
+        sp.record("k", 2u64);
+        sp.close(SimTime::ZERO);
+    }
+
+    #[test]
+    fn level_filter_drops_below_threshold() {
+        let session = test_session();
+        run_scope("a".into(), || {
+            crate::event!(Level::Trace, "t", "too.fine", SimTime::ZERO);
+            crate::event!(Level::Debug, "t", "kept.debug", SimTime::ZERO);
+            crate::event!(Level::Info, "t", "kept.info", SimTime::ZERO);
+        });
+        let report = session.finish();
+        let jsonl = report.trace_jsonl();
+        assert!(!jsonl.contains("too.fine"));
+        assert!(jsonl.contains("kept.debug"));
+        assert!(jsonl.contains("kept.info"));
+    }
+
+    #[test]
+    fn run_buffers_merge_in_key_order_not_emission_order() {
+        let session = test_session();
+        run_scope("z-last".into(), || {
+            crate::event!(Level::Info, "t", "second", SimTime::ZERO);
+        });
+        run_scope("a-first".into(), || {
+            crate::event!(Level::Info, "t", "first", SimTime::ZERO);
+        });
+        crate::event!(Level::Info, "t", "root", SimTime::ZERO);
+        let report = session.finish();
+        let names: Vec<&str> = report
+            .trace_jsonl()
+            .lines()
+            .map(|l| {
+                let start = l.find("\"name\":\"").unwrap() + 8;
+                let end = l[start..].find('"').unwrap() + start;
+                &l[start..end]
+            })
+            .map(|s| match s {
+                "first" => "first",
+                "second" => "second",
+                _ => "root",
+            })
+            .collect();
+        assert_eq!(names, vec!["root", "first", "second"]);
+    }
+
+    #[test]
+    fn nested_scopes_restore_the_outer_buffer() {
+        let session = test_session();
+        run_scope("outer".into(), || {
+            crate::event!(Level::Info, "t", "before", SimTime::ZERO);
+            run_scope("outer|inner".into(), || {
+                crate::event!(Level::Info, "t", "within", SimTime::ZERO);
+            });
+            crate::event!(Level::Info, "t", "after", SimTime::ZERO);
+        });
+        let report = session.finish();
+        let keys: Vec<&str> = report.events.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["outer", "outer|inner"]);
+        assert_eq!(report.events[0].1.len(), 2);
+        assert_eq!(report.events[1].1.len(), 1);
+    }
+
+    #[test]
+    fn unclosed_span_is_flagged_not_lost() {
+        let session = test_session();
+        run_scope("r".into(), || {
+            let mut sp = span(Level::Info, "t", "leaky", SimTime::from_secs(1));
+            sp.record("k", 7u64);
+            drop(sp);
+        });
+        let report = session.finish();
+        let jsonl = report.trace_jsonl();
+        assert!(jsonl.contains("leaky"));
+        assert!(jsonl.contains("\"unclosed\":true"));
+    }
+}

@@ -52,13 +52,22 @@ impl TelemetryRecorder {
         self.channels.get(channel)
     }
 
-    /// Interpolated value of `channel` at `t` (0.0 for unknown channels —
-    /// a channel that was never recorded reads as inactivity).
+    /// Interpolated value of `channel` at `t`, defaulting to 0.0 when the
+    /// channel was never recorded (or has no sample covering `t`): an
+    /// absent channel reads as inactivity. Callers that must distinguish
+    /// "idle" from "not instrumented" — e.g. the fault bandwidth factor,
+    /// where 0.0 would mean a dead link rather than a healthy one — should
+    /// use [`TelemetryRecorder::try_value_at`] instead.
     pub fn value_at(&self, channel: &str, t: SimTime) -> f64 {
-        self.channels
-            .get(channel)
-            .and_then(|s| s.sample_at(t))
-            .unwrap_or(0.0)
+        self.try_value_at(channel, t).unwrap_or(0.0)
+    }
+
+    /// Interpolated value of `channel` at `t`, or `None` when the channel
+    /// was never recorded or has no sample covering `t`. Unlike
+    /// [`TelemetryRecorder::value_at`], this keeps "never recorded"
+    /// distinguishable from a genuine 0.0 reading.
+    pub fn try_value_at(&self, channel: &str, t: SimTime) -> Option<f64> {
+        self.channels.get(channel).and_then(|s| s.sample_at(t))
     }
 
     /// All channel names in deterministic order.
@@ -96,6 +105,20 @@ mod tests {
         assert_eq!(t.value_at("nope", SimTime::ZERO), 0.0);
         assert!(t.channel("nope").is_none());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn try_value_at_distinguishes_absent_from_zero() {
+        let mut t = TelemetryRecorder::new();
+        t.record(channels::FAULT_BW_FACTOR, SimTime::ZERO, 0.0);
+        // A recorded zero is a real reading...
+        assert_eq!(
+            t.try_value_at(channels::FAULT_BW_FACTOR, SimTime::ZERO),
+            Some(0.0)
+        );
+        // ...while a never-recorded channel is None, not a silent 0.0.
+        assert_eq!(t.try_value_at(channels::BANDWIDTH, SimTime::ZERO), None);
+        assert_eq!(t.value_at(channels::BANDWIDTH, SimTime::ZERO), 0.0);
     }
 
     #[test]

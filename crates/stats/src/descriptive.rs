@@ -132,6 +132,12 @@ impl VarianceStopper {
         &self.values
     }
 
+    /// Relative variance change observed at the latest push (`None`
+    /// before three runs, when no change can be computed yet).
+    pub fn relative_change(&self) -> Option<f64> {
+        self.relative_change
+    }
+
     /// `true` when enough repetitions have been collected.
     pub fn is_satisfied(&self) -> bool {
         if self.values.len() >= self.max_runs {

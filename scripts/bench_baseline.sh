@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Record the machine-readable performance baseline for future perf PRs.
+#
+# Runs a reduced (fixed-repetition) Table IIa campaign through the
+# `campaign` binary with the metrics registry + profiling hooks armed,
+# then folds the wall-clock time and the metrics snapshot into
+# BENCH_baseline.json at the repo root. Compare against this file before
+# claiming a hot path got faster.
+#
+# Usage: scripts/bench_baseline.sh [REPS] (default 2)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-2}"
+SEED=7
+TMPDIR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR"' EXIT
+
+cargo build --release -q -p wavm3-experiments --bin campaign
+
+START=$(date +%s.%N)
+./target/release/campaign \
+    --reps "$REPS" --seed "$SEED" \
+    --out "$TMPDIR/out" \
+    --metrics-out "$TMPDIR/metrics.json" \
+    >"$TMPDIR/stdout.txt"
+END=$(date +%s.%N)
+
+METRICS="$TMPDIR/metrics.json" REPS="$REPS" SEED="$SEED" \
+START="$START" END="$END" python3 - <<'PY'
+import json, os
+
+with open(os.environ["METRICS"]) as f:
+    metrics = json.load(f)
+
+baseline = {
+    "benchmark": "campaign --reps %s --seed %s (machine sets M+O, release)"
+    % (os.environ["REPS"], os.environ["SEED"]),
+    "wall_time_s": round(float(os.environ["END"]) - float(os.environ["START"]), 3),
+    "metrics": metrics,
+}
+with open("BENCH_baseline.json", "w") as f:
+    json.dump(baseline, f, indent=2, sort_keys=True)
+    f.write("\n")
+print("wrote BENCH_baseline.json (wall %.1fs, %d counters)"
+      % (baseline["wall_time_s"], len(metrics.get("counters", {}))))
+PY

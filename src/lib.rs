@@ -43,6 +43,7 @@ pub use wavm3_experiments as experiments;
 pub use wavm3_faults as faults;
 pub use wavm3_migration as migration;
 pub use wavm3_models as models;
+pub use wavm3_obs as obs;
 pub use wavm3_power as power;
 pub use wavm3_simkit as simkit;
 pub use wavm3_stats as stats;

@@ -43,8 +43,17 @@ fn telemetry_channels_mirror_feature_samples() {
         );
     }
 
-    // Values agree exactly at every instant.
+    // Values agree exactly at every instant. `value_at` would read 0.0 for
+    // a channel that was never recorded (its inactivity default), so probe
+    // through `try_value_at` first: these channels must actually exist.
     for s in &record.samples {
+        assert!(
+            record
+                .telemetry
+                .try_value_at(channels::CPU_SOURCE, s.t)
+                .is_some(),
+            "cpu.source must be recorded, not defaulted"
+        );
         assert_eq!(
             record.telemetry.value_at(channels::CPU_SOURCE, s.t),
             s.cpu_source
