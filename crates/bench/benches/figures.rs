@@ -3,12 +3,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use wavm3_bench::bench_runner;
-use wavm3_experiments::figures;
+use wavm3_experiments::{figures, Campaign};
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    let cfg = bench_runner(1);
+    let cfg = Campaign::plain(bench_runner(1));
     g.bench_function("fig2_phase_traces", |b| {
         b.iter(|| black_box(figures::fig2(&cfg)))
     });

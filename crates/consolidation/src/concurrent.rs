@@ -99,8 +99,8 @@ pub fn plan_concurrent(inputs: &[PlannerInputs]) -> SchedulePlan {
         let (next, &min_rem) = active
             .iter()
             .map(|&i| (i, &remaining[i]))
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-            .expect("non-empty");
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("active is non-empty");
         let dt = min_rem / share;
         t += dt;
         for &i in &active {

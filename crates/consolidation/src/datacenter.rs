@@ -117,8 +117,8 @@ pub fn run_horizon(
     for h in 0..world.hosts().len() {
         let ids: Vec<VmId> = world.hosts()[h].vms().iter().map(|v| v.id).collect();
         for id in ids {
-            if let Some(l) = loads.get(&id) {
-                world.vm_mut(id).unwrap().set_cpu_demand(l.cpu_cores);
+            if let (Some(l), Some(vm)) = (loads.get(&id), world.vm_mut(id)) {
+                vm.set_cpu_demand(l.cpu_cores);
             }
         }
     }
@@ -234,7 +234,10 @@ mod tests {
         // Demands set inside run_horizon; here set manually.
         let mut world = cluster.clone();
         for (id, l) in &loads {
-            world.vm_mut(*id).unwrap().set_cpu_demand(l.cpu_cores);
+            world
+                .vm_mut(*id)
+                .expect("testbed VM exists")
+                .set_cpu_demand(l.cpu_cores);
         }
         let before = cluster_steady_power(&world, &loads);
         // Packing onto one host and dropping the other's idle power wins.

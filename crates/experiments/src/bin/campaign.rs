@@ -6,9 +6,9 @@ use wavm3_cluster::MachineSet;
 use wavm3_experiments::{export, tables};
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
+    wavm3_experiments::cli::run(|opts, campaign| {
         for set in [MachineSet::M, MachineSet::O] {
-            let dataset = tables::run_campaign(set, &opts.runner);
+            let dataset = tables::run_campaign(set, campaign);
             let slug = set.label().replace('-', "_");
             let path = opts.out_dir.join(format!("dataset_{slug}.json"));
             export::write_file(&path, &serde_json::to_string(&dataset)?)?;

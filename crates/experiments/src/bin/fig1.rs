@@ -5,7 +5,7 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|_opts| {
+    wavm3_experiments::cli::run(|_opts, _campaign| {
         println!(
             r#"Fig 1: Summary of the migration process (actors and implementation map)
 

@@ -3,8 +3,8 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
-        let fig = wavm3_experiments::figures::fig5(&opts.runner);
+    wavm3_experiments::cli::run(|opts, campaign| {
+        let fig = wavm3_experiments::figures::fig5(campaign);
         wavm3_experiments::cli::emit_figure(opts, &fig)
     })
 }

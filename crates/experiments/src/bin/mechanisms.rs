@@ -43,7 +43,7 @@ fn run(kind: MigrationKind, mem_ratio: Option<f64>, seed: u64) -> MigrationRecor
 }
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
+    wavm3_experiments::cli::run(|opts, _campaign| {
         let reps = match opts.runner.repetitions {
             wavm3_experiments::RepetitionPolicy::Fixed(n) => n,
             _ => 5,

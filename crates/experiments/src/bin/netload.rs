@@ -4,8 +4,8 @@ use std::process::ExitCode;
 use wavm3_experiments::netload;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
-        let points = netload::run_netload_sweep(&opts.runner);
+    wavm3_experiments::cli::run(|opts, _campaign| {
+        let points = netload::run_netload_sweep(&opts.runner)?;
         print!("{}", netload::render(&points));
         Ok(())
     })

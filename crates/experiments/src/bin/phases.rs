@@ -6,16 +6,17 @@ use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
 use wavm3_experiments::tables::{RUN_SPLIT_SEED, RUN_TRAIN_FRACTION};
+use wavm3_harness::Wavm3Error;
 use wavm3_migration::MigrationKind;
 use wavm3_models::{train_wavm3, HostRole, ReadingSplit};
 use wavm3_power::MigrationPhase;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
-        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+    wavm3_experiments::cli::run(|_opts, campaign| {
+        let dataset = tables::run_campaign(MachineSet::M, campaign);
         let (train, test) = dataset.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
         let model = train_wavm3(&train, MigrationKind::Live, &ReadingSplit::default())
-            .expect("training failed");
+            .ok_or_else(|| Wavm3Error::training(env!("CARGO_BIN_NAME")))?;
 
         println!("PER-PHASE FIDELITY: WAVM3 predicted vs measured energy (live, test runs)");
         println!(

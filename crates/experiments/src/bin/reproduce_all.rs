@@ -1,47 +1,51 @@
 //! Regenerate every table and figure of the paper in one go, writing
-//! summaries and CSV series under the output directory.
+//! summaries and CSV series under the output directory. With
+//! `--checkpoint-dir DIR` each scenario's results are journaled as they
+//! complete, and `--resume` restarts an interrupted reproduction from the
+//! verified checkpoints instead of recomputing the finished scenarios.
 
 use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::{export, figures, tables};
+use wavm3_harness::Wavm3Error;
 use wavm3_migration::MigrationKind;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
+    wavm3_experiments::cli::run(|opts, campaign| {
         let out = &opts.out_dir;
-        let save = |name: &str, content: &str| -> std::io::Result<()> {
+        let save = |name: &str, content: &str| -> Result<(), Wavm3Error> {
             export::write_file(&out.join("summaries").join(format!("{name}.txt")), content)?;
             println!("=== {name} ===\n{content}");
             Ok(())
         };
 
         eprintln!("running the m01-m02 campaign ...");
-        let m = tables::run_campaign(MachineSet::M, &opts.runner);
+        let m = tables::run_campaign(MachineSet::M, campaign);
         eprintln!("running the o1-o2 campaign ...");
-        let o = tables::run_campaign(MachineSet::O, &opts.runner);
+        let o = tables::run_campaign(MachineSet::O, campaign);
 
-        let trained = "training failed: too few readings";
+        let trained = || Wavm3Error::training("reproduce_all");
         save("table1", &tables::table1(&m))?;
         save("table2", &tables::table2())?;
         save(
             "table3",
-            &tables::table3_4(&m, MigrationKind::NonLive).ok_or(trained)?,
+            &tables::table3_4(&m, MigrationKind::NonLive).ok_or_else(trained)?,
         )?;
         save(
             "table4",
-            &tables::table3_4(&m, MigrationKind::Live).ok_or(trained)?,
+            &tables::table3_4(&m, MigrationKind::Live).ok_or_else(trained)?,
         )?;
-        save("table5", &tables::table5(&m, &o).ok_or(trained)?)?;
-        save("table6", &tables::table6(&m).ok_or(trained)?)?;
-        save("table7", &tables::table7(&m).ok_or(trained)?)?;
+        save("table5", &tables::table5(&m, &o).ok_or_else(trained)?)?;
+        save("table6", &tables::table6(&m).ok_or_else(trained)?)?;
+        save("table7", &tables::table7(&m).ok_or_else(trained)?)?;
 
         for fig in [
-            figures::fig2(&opts.runner),
-            figures::fig3(&opts.runner),
-            figures::fig4(&opts.runner),
-            figures::fig5(&opts.runner),
-            figures::fig6(&opts.runner),
-            figures::fig7(&opts.runner),
+            figures::fig2(campaign),
+            figures::fig3(campaign),
+            figures::fig4(campaign),
+            figures::fig5(campaign),
+            figures::fig6(campaign),
+            figures::fig7(campaign),
         ] {
             export::write_file(&out.join(format!("{}.csv", fig.id)), &fig.csv)?;
             save(fig.id, &fig.summary)?;

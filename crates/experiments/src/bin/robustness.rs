@@ -7,12 +7,13 @@ use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables::{train_all, RUN_SPLIT_SEED, RUN_TRAIN_FRACTION};
 use wavm3_experiments::{tables, RunnerConfig};
+use wavm3_harness::Wavm3Error;
 use wavm3_migration::MigrationKind;
 use wavm3_models::evaluation::score_model;
 use wavm3_models::HostRole;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
+    wavm3_experiments::cli::run(|opts, campaign| {
         let seeds = [opts.runner.base_seed, 0xA11CE, 0xB0B5, 0xCAFE];
         println!(
             "ROBUSTNESS: Table VII orderings across {} campaign seeds",
@@ -24,11 +25,11 @@ fn main() -> ExitCode {
         );
         let mut all_hold = true;
         for seed in seeds {
-            let cfg = RunnerConfig {
+            let seeded = campaign.with_runner(RunnerConfig {
                 base_seed: seed,
                 ..opts.runner
-            };
-            let dataset = tables::run_campaign(MachineSet::M, &cfg);
+            });
+            let dataset = tables::run_campaign(MachineSet::M, &seeded);
             let (train, test) = dataset.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
             let Some(bundle) = train_all(&train) else {
                 println!("{seed:>12x}  training failed");
@@ -77,7 +78,9 @@ fn main() -> ExitCode {
         println!();
         if !all_hold {
             println!("WARNING: at least one ordering failed under some seed");
-            return Err("at least one Table VII ordering failed under some seed".into());
+            return Err(Wavm3Error::check_failed(
+                "at least one Table VII ordering failed under some seed",
+            ));
         }
         println!("all orderings hold under every seed");
         Ok(())

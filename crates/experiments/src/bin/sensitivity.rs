@@ -10,8 +10,8 @@ use wavm3_models::evaluation::score_model;
 use wavm3_models::{train_wavm3, HostRole, ReadingSplit};
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
-        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+    wavm3_experiments::cli::run(|_opts, campaign| {
+        let dataset = tables::run_campaign(MachineSet::M, campaign);
         let (train, test) = dataset.split_runs(RUN_TRAIN_FRACTION, RUN_SPLIT_SEED);
 
         println!("TRAINING-FRACTION SENSITIVITY: WAVM3 live NRMSE vs reading share");

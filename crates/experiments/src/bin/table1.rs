@@ -5,8 +5,8 @@ use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
-        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+    wavm3_experiments::cli::run(|_opts, campaign| {
+        let dataset = tables::run_campaign(MachineSet::M, campaign);
         print!("{}", tables::table1(&dataset));
         Ok(())
     })

@@ -3,7 +3,7 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|_opts| {
+    wavm3_experiments::cli::run(|_opts, _campaign| {
         print!("{}", wavm3_experiments::tables::table2());
         Ok(())
     })

@@ -3,13 +3,14 @@
 use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
+use wavm3_harness::Wavm3Error;
 use wavm3_migration::MigrationKind;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
-        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
+    wavm3_experiments::cli::run(|_opts, campaign| {
+        let dataset = tables::run_campaign(MachineSet::M, campaign);
         let table = tables::table3_4(&dataset, MigrationKind::Live)
-            .ok_or("training failed: too few readings")?;
+            .ok_or_else(|| Wavm3Error::training(env!("CARGO_BIN_NAME")))?;
         print!("{table}");
         Ok(())
     })

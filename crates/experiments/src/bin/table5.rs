@@ -3,12 +3,14 @@
 use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
+use wavm3_harness::Wavm3Error;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
-        let m = tables::run_campaign(MachineSet::M, &opts.runner);
-        let o = tables::run_campaign(MachineSet::O, &opts.runner);
-        let table = tables::table5(&m, &o).ok_or("training failed: too few readings")?;
+    wavm3_experiments::cli::run(|_opts, campaign| {
+        let m = tables::run_campaign(MachineSet::M, campaign);
+        let o = tables::run_campaign(MachineSet::O, campaign);
+        let table =
+            tables::table5(&m, &o).ok_or_else(|| Wavm3Error::training(env!("CARGO_BIN_NAME")))?;
         print!("{table}");
         Ok(())
     })

@@ -3,11 +3,13 @@
 use std::process::ExitCode;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::tables;
+use wavm3_harness::Wavm3Error;
 
 fn main() -> ExitCode {
-    wavm3_experiments::cli::run(|opts| {
-        let dataset = tables::run_campaign(MachineSet::M, &opts.runner);
-        let table = tables::table6(&dataset).ok_or("training failed: too few readings")?;
+    wavm3_experiments::cli::run(|_opts, campaign| {
+        let dataset = tables::run_campaign(MachineSet::M, campaign);
+        let table =
+            tables::table6(&dataset).ok_or_else(|| Wavm3Error::training(env!("CARGO_BIN_NAME")))?;
         print!("{table}");
         Ok(())
     })

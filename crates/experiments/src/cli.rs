@@ -4,15 +4,32 @@
 //! rule), `--seed S` (campaign seed), `--out DIR` (CSV output directory,
 //! default `out/`), `--faults` (inject the light fault mix: transient link
 //! degradation, pre-copy non-convergence, occasional aborts with retry),
-//! plus the observability trio: `--trace PATH` (deterministic JSONL event
+//! the observability trio: `--trace PATH` (deterministic JSONL event
 //! trace), `--log-level LVL` (human console subscriber on stderr), and
-//! `--metrics-out PATH` (metrics snapshot + wall-clock profiling JSON).
+//! `--metrics-out PATH` (metrics snapshot + wall-clock profiling JSON),
+//! plus the crash-safety set: `--checkpoint-dir DIR` (journal per-scenario
+//! results), `--resume` (reload verified checkpoints instead of
+//! recomputing), and `--wall-budget-s S` / `--sim-budget-s S`
+//! (per-scenario runtime budgets).
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` invalid flags or
+//! configuration, `3` partial success (the campaign completed but at
+//! least one scenario failed under supervision — see the failure report
+//! in the checkpoint directory).
 
+use crate::campaign::{Campaign, SupervisorOptions};
 use crate::runner::{RepetitionPolicy, RunnerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use wavm3_faults::FaultConfig;
+use wavm3_harness::Wavm3Error;
 use wavm3_obs::{Level, ObsConfig, Session};
+use wavm3_simkit::SimDuration;
+
+/// Exit code for invalid flags or configuration.
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code for a campaign that completed with scenario failures.
+pub const EXIT_PARTIAL: u8 = 3;
 
 /// Observability flags shared by every experiment binary.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +69,8 @@ pub struct CliOptions {
     pub out_dir: PathBuf,
     /// Observability sinks.
     pub obs: ObsCliOptions,
+    /// Crash-safety supervision (checkpoints, resume, budgets).
+    pub supervisor: SupervisorOptions,
 }
 
 impl Default for CliOptions {
@@ -60,6 +79,7 @@ impl Default for CliOptions {
             runner: RunnerConfig::default(),
             out_dir: PathBuf::from("out"),
             obs: ObsCliOptions::default(),
+            supervisor: SupervisorOptions::default(),
         }
     }
 }
@@ -115,9 +135,37 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> CliOptions {
                     .unwrap_or_else(|| usage("--metrics-out needs a path"));
                 opts.obs.metrics_out = Some(PathBuf::from(v));
             }
+            "--checkpoint-dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--checkpoint-dir needs a path"));
+                opts.supervisor.checkpoint_dir = Some(PathBuf::from(v));
+            }
+            "--resume" => {
+                opts.supervisor.resume = true;
+            }
+            "--wall-budget-s" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| usage("--wall-budget-s needs a positive number"));
+                opts.supervisor.budget.wall = Some(std::time::Duration::from_secs_f64(v));
+            }
+            "--sim-budget-s" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .unwrap_or_else(|| usage("--sim-budget-s needs a non-negative number"));
+                opts.supervisor.budget.sim = Some(SimDuration::from_secs_f64(v));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
+    }
+    if opts.supervisor.resume && opts.supervisor.checkpoint_dir.is_none() {
+        usage("--resume requires --checkpoint-dir");
     }
     opts
 }
@@ -128,7 +176,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--reps N] [--seed S] [--out DIR] [--faults] \
-         [--trace PATH] [--log-level LVL] [--metrics-out PATH]"
+         [--trace PATH] [--log-level LVL] [--metrics-out PATH] \
+         [--checkpoint-dir DIR] [--resume] [--wall-budget-s S] [--sim-budget-s S]"
     );
     eprintln!("  default repetition policy: paper variance rule (>=10 runs, <10% variance delta)");
     eprintln!(
@@ -137,24 +186,40 @@ fn usage(err: &str) -> ! {
     eprintln!("  --trace: write a deterministic sim-time JSONL event trace");
     eprintln!("  --log-level: echo events (trace/debug/info/warn/error) to stderr");
     eprintln!("  --metrics-out: write the metrics snapshot + wall-clock profile as JSON");
-    std::process::exit(if err.is_empty() { 0 } else { 2 });
+    eprintln!("  --checkpoint-dir: journal per-scenario results for crash-safe restarts");
+    eprintln!(
+        "  --resume: reload verified checkpoints from --checkpoint-dir instead of re-running"
+    );
+    eprintln!("  --wall-budget-s / --sim-budget-s: per-scenario runtime budgets; on exhaustion");
+    eprintln!("      the repetition rule is cut short and the result flagged budget_truncated");
+    eprintln!("  exit codes: 0 ok, 1 runtime error, 2 bad flags/config, 3 partial success");
+    std::process::exit(if err.is_empty() { 0 } else { EXIT_USAGE as i32 });
 }
 
-/// Run one experiment binary: parse the shared flags, install the
-/// requested observability session around `body`, and write the trace /
-/// metrics files afterwards. I/O failures (the binary's or the sinks')
-/// are reported on stderr and turn into a non-zero exit code instead of
-/// a panic.
-pub fn run(body: impl FnOnce(&CliOptions) -> Result<(), Box<dyn std::error::Error>>) -> ExitCode {
+/// Run one experiment binary: parse the shared flags, build the
+/// supervised [`Campaign`] (validating the runner configuration — invalid
+/// configs exit with code 2 before any compute), install the requested
+/// observability session around `body`, write the trace / metrics files
+/// afterwards, and persist the campaign's failure report next to the
+/// checkpoints. A campaign whose scenarios partially failed exits with
+/// code 3; other failures are reported on stderr and exit with code 1.
+pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) -> ExitCode {
     let opts = parse_args();
+    let campaign = match Campaign::new(opts.runner, opts.supervisor.clone()) {
+        Ok(campaign) => campaign,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
     let session = opts
         .obs
         .any()
         .then(|| Session::install(opts.obs.session_config()));
 
-    let result = body(&opts);
+    let result = body(&opts, &campaign);
 
-    let mut sink_result: Result<(), Box<dyn std::error::Error>> = Ok(());
+    let mut sink_result: Result<(), Wavm3Error> = Ok(());
     if let Some(session) = session {
         let report = session.finish();
         if let Some(path) = &opts.obs.trace {
@@ -164,13 +229,13 @@ pub fn run(body: impl FnOnce(&CliOptions) -> Result<(), Box<dyn std::error::Erro
                     report.event_count(),
                     path.display()
                 ),
-                Err(e) => sink_result = Err(e.into()),
+                Err(e) => sink_result = Err(Wavm3Error::io_at(path, e)),
             }
         }
         if let Some(path) = &opts.obs.metrics_out {
             match report.write_metrics_json(path) {
                 Ok(()) => eprintln!("metrics: {}", path.display()),
-                Err(e) => sink_result = Err(e.into()),
+                Err(e) => sink_result = Err(Wavm3Error::io_at(path, e)),
             }
         }
         let profile = wavm3_obs::profile::summarise(&report.profiling);
@@ -179,11 +244,51 @@ pub fn run(body: impl FnOnce(&CliOptions) -> Result<(), Box<dyn std::error::Erro
         }
     }
 
+    let report = campaign.report();
+    if let Some(dir) = campaign.checkpoint_dir() {
+        let path = dir.join("campaign-report.json");
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = wavm3_harness::write_atomic_str(&path, &json) {
+                    eprintln!("warning: could not write campaign report: {e}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialise campaign report: {e}"),
+        }
+    }
+    if report.stats != Default::default() {
+        eprintln!(
+            "supervision: {} computed, {} resumed, {} quarantined, {} budget-truncated, {} failed",
+            report.stats.completed,
+            report.stats.resumed,
+            report.stats.quarantined,
+            report.stats.budget_truncated,
+            report.stats.failed,
+        );
+    }
+
     match result.and(sink_result) {
+        Ok(()) if !report.failures.is_empty() => {
+            for failure in &report.failures {
+                eprintln!(
+                    "failed scenario: '{}' rep {} (seed {:#x}): {}",
+                    failure.scenario, failure.rep, failure.base_seed, failure.message
+                );
+            }
+            eprintln!(
+                "partial success: {} of the campaign's scenarios failed",
+                report.failures.len()
+            );
+            ExitCode::from(EXIT_PARTIAL)
+        }
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if e.is_config_error() {
+                ExitCode::from(EXIT_USAGE)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }
@@ -192,7 +297,7 @@ pub fn run(body: impl FnOnce(&CliOptions) -> Result<(), Box<dyn std::error::Erro
 pub fn emit_figure(
     opts: &CliOptions,
     fig: &crate::figures::FigureOutput,
-) -> Result<(), Box<dyn std::error::Error>> {
+) -> Result<(), Wavm3Error> {
     let path = opts.out_dir.join(format!("{}.csv", fig.id));
     crate::export::write_file(&path, &fig.csv)?;
     println!("{}", fig.summary);
@@ -213,6 +318,10 @@ mod tests {
         ));
         assert_eq!(o.out_dir, PathBuf::from("out"));
         assert!(!o.obs.any(), "observability defaults to off");
+        assert!(o.supervisor.checkpoint_dir.is_none());
+        assert!(!o.supervisor.resume);
+        assert_eq!(o.supervisor.budget.wall, None);
+        assert_eq!(o.supervisor.budget.sim, None);
     }
 
     #[test]
@@ -263,5 +372,32 @@ mod tests {
         let cfg = o.obs.session_config();
         assert!(cfg.trace && cfg.metrics && cfg.profiling);
         assert_eq!(cfg.console, Some(Level::Warn));
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let o = parse_from(
+            [
+                "--checkpoint-dir",
+                "ckpt",
+                "--resume",
+                "--wall-budget-s",
+                "1.5",
+                "--sim-budget-s",
+                "600",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(
+            o.supervisor.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("ckpt"))
+        );
+        assert!(o.supervisor.resume);
+        assert_eq!(
+            o.supervisor.budget.wall,
+            Some(std::time::Duration::from_millis(1500))
+        );
+        assert_eq!(o.supervisor.budget.sim, Some(SimDuration::from_secs(600)));
     }
 }

@@ -4,24 +4,19 @@
 
 use crate::dataset::ExperimentDataset;
 use std::fmt::Write as _;
-use std::io;
 use std::path::Path;
+use wavm3_harness::Wavm3Error;
 use wavm3_power::MigrationPhase;
 
-/// Write `contents` to `path`, creating missing parent directories and
-/// annotating any I/O error with the offending path. The regeneration
-/// binaries route every artefact through this instead of `unwrap()`ing,
-/// so a read-only or missing output directory is reported (with context)
-/// rather than crashing the whole campaign after the compute finished.
-pub fn write_file(path: &Path, contents: &str) -> io::Result<()> {
-    let annotate =
-        |p: &Path, e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", p.display()));
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).map_err(|e| annotate(parent, e))?;
-        }
-    }
-    std::fs::write(path, contents).map_err(|e| annotate(path, e))
+/// Write `contents` to `path` via the harness's atomic tmp-then-rename
+/// protocol, creating missing parent directories and annotating any I/O
+/// error with the offending path. The regeneration binaries route every
+/// artefact through this, so an interrupted run never leaves a truncated
+/// CSV behind (a half-written artefact would poison a later `--resume`
+/// diff), and a read-only or missing output directory is reported with
+/// context rather than crashing the campaign after the compute finished.
+pub fn write_file(path: &Path, contents: &str) -> Result<(), Wavm3Error> {
+    wavm3_harness::write_atomic_str(path, contents)
 }
 
 /// One CSV line per 2 Hz reading across every record: the regression view

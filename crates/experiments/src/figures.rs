@@ -9,8 +9,8 @@
 //!   prose discusses: transfer lengths, suspension drops, energy
 //!   totals).
 
-use crate::dataset::{mean_trace, ExperimentDataset, ScenarioRuns};
-use crate::runner::RunnerConfig;
+use crate::campaign::Campaign;
+use crate::dataset::{mean_trace, ScenarioRuns};
 use crate::scenario::{ExperimentFamily, Scenario};
 use std::fmt::Write as _;
 use wavm3_cluster::MachineSet;
@@ -72,10 +72,10 @@ fn render_family(
     title: &str,
     family: ExperimentFamily,
     set: MachineSet,
-    cfg: &RunnerConfig,
+    campaign: &Campaign,
 ) -> FigureOutput {
     let scenarios = Scenario::family_scenarios(family, set);
-    let dataset = ExperimentDataset::collect(scenarios, cfg);
+    let dataset = campaign.collect(scenarios);
     let mut summary = String::new();
     let mut csv = String::from("panel,legend,time_s,power_w\n");
     let _ = writeln!(summary, "{title} ({})", set.label());
@@ -93,7 +93,7 @@ fn render_family(
 
 /// Fig. 2 — phase-annotated traces of one non-live and one live migration
 /// (idle hosts, CPU-loaded migrant).
-pub fn fig2(cfg: &RunnerConfig) -> FigureOutput {
+pub fn fig2(campaign: &Campaign) -> FigureOutput {
     let base = Scenario {
         family: ExperimentFamily::CpuloadSource,
         kind: MigrationKind::NonLive,
@@ -105,7 +105,7 @@ pub fn fig2(cfg: &RunnerConfig) -> FigureOutput {
     };
     let mut live = base.clone();
     live.kind = MigrationKind::Live;
-    let dataset = ExperimentDataset::collect(vec![base, live], cfg);
+    let dataset = campaign.collect(vec![base, live]);
     let mut summary = String::new();
     let mut csv = String::from("panel,legend,time_s,power_w\n");
     let _ = writeln!(
@@ -144,71 +144,71 @@ pub fn fig2(cfg: &RunnerConfig) -> FigureOutput {
 }
 
 /// Fig. 3 — CPULOAD-SOURCE (non-live/live × source/target panels).
-pub fn fig3(cfg: &RunnerConfig) -> FigureOutput {
+pub fn fig3(campaign: &Campaign) -> FigureOutput {
     render_family(
         "fig3",
         "Fig 3: CPULOAD-SOURCE power traces",
         ExperimentFamily::CpuloadSource,
         MachineSet::M,
-        cfg,
+        campaign,
     )
 }
 
 /// Fig. 4 — CPULOAD-TARGET.
-pub fn fig4(cfg: &RunnerConfig) -> FigureOutput {
+pub fn fig4(campaign: &Campaign) -> FigureOutput {
     render_family(
         "fig4",
         "Fig 4: CPULOAD-TARGET power traces",
         ExperimentFamily::CpuloadTarget,
         MachineSet::M,
-        cfg,
+        campaign,
     )
 }
 
 /// Fig. 5 — MEMLOAD-VM (dirtying-ratio sweep).
-pub fn fig5(cfg: &RunnerConfig) -> FigureOutput {
+pub fn fig5(campaign: &Campaign) -> FigureOutput {
     render_family(
         "fig5",
         "Fig 5: MEMLOAD-VM power traces (dirtying ratio sweep)",
         ExperimentFamily::MemloadVm,
         MachineSet::M,
-        cfg,
+        campaign,
     )
 }
 
 /// Fig. 6 — MEMLOAD-SOURCE.
-pub fn fig6(cfg: &RunnerConfig) -> FigureOutput {
+pub fn fig6(campaign: &Campaign) -> FigureOutput {
     render_family(
         "fig6",
         "Fig 6: MEMLOAD-SOURCE power traces",
         ExperimentFamily::MemloadSource,
         MachineSet::M,
-        cfg,
+        campaign,
     )
 }
 
 /// Fig. 7 — MEMLOAD-TARGET.
-pub fn fig7(cfg: &RunnerConfig) -> FigureOutput {
+pub fn fig7(campaign: &Campaign) -> FigureOutput {
     render_family(
         "fig7",
         "Fig 7: MEMLOAD-TARGET power traces",
         ExperimentFamily::MemloadTarget,
         MachineSet::M,
-        cfg,
+        campaign,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::RepetitionPolicy;
+    use crate::runner::{RepetitionPolicy, RunnerConfig};
 
-    fn fast_cfg() -> RunnerConfig {
-        RunnerConfig {
+    fn fast_cfg() -> Campaign {
+        Campaign::plain(RunnerConfig {
             repetitions: RepetitionPolicy::Fixed(1),
             base_seed: 7,
             ..Default::default()
-        }
+        })
     }
 
     #[test]

@@ -30,9 +30,13 @@
 //! | JSON/CSV dataset export | `--bin campaign` |
 //!
 //! Every binary accepts `--reps N` (fixed repetitions) and `--seed S`; the
-//! default follows the paper's variance-rule protocol.
+//! default follows the paper's variance-rule protocol. The crash-safety
+//! flags `--checkpoint-dir DIR` and `--resume` journal per-scenario
+//! results through `wavm3-harness` and reload them on restart, and
+//! `--wall-budget-s` / `--sim-budget-s` bound each scenario's runtime.
 
 pub mod ablation;
+pub mod campaign;
 pub mod cli;
 pub mod dataset;
 pub mod export;
@@ -42,6 +46,10 @@ pub mod runner;
 pub mod scenario;
 pub mod tables;
 
+pub use campaign::{Campaign, CampaignReport, CampaignStats, SupervisorOptions};
 pub use dataset::{mean_trace, ExperimentDataset, ScenarioRuns};
-pub use runner::{run_all, run_scenario, RepetitionPolicy, RunnerConfig};
+pub use runner::{
+    run_all, run_scenario, run_scenario_supervised, RepetitionPolicy, RunnerConfig,
+    ScenarioFailure, ScenarioResult,
+};
 pub use scenario::{ExperimentFamily, Scenario, DR_LEVELS_PCT, LOAD_VM_LEVELS};

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wavm3_cluster::{hardware, vm_instances, Cluster, Link, MachineSet, VmId};
+use wavm3_harness::Wavm3Error;
 use wavm3_migration::{MigrationConfig, MigrationKind, MigrationRecord, MigrationSimulation};
 use wavm3_simkit::RngFactory;
 use wavm3_workloads::{MatMulWorkload, NetworkWorkload, Workload};
@@ -37,8 +38,29 @@ pub struct NetloadPoint {
     pub energy_j: f64,
     /// Mean effective migration bandwidth, bytes/s.
     pub bandwidth_bps: f64,
+    /// Mean source power during the transfer phase, watts.
+    pub transfer_power_w: f64,
     /// Repetitions averaged.
     pub reps: usize,
+}
+
+/// Mean source power over a record's transfer phase, as a taxonomy error
+/// when the trace has no samples in that window (a record so broken the
+/// whole sweep result would be meaningless).
+pub fn mean_transfer_power(record: &MigrationRecord) -> Result<f64, Wavm3Error> {
+    record
+        .source_trace
+        .mean_power_between(record.phases.ts, record.phases.te)
+        .ok_or_else(|| {
+            Wavm3Error::invalid_input(
+                "netload",
+                format!(
+                    "no power samples in the transfer window [{:.1}s, {:.1}s]",
+                    record.phases.ts.as_secs_f64(),
+                    record.phases.te.as_secs_f64()
+                ),
+            )
+        })
 }
 
 /// Run one NETLOAD configuration.
@@ -68,8 +90,10 @@ pub fn run_netload_once(line_share: f64, seed: u64) -> MigrationRecord {
     .run()
 }
 
-/// Run the full sweep under `cfg`'s repetition count.
-pub fn run_netload_sweep(cfg: &RunnerConfig) -> Vec<NetloadPoint> {
+/// Run the full sweep under `cfg`'s repetition count. A record without
+/// transfer-phase power samples aborts the sweep with a taxonomy error
+/// (propagated through `cli::run`) instead of panicking mid-campaign.
+pub fn run_netload_sweep(cfg: &RunnerConfig) -> Result<Vec<NetloadPoint>, Wavm3Error> {
     let reps = match cfg.repetitions {
         crate::runner::RepetitionPolicy::Fixed(n) => n.max(1),
         crate::runner::RepetitionPolicy::VarianceRule { min, .. } => min,
@@ -86,7 +110,11 @@ pub fn run_netload_sweep(cfg: &RunnerConfig) -> Vec<NetloadPoint> {
                 })
                 .collect();
             let n = records.len() as f64;
-            NetloadPoint {
+            let mut transfer_power_w = 0.0;
+            for record in &records {
+                transfer_power_w += mean_transfer_power(record)?;
+            }
+            Ok(NetloadPoint {
                 line_share: share,
                 transfer_s: records
                     .iter()
@@ -99,8 +127,9 @@ pub fn run_netload_sweep(cfg: &RunnerConfig) -> Vec<NetloadPoint> {
                     .map(|x| x.mean_transfer_bandwidth())
                     .sum::<f64>()
                     / n,
+                transfer_power_w: transfer_power_w / n,
                 reps: records.len(),
-            }
+            })
         })
         .collect()
 }
@@ -115,17 +144,18 @@ pub fn render(points: &[NetloadPoint]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:>11} {:>12} {:>14} {:>14} {:>6}",
-        "line share", "transfer", "bandwidth", "E_total", "reps"
+        "{:>11} {:>12} {:>14} {:>12} {:>14} {:>6}",
+        "line share", "transfer", "bandwidth", "P_transfer", "E_total", "reps"
     );
     let base = points.first().map(|p| p.energy_j).unwrap_or(1.0);
     for p in points {
         let _ = writeln!(
             out,
-            "{:>10.0}% {:>11.1}s {:>11.1}MB/s {:>10.1}kJ ({:+.1}%) {:>4}",
+            "{:>10.0}% {:>11.1}s {:>11.1}MB/s {:>10.1}W {:>10.1}kJ ({:+.1}%) {:>4}",
             p.line_share * 100.0,
             p.transfer_s,
             p.bandwidth_bps / 1e6,
+            p.transfer_power_w,
             p.energy_j / 1e3,
             100.0 * (p.energy_j - base) / base,
             p.reps
@@ -161,11 +191,8 @@ mod tests {
         // which is the §III-B argument for not migrating on busy links.
         let quiet = run_netload_once(0.0, 1);
         let busy = run_netload_once(0.25, 1);
-        let mean_power = |r: &MigrationRecord| {
-            r.source_trace
-                .mean_power_between(r.phases.ts, r.phases.te)
-                .unwrap()
-        };
+        let mean_power =
+            |r: &MigrationRecord| mean_transfer_power(r).expect("transfer window has samples");
         let rel_power = (mean_power(&busy) - mean_power(&quiet)).abs() / mean_power(&quiet);
         assert!(
             rel_power < 0.10,
@@ -200,7 +227,7 @@ mod tests {
             base_seed: 5,
             ..Default::default()
         };
-        let points = run_netload_sweep(&cfg);
+        let points = run_netload_sweep(&cfg).expect("sweep records have transfer samples");
         assert_eq!(points.len(), LINE_SHARES.len());
         for w in points.windows(2) {
             assert!(
@@ -209,8 +236,20 @@ mod tests {
             );
             assert!(w[1].bandwidth_bps <= w[0].bandwidth_bps + 1.0);
         }
+        assert!(points.iter().all(|p| p.transfer_power_w > 0.0));
         let table = render(&points);
         assert!(table.contains("NETLOAD"));
         assert!(table.contains("90%"));
+        assert!(table.contains("P_transfer"));
+    }
+
+    #[test]
+    fn broken_record_yields_a_taxonomy_error() {
+        let mut record = run_netload_once(0.0, 3);
+        // An inverted transfer window has no samples: the helper must
+        // report it instead of panicking.
+        record.phases.te = record.phases.ms;
+        let err = mean_transfer_power(&record).expect_err("empty window");
+        assert!(err.to_string().contains("netload"), "{err}");
     }
 }

@@ -12,9 +12,10 @@
 use crate::scenario::Scenario;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use wavm3_faults::{FaultConfig, RetryPolicy};
+use wavm3_faults::{FaultConfig, FaultPlan, RetryPolicy};
+use wavm3_harness::{Budget, BudgetTracker, Wavm3Error};
 use wavm3_migration::{MigrationConfig, MigrationRecord};
-use wavm3_simkit::{RngFactory, SimDuration};
+use wavm3_simkit::{RngFactory, SimDuration, SimTime};
 use wavm3_stats::VarianceStopper;
 
 /// How many repetitions to run per scenario.
@@ -68,6 +69,115 @@ impl Default for RunnerConfig {
             faults: None,
             retry: RetryPolicy::default(),
         }
+    }
+}
+
+impl RunnerConfig {
+    /// Reject impossible repetition policies (zero repetitions, inverted
+    /// `min > max`, NaN / non-positive variance thresholds), invalid
+    /// retry parameters, and any invalid fault configuration — before a
+    /// campaign starts, not ten scenarios into it.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        match self.repetitions {
+            RepetitionPolicy::Fixed(n) => {
+                if n == 0 {
+                    return Err(Wavm3Error::invalid_config(
+                        "runner.repetitions",
+                        "fixed policy needs at least one repetition",
+                    ));
+                }
+            }
+            RepetitionPolicy::VarianceRule {
+                min,
+                max,
+                threshold,
+            } => {
+                if min == 0 {
+                    return Err(Wavm3Error::invalid_config(
+                        "runner.repetitions.min",
+                        "variance rule needs at least one repetition",
+                    ));
+                }
+                if min > max {
+                    return Err(Wavm3Error::invalid_config(
+                        "runner.repetitions.min",
+                        format!("must not exceed max ({min} > {max})"),
+                    ));
+                }
+                if !threshold.is_finite() || threshold <= 0.0 {
+                    return Err(Wavm3Error::invalid_config(
+                        "runner.repetitions.threshold",
+                        format!("variance threshold must be finite and positive, got {threshold}"),
+                    ));
+                }
+            }
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
+        self.retry.validate()
+    }
+}
+
+/// One scenario's supervised outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The completed repetitions (in repetition order).
+    pub records: Vec<MigrationRecord>,
+    /// `true` when a wall-clock or sim-time budget cut the repetition
+    /// policy short: the records are valid but fewer than the policy
+    /// asked for, and the scenario should not be checkpointed as done.
+    pub budget_truncated: bool,
+}
+
+/// A scenario that panicked under supervision, recorded with everything
+/// needed to reproduce the panic deterministically: the scenario id, the
+/// campaign seed, the poisoned repetition, and the fault plan that
+/// repetition drew (when fault injection was on).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioFailure {
+    /// Scenario id (`family/kind/set/label`).
+    pub scenario: String,
+    /// Campaign base seed; `base.child(hash(scenario)).child(rep)` replays
+    /// the poisoned repetition exactly.
+    pub base_seed: u64,
+    /// The repetition that panicked.
+    pub rep: u64,
+    /// The fault plan attempt 0 of that repetition drew, if it could be
+    /// regenerated (a planner panic leaves it `None`).
+    pub fault_plan: Option<FaultPlan>,
+    /// The captured panic message.
+    pub message: String,
+}
+
+impl ScenarioFailure {
+    fn capture(
+        scenario: &Scenario,
+        cfg: &RunnerConfig,
+        scope: &RngFactory,
+        rep: u64,
+        error: &Wavm3Error,
+    ) -> Box<ScenarioFailure> {
+        // Re-draw the poisoned repetition's fault plan for the report;
+        // guarded, because a planner panic is one of the failure modes
+        // being reported.
+        let fault_plan = cfg.faults.filter(|f| f.is_enabled()).and_then(|faults| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                FaultPlan::generate(&faults, &scope.child(rep))
+            }))
+            .ok()
+        });
+        let message = match error {
+            Wavm3Error::ScenarioPanicked { message, .. } => message.clone(),
+            other => other.to_string(),
+        };
+        Box::new(ScenarioFailure {
+            scenario: scenario.id(),
+            base_seed: cfg.base_seed,
+            rep,
+            fault_plan,
+            message,
+        })
     }
 }
 
@@ -165,14 +275,69 @@ fn run_repetition(
     }
 }
 
-/// Run one scenario under the repetition policy.
+/// Run one scenario under the repetition policy (panics propagate; see
+/// [`run_scenario_supervised`] for the isolated variant).
 pub fn run_scenario(scenario: &Scenario, cfg: &RunnerConfig) -> Vec<MigrationRecord> {
+    match run_scenario_supervised(scenario, cfg, &Budget::UNLIMITED) {
+        Ok(result) => result.records,
+        Err(failure) => panic!(
+            "scenario '{}' rep {} panicked: {}",
+            failure.scenario, failure.rep, failure.message
+        ),
+    }
+}
+
+/// Run one scenario under the repetition policy with crash supervision:
+///
+/// * every repetition runs under `catch_unwind`, so a poisoned scenario
+///   comes back as a structured [`ScenarioFailure`] instead of tearing
+///   down the rayon pool;
+/// * `budget` caps the scenario's wall-clock and accumulated sim time —
+///   on exhaustion the repetition policy is cut short at the current
+///   count (at least one repetition always runs) and the result is
+///   flagged `budget_truncated` rather than dropped.
+///
+/// With [`Budget::UNLIMITED`] and no panic, the records — and the trace
+/// events, run-scope keys and metrics they emit — are bit-identical to
+/// the unsupervised path.
+pub fn run_scenario_supervised(
+    scenario: &Scenario,
+    cfg: &RunnerConfig,
+    budget: &Budget,
+) -> Result<ScenarioResult, Box<ScenarioFailure>> {
     let _timer = wavm3_obs::profile::stage("runner.scenario");
     let scope = scenario_rng(cfg, scenario);
+    let mut tracker = BudgetTracker::start(*budget);
+    let mut truncated = false;
+
+    // One isolated repetition: panics become taxonomy errors, completed
+    // runs charge their simulated span (start to end of measurement) to
+    // the budget.
+    let supervised_rep = |rep: u64,
+                          tracker: &mut BudgetTracker|
+     -> Result<MigrationRecord, Box<ScenarioFailure>> {
+        let context = format!("{}|rep{rep:03}", scenario.id());
+        match wavm3_harness::run_isolated(&context, || run_repetition(scenario, cfg, &scope, rep)) {
+            Ok(record) => {
+                tracker.charge_sim(record.phases.me.saturating_since(SimTime::ZERO));
+                Ok(record)
+            }
+            Err(e) => Err(ScenarioFailure::capture(scenario, cfg, &scope, rep, &e)),
+        }
+    };
+
     let records = match cfg.repetitions {
-        RepetitionPolicy::Fixed(n) => (0..n)
-            .map(|rep| run_repetition(scenario, cfg, &scope, rep as u64))
-            .collect(),
+        RepetitionPolicy::Fixed(n) => {
+            let mut records = Vec::new();
+            for rep in 0..n.max(1) as u64 {
+                if rep > 0 && tracker.exhausted().is_some() {
+                    truncated = true;
+                    break;
+                }
+                records.push(supervised_rep(rep, &mut tracker)?);
+            }
+            records
+        }
         RepetitionPolicy::VarianceRule {
             min,
             max,
@@ -185,7 +350,11 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunnerConfig) -> Vec<MigrationRec
                 let mut records = Vec::new();
                 let mut rep = 0u64;
                 while !stopper.is_satisfied() {
-                    let record = run_repetition(scenario, cfg, &scope, rep);
+                    if rep > 0 && tracker.exhausted().is_some() {
+                        truncated = true;
+                        break;
+                    }
+                    let record = supervised_rep(rep, &mut tracker)?;
                     stopper.push(record.source_energy.total_j());
                     wavm3_obs::event!(
                         wavm3_obs::Level::Debug, "wavm3_experiments", "runner.variance_progress",
@@ -199,12 +368,18 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunnerConfig) -> Vec<MigrationRec
                     records.push(record);
                     rep += 1;
                 }
-                records
-            })
+                Ok::<_, Box<ScenarioFailure>>(records)
+            })?
         }
     };
     wavm3_obs::metrics::counter_add("runner.repetitions", records.len() as u64);
-    records
+    if truncated {
+        wavm3_obs::metrics::counter_add("runner.budget_truncated", 1);
+    }
+    Ok(ScenarioResult {
+        records,
+        budget_truncated: truncated,
+    })
 }
 
 /// Run many scenarios in parallel; output order matches input order.
@@ -363,6 +538,95 @@ mod tests {
             run_scenario(&cheap_scenario(), &base),
             run_scenario(&cheap_scenario(), &with_disabled)
         );
+    }
+
+    #[test]
+    fn zero_sim_budget_truncates_to_one_rep() {
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(5),
+            base_seed: 11,
+            ..Default::default()
+        };
+        let budget = Budget {
+            wall: None,
+            sim: Some(wavm3_simkit::SimDuration::ZERO),
+        };
+        let result = run_scenario_supervised(&cheap_scenario(), &cfg, &budget).unwrap();
+        assert!(result.budget_truncated, "zero budget must truncate");
+        assert_eq!(result.records.len(), 1, "at least one repetition runs");
+        // The surviving repetition is bit-identical to the full run's rep 0.
+        let full = run_scenario(&cheap_scenario(), &cfg);
+        assert_eq!(result.records[0], full[0]);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_unsupervised_path() {
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::VarianceRule {
+                min: 3,
+                max: 6,
+                threshold: 0.5,
+            },
+            base_seed: 12,
+            ..Default::default()
+        };
+        let supervised =
+            run_scenario_supervised(&cheap_scenario(), &cfg, &Budget::UNLIMITED).unwrap();
+        assert!(!supervised.budget_truncated);
+        assert_eq!(supervised.records, run_scenario(&cheap_scenario(), &cfg));
+    }
+
+    #[test]
+    fn a_panicking_scenario_becomes_a_structured_failure() {
+        use wavm3_faults::LinkFaultConfig;
+        // Enabled but invalid: `mean_windows > max_windows` passes the
+        // planner's `is_enabled` gate and trips its validation panic.
+        let poisoned = FaultConfig {
+            link: LinkFaultConfig {
+                mean_windows: 5.0,
+                max_windows: 4,
+                ..LinkFaultConfig::default()
+            },
+            ..FaultConfig::default()
+        };
+        let cfg = RunnerConfig {
+            repetitions: RepetitionPolicy::Fixed(2),
+            base_seed: 13,
+            faults: Some(poisoned),
+            ..Default::default()
+        };
+        let failure = run_scenario_supervised(&cheap_scenario(), &cfg, &Budget::UNLIMITED)
+            .expect_err("planner panic must be captured");
+        assert_eq!(failure.scenario, cheap_scenario().id());
+        assert_eq!(failure.base_seed, 13);
+        assert_eq!(failure.rep, 0);
+        assert!(
+            failure.message.contains("mean_windows"),
+            "{}",
+            failure.message
+        );
+        // The config is also rejected up-front by validation.
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn runner_config_validation_rejects_inverted_policies() {
+        let mut cfg = RunnerConfig::default();
+        assert!(cfg.validate().is_ok(), "defaults validate");
+        cfg.repetitions = RepetitionPolicy::Fixed(0);
+        assert!(cfg.validate().is_err());
+        cfg.repetitions = RepetitionPolicy::VarianceRule {
+            min: 10,
+            max: 5,
+            threshold: 0.1,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.repetitions = RepetitionPolicy::VarianceRule {
+            min: 2,
+            max: 5,
+            threshold: f64::NAN,
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

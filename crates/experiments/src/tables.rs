@@ -4,8 +4,8 @@
 //! side-by-side with the paper's published numbers where applicable, so
 //! shape comparisons (who wins, by roughly what factor) are immediate.
 
+use crate::campaign::Campaign;
 use crate::dataset::ExperimentDataset;
-use crate::runner::RunnerConfig;
 use crate::scenario::Scenario;
 use std::fmt::Write as _;
 use wavm3_cluster::{hardware, vm_instances, MachineSet};
@@ -53,9 +53,10 @@ pub fn train_all(train: &[&MigrationRecord]) -> Option<TrainedBundle> {
     })
 }
 
-/// Run the full Table IIa campaign on one machine set.
-pub fn run_campaign(set: MachineSet, cfg: &RunnerConfig) -> ExperimentDataset {
-    ExperimentDataset::collect(Scenario::full_campaign(set), cfg)
+/// Run the full Table IIa campaign on one machine set under the given
+/// supervised campaign (checkpoints, budgets, panic isolation included).
+pub fn run_campaign(set: MachineSet, campaign: &Campaign) -> ExperimentDataset {
+    campaign.collect(Scenario::full_campaign(set))
 }
 
 /// Fraction of runs used for training throughout the table pipeline.
@@ -453,7 +454,7 @@ pub fn table7(dataset_m: &ExperimentDataset) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::RepetitionPolicy;
+    use crate::runner::{RepetitionPolicy, RunnerConfig};
 
     /// A reduced campaign that still exercises every family (2 reps).
     fn small_dataset(set: MachineSet) -> ExperimentDataset {

@@ -27,6 +27,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use wavm3_harness::{ensure_non_negative, ensure_ordered, ensure_probability, Wavm3Error};
 use wavm3_simkit::{Interval, RngFactory, SimDuration, SimTime};
 
 /// Transient link-degradation windows.
@@ -69,6 +70,46 @@ impl Default for LinkFaultConfig {
     }
 }
 
+impl LinkFaultConfig {
+    /// Reject NaN / non-finite rates, factors outside `[0, 1]`, and
+    /// inverted intervals (`min_factor > max_factor`, `earliest > latest`,
+    /// `min_duration > max_duration`, `mean_windows > max_windows`) with
+    /// descriptive errors — at construction, not mid-campaign.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        ensure_non_negative("faults.link.mean_windows", self.mean_windows)?;
+        if self.mean_windows > self.max_windows as f64 {
+            return Err(Wavm3Error::invalid_config(
+                "faults.link.mean_windows",
+                format!(
+                    "must not exceed max_windows ({} > {})",
+                    self.mean_windows, self.max_windows
+                ),
+            ));
+        }
+        ensure_probability("faults.link.min_factor", self.min_factor)?;
+        ensure_probability("faults.link.max_factor", self.max_factor)?;
+        ensure_ordered(
+            "faults.link.min_factor",
+            self.min_factor,
+            "faults.link.max_factor",
+            self.max_factor,
+        )?;
+        ensure_ordered(
+            "faults.link.min_duration",
+            self.min_duration,
+            "faults.link.max_duration",
+            self.max_duration,
+        )?;
+        ensure_ordered(
+            "faults.link.earliest",
+            self.earliest,
+            "faults.link.latest",
+            self.latest,
+        )?;
+        Ok(())
+    }
+}
+
 /// Pre-copy non-convergence (dirty-page storm).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NonConvergenceFault {
@@ -84,6 +125,20 @@ impl Default for NonConvergenceFault {
             probability: 0.0,
             round_cap: 2,
         }
+    }
+}
+
+impl NonConvergenceFault {
+    /// Reject invalid probabilities and a zero round cap.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        ensure_probability("faults.non_convergence.probability", self.probability)?;
+        if self.round_cap == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "faults.non_convergence.round_cap",
+                "must allow at least one pre-copy round",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -109,6 +164,20 @@ impl Default for AbortFault {
     }
 }
 
+impl AbortFault {
+    /// Reject invalid probabilities and inverted abort windows.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        ensure_probability("faults.abort.probability", self.probability)?;
+        ensure_ordered(
+            "faults.abort.earliest",
+            self.earliest,
+            "faults.abort.latest",
+            self.latest,
+        )?;
+        Ok(())
+    }
+}
+
 /// Complete fault-injection configuration. The default injects nothing,
 /// so every pre-existing run is byte-identical with faults "enabled but
 /// empty".
@@ -123,6 +192,15 @@ pub struct FaultConfig {
 }
 
 impl FaultConfig {
+    /// Validate every fault class. The campaign entry points call this
+    /// before any plan is drawn; [`FaultPlan::generate`] re-checks as a
+    /// last line of defense and panics with this error's message.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        self.link.validate()?;
+        self.non_convergence.validate()?;
+        self.abort.validate()
+    }
+
     /// `true` when at least one fault class can fire.
     pub fn is_enabled(&self) -> bool {
         self.link.mean_windows > 0.0
@@ -181,9 +259,20 @@ impl FaultPlan {
     /// Draw a plan from `cfg` under the run's RNG scope. A fully disabled
     /// config short-circuits to [`FaultPlan::none`] without touching any
     /// stream.
+    ///
+    /// # Panics
+    ///
+    /// On a config that fails [`FaultConfig::validate`]. Campaign entry
+    /// points reject such configs with a proper [`Wavm3Error`] before any
+    /// plan is drawn; reaching this panic means validation was bypassed,
+    /// and a deterministic panic here beats silently drawing windows from
+    /// an inverted or NaN range.
     pub fn generate(cfg: &FaultConfig, rng: &RngFactory) -> Self {
         if !cfg.is_enabled() {
             return FaultPlan::none();
+        }
+        if let Err(e) = cfg.validate() {
+            panic!("FaultPlan::generate: {e}");
         }
         let mut plan = FaultPlan::none();
 
@@ -394,6 +483,27 @@ impl RetryPolicy {
             max_attempts: 1,
             ..RetryPolicy::default()
         }
+    }
+
+    /// Reject a zero attempt budget and NaN / non-finite / shrinking
+    /// backoff parameters.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        if self.max_attempts == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "retry.max_attempts",
+                "must allow at least one attempt",
+            ));
+        }
+        if !self.multiplier.is_finite() || self.multiplier < 1.0 {
+            return Err(Wavm3Error::invalid_config(
+                "retry.multiplier",
+                format!(
+                    "backoff growth factor must be >= 1, got {}",
+                    self.multiplier
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Simulated pause before retry attempt `attempt` (1-based; attempt 0

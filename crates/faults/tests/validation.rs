@@ -1,0 +1,189 @@
+//! `validate()` bug-proofing: descriptive rejections for inverted or
+//! non-finite configurations, and the property that any config accepted
+//! by `validate()` can never panic the planner.
+
+use proptest::prelude::*;
+use wavm3_faults::{AbortFault, FaultConfig, FaultPlan, LinkFaultConfig, NonConvergenceFault};
+use wavm3_simkit::{RngFactory, SimDuration, SimTime};
+
+#[test]
+fn inverted_factor_range_is_rejected_with_both_field_names() {
+    let cfg = FaultConfig {
+        link: LinkFaultConfig {
+            mean_windows: 1.0,
+            min_factor: 0.8,
+            max_factor: 0.2,
+            ..LinkFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    };
+    let err = cfg.validate().expect_err("min_factor > max_factor");
+    let msg = err.to_string();
+    assert!(msg.contains("min_factor"), "{msg}");
+    assert!(msg.contains("max_factor"), "{msg}");
+}
+
+#[test]
+fn inverted_window_interval_is_rejected() {
+    let cfg = FaultConfig {
+        link: LinkFaultConfig {
+            mean_windows: 1.0,
+            earliest: SimTime::from_secs(90),
+            latest: SimTime::from_secs(10),
+            ..LinkFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    };
+    let msg = cfg.validate().expect_err("earliest > latest").to_string();
+    assert!(msg.contains("earliest"), "{msg}");
+
+    let cfg = FaultConfig {
+        abort: AbortFault {
+            probability: 0.5,
+            earliest: SimTime::from_secs(60),
+            latest: SimTime::from_secs(15),
+        },
+        ..FaultConfig::default()
+    };
+    let msg = cfg
+        .validate()
+        .expect_err("abort window inverted")
+        .to_string();
+    assert!(msg.contains("abort.earliest"), "{msg}");
+}
+
+#[test]
+fn mean_windows_above_cap_is_rejected() {
+    let cfg = FaultConfig {
+        link: LinkFaultConfig {
+            mean_windows: 5.0,
+            max_windows: 4,
+            ..LinkFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    };
+    let msg = cfg.validate().expect_err("mean above cap").to_string();
+    assert!(msg.contains("mean_windows"), "{msg}");
+    assert!(msg.contains("max_windows"), "{msg}");
+}
+
+#[test]
+fn nan_and_out_of_range_probabilities_are_rejected() {
+    for bad in [f64::NAN, f64::INFINITY, -0.2, 1.4] {
+        let cfg = FaultConfig {
+            non_convergence: NonConvergenceFault {
+                probability: bad,
+                round_cap: 2,
+            },
+            ..FaultConfig::default()
+        };
+        assert!(
+            cfg.validate().is_err(),
+            "probability {bad} must be rejected"
+        );
+    }
+    let cfg = FaultConfig {
+        link: LinkFaultConfig {
+            mean_windows: f64::NAN,
+            ..LinkFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    };
+    assert!(cfg.validate().is_err(), "NaN mean_windows must be rejected");
+}
+
+#[test]
+fn planner_panics_on_an_enabled_invalid_config() {
+    // The campaign layer rejects this before any plan is drawn; reaching
+    // the planner with it must be a loud, deterministic panic rather than
+    // windows silently drawn from an inverted range.
+    let cfg = FaultConfig {
+        link: LinkFaultConfig {
+            mean_windows: 5.0,
+            max_windows: 4,
+            ..LinkFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    };
+    let err = std::panic::catch_unwind(|| FaultPlan::generate(&cfg, &RngFactory::new(1)))
+        .expect_err("invalid enabled config must panic the planner");
+    let msg = wavm3_harness::panic_message(err.as_ref());
+    assert!(msg.contains("mean_windows"), "{msg}");
+}
+
+/// The full (valid and invalid) configuration space, far wider than the
+/// planner's own property tests sweep: NaN probabilities, inverted
+/// intervals, inverted factor ranges, zero caps.
+fn chaotic_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        -2.0f64..=6.0,
+    ]
+}
+
+fn arb_any_faults() -> impl Strategy<Value = FaultConfig> {
+    let link = (
+        chaotic_f64(),
+        0usize..=6,
+        0u64..=20,
+        0u64..=20,
+        chaotic_f64(),
+        chaotic_f64(),
+        0u64..=120,
+        0u64..=120,
+    )
+        .prop_map(
+            |(mean, max_w, dur_a, dur_b, f_a, f_b, t_a, t_b)| LinkFaultConfig {
+                mean_windows: mean,
+                max_windows: max_w,
+                min_duration: SimDuration::from_secs(dur_a),
+                max_duration: SimDuration::from_secs(dur_b),
+                min_factor: f_a,
+                max_factor: f_b,
+                earliest: SimTime::from_secs(t_a),
+                latest: SimTime::from_secs(t_b),
+            },
+        );
+    let non_convergence =
+        (chaotic_f64(), 0usize..=4).prop_map(|(probability, round_cap)| NonConvergenceFault {
+            probability,
+            round_cap,
+        });
+    let abort =
+        (chaotic_f64(), 0u64..=120, 0u64..=120).prop_map(|(probability, a, b)| AbortFault {
+            probability,
+            earliest: SimTime::from_secs(a),
+            latest: SimTime::from_secs(b),
+        });
+    (link, non_convergence, abort).prop_map(|(link, non_convergence, abort)| FaultConfig {
+        link,
+        non_convergence,
+        abort,
+    })
+}
+
+proptest! {
+    /// Any config `validate()` accepts is safe to hand to the planner:
+    /// `FaultPlan::generate` never panics on it, and the drawn plan
+    /// respects the configured bounds.
+    #[test]
+    fn validated_configs_never_panic_the_planner(cfg in arb_any_faults(), seed in 0u64..1000) {
+        if cfg.validate().is_ok() {
+            let plan = std::panic::catch_unwind(|| {
+                FaultPlan::generate(&cfg, &RngFactory::new(seed))
+            })
+            .expect("validated config panicked the planner");
+            prop_assert!(plan.link_windows().len() <= cfg.link.max_windows);
+            for w in plan.link_windows() {
+                prop_assert!(w.bandwidth_factor >= cfg.link.min_factor - 1e-12);
+                prop_assert!(w.bandwidth_factor <= cfg.link.max_factor + 1e-12);
+                prop_assert!(w.window.start >= cfg.link.earliest);
+            }
+            if let Some(at) = plan.abort_at() {
+                prop_assert!(at >= cfg.abort.earliest && at <= cfg.abort.latest);
+            }
+        }
+    }
+}

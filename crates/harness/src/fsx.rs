@@ -1,0 +1,119 @@
+//! Crash-safe file writes: tmp file + fsync + rename.
+//!
+//! A plain `std::fs::write` interrupted mid-way leaves a truncated file
+//! that later readers (golden checks, resume logic) happily parse as
+//! valid-but-wrong data. [`write_atomic`] never exposes a partial file:
+//! the contents land in a hidden sibling first, are fsync'd, and only
+//! then renamed over the destination — rename within one directory is
+//! atomic on POSIX. The parent directory is fsync'd afterwards so the
+//! rename itself survives a power cut.
+
+use crate::error::Wavm3Error;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers within one process (rayon workers
+/// checkpointing different scenarios into the same directory).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Write `contents` to `path` atomically, creating missing parent
+/// directories. On any failure the temporary file is cleaned up and the
+/// error is annotated with the offending path; `path` itself is either
+/// untouched or fully written, never truncated.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), Wavm3Error> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            fs::create_dir_all(p).map_err(|e| Wavm3Error::io_at(p, e))?;
+            Some(p)
+        }
+        _ => None,
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            Wavm3Error::io_at(
+                path,
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let write = || -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        let _ = fs::remove_file(&tmp);
+        return Err(Wavm3Error::io_at(&tmp, e));
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(Wavm3Error::io_at(path, e));
+    }
+    // Persist the rename itself. Directory fsync is advisory on some
+    // filesystems, so failures here are not fatal to the write.
+    if let Some(parent) = parent {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// String-convenience wrapper over [`write_atomic`].
+pub fn write_atomic_str(path: &Path, contents: &str) -> Result<(), Wavm3Error> {
+    write_atomic(path, contents.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("wavm3-fsx-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn writes_and_creates_parents() {
+        let dir = tmp_dir("parents");
+        let path = dir.join("a/b/out.txt");
+        write_atomic_str(&path, "hello").expect("atomic write");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "hello");
+        // Overwrite is atomic too.
+        write_atomic_str(&path, "world").expect("overwrite");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "world");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_tmp_droppings() {
+        let dir = tmp_dir("clean");
+        let path = dir.join("out.txt");
+        write_atomic_str(&path, "x").unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["out.txt".to_string()], "{names:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_annotated_with_the_path() {
+        let err = write_atomic_str(Path::new("/dev/null/not-a-dir/x.txt"), "x")
+            .expect_err("cannot create dirs under /dev/null");
+        assert!(err.to_string().contains("not-a-dir"), "{err}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # wavm3-harness — crash-safe campaign supervision
+//!
+//! The paper's repetition protocol (§V-B) makes a full reproduction a
+//! long-running batch job; this crate supplies the primitives that turn
+//! that job into a restartable, supervised one:
+//!
+//! * [`Wavm3Error`] — the workspace error taxonomy (hand-rolled
+//!   `thiserror`-style enum) plus the `ensure_*` validation guards used
+//!   by the `validate()` methods across `faults` / `migration` /
+//!   `experiments`;
+//! * [`write_atomic`] — tmp + fsync + rename file writes that never
+//!   expose a truncated artefact;
+//! * [`CheckpointStore`] — per-scenario result journaling with a
+//!   checksum + runner/seed fingerprint header, verification on load,
+//!   and quarantine (never deletion) of anything that fails it;
+//! * [`run_isolated`] — `catch_unwind` panic isolation so one poisoned
+//!   scenario becomes a recorded failure instead of tearing down the
+//!   rayon pool;
+//! * [`Budget`] / [`BudgetTracker`] — per-scenario wall-clock and
+//!   sim-time deadlines with graceful degradation.
+//!
+//! The crate is deliberately low in the dependency graph (only simkit,
+//! obs and serde) so `faults`, `migration` and `experiments` can all
+//! speak the same error spine; the campaign-level glue that knows about
+//! scenarios and datasets lives in `wavm3-experiments::campaign`.
+
+pub mod checkpoint;
+pub mod error;
+pub mod fsx;
+pub mod supervisor;
+
+pub use checkpoint::{
+    fingerprint_of, fnv1a64, CheckpointLoad, CheckpointStore, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
+pub use error::{
+    ensure_finite, ensure_non_negative, ensure_ordered, ensure_probability, Wavm3Error,
+};
+pub use fsx::{write_atomic, write_atomic_str};
+pub use supervisor::{panic_message, run_isolated, Budget, BudgetKind, BudgetTracker};

@@ -1,0 +1,183 @@
+//! Panic isolation and deadline supervision.
+//!
+//! [`run_isolated`] turns a panic in one unit of work into a value the
+//! campaign can record and route around — essential under rayon, where
+//! an uncaught worker panic propagates at the scope join and tears down
+//! every sibling scenario with it. [`BudgetTracker`] implements graceful
+//! degradation for long campaigns: per-scenario wall-clock and sim-time
+//! budgets that cut the variance rule short instead of dropping results.
+
+use crate::error::Wavm3Error;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+use wavm3_simkit::SimDuration;
+
+/// Extract the human message from a panic payload (`&str` / `String`
+/// payloads cover `panic!`, `assert!`, `unwrap`, `expect`).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f`, converting a panic into [`Wavm3Error::ScenarioPanicked`]
+/// labelled with `context`. The closure is wrapped in
+/// [`AssertUnwindSafe`]: callers hand in freshly-scoped state (the
+/// deterministic RNG scope rebuilds everything from seeds), so no
+/// broken invariant outlives the failed call.
+pub fn run_isolated<T>(context: &str, f: impl FnOnce() -> T) -> Result<T, Wavm3Error> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            wavm3_obs::metrics::counter_add("harness.panics_isolated", 1);
+            Err(Wavm3Error::ScenarioPanicked {
+                context: context.to_string(),
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// Per-scenario execution budget. `None` fields are unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Budget {
+    /// Wall-clock ceiling.
+    pub wall: Option<Duration>,
+    /// Simulated-time ceiling (accumulated across repetitions).
+    pub sim: Option<SimDuration>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub const UNLIMITED: Budget = Budget {
+        wall: None,
+        sim: None,
+    };
+
+    /// `true` when neither ceiling is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall.is_none() && self.sim.is_none()
+    }
+}
+
+/// Which ceiling was hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetKind {
+    /// The wall-clock ceiling.
+    Wall,
+    /// The sim-time ceiling.
+    Sim,
+}
+
+/// Tracks spend against a [`Budget`]. Wall clock is measured from
+/// construction; sim time is charged explicitly by the caller after
+/// each repetition.
+#[derive(Debug)]
+pub struct BudgetTracker {
+    budget: Budget,
+    started: Instant,
+    sim_spent: SimDuration,
+}
+
+impl BudgetTracker {
+    /// Start the wall clock now.
+    pub fn start(budget: Budget) -> Self {
+        BudgetTracker {
+            budget,
+            started: Instant::now(),
+            sim_spent: SimDuration::ZERO,
+        }
+    }
+
+    /// Charge simulated time spent by one repetition.
+    pub fn charge_sim(&mut self, spent: SimDuration) {
+        self.sim_spent += spent;
+    }
+
+    /// Simulated time charged so far.
+    pub fn sim_spent(&self) -> SimDuration {
+        self.sim_spent
+    }
+
+    /// `Some(kind)` once a ceiling is reached. Sim exhaustion is
+    /// reported in preference to wall exhaustion because it is
+    /// deterministic — a budget of zero truncates identically on every
+    /// machine, which is what the resume tests rely on.
+    pub fn exhausted(&self) -> Option<BudgetKind> {
+        if let Some(cap) = self.budget.sim {
+            if self.sim_spent >= cap {
+                return Some(BudgetKind::Sim);
+            }
+        }
+        if let Some(cap) = self.budget.wall {
+            if self.started.elapsed() >= cap {
+                return Some(BudgetKind::Wall);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolates_panics_with_their_message() {
+        let ok = run_isolated("fine", || 41 + 1);
+        assert_eq!(ok.unwrap(), 42);
+
+        let err = run_isolated("boom-scope", || -> i32 { panic!("exploded at rep 3") });
+        match err.unwrap_err() {
+            Wavm3Error::ScenarioPanicked { context, message } => {
+                assert_eq!(context, "boom-scope");
+                assert_eq!(message, "exploded at rep 3");
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn captures_formatted_panic_payloads() {
+        let err = run_isolated("fmt", || panic!("bad value {}", 7)).unwrap_err();
+        assert!(err.to_string().contains("bad value 7"), "{err}");
+    }
+
+    #[test]
+    fn sim_budget_is_deterministic() {
+        let budget = Budget {
+            wall: None,
+            sim: Some(SimDuration::from_secs(100)),
+        };
+        let mut t = BudgetTracker::start(budget);
+        assert_eq!(t.exhausted(), None);
+        t.charge_sim(SimDuration::from_secs(60));
+        assert_eq!(t.exhausted(), None);
+        t.charge_sim(SimDuration::from_secs(40));
+        assert_eq!(t.exhausted(), Some(BudgetKind::Sim));
+    }
+
+    #[test]
+    fn zero_sim_budget_exhausts_immediately() {
+        let t = BudgetTracker::start(Budget {
+            wall: None,
+            sim: Some(SimDuration::ZERO),
+        });
+        assert_eq!(t.exhausted(), Some(BudgetKind::Sim));
+        assert!(Budget::UNLIMITED.is_unlimited());
+    }
+
+    #[test]
+    fn zero_wall_budget_exhausts() {
+        let t = BudgetTracker::start(Budget {
+            wall: Some(Duration::ZERO),
+            sim: None,
+        });
+        assert_eq!(t.exhausted(), Some(BudgetKind::Wall));
+    }
+}

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use wavm3_faults::FaultConfig;
+use wavm3_harness::{ensure_non_negative, ensure_ordered, Wavm3Error};
 use wavm3_simkit::SimDuration;
 
 /// Which migration mechanism to run (paper §III-A).
@@ -54,6 +55,34 @@ impl Default for PrecopyConfig {
             stop_threshold_pages: 16_384,
             stall_ratio: 0.9,
         }
+    }
+}
+
+impl PrecopyConfig {
+    /// Reject a zero round cap, a non-positive or non-finite rate limit
+    /// (negative bandwidth), and a stall ratio outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        if self.max_rounds == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "precopy.max_rounds",
+                "must allow at least one pre-copy round",
+            ));
+        }
+        if let Some(bps) = self.rate_limit_bps {
+            if !bps.is_finite() || bps <= 0.0 {
+                return Err(Wavm3Error::invalid_config(
+                    "precopy.rate_limit_bps",
+                    format!("bandwidth cap must be finite and positive, got {bps}"),
+                ));
+            }
+        }
+        if !self.stall_ratio.is_finite() || self.stall_ratio <= 0.0 || self.stall_ratio > 1.0 {
+            return Err(Wavm3Error::invalid_config(
+                "precopy.stall_ratio",
+                format!("must lie in (0, 1], got {}", self.stall_ratio),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -203,6 +232,61 @@ impl MigrationConfig {
     pub fn post_copy() -> Self {
         MigrationConfig::new(MigrationKind::PostCopy)
     }
+
+    /// Reject NaN / non-finite / negative power and CPU-cost parameters,
+    /// negative bandwidth caps, inverted timing envelopes, a zero tick,
+    /// and any invalid fault configuration — at construction, so a bad
+    /// config surfaces as one [`Wavm3Error`] instead of a panic deep in
+    /// the engine mid-campaign.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        self.precopy.validate()?;
+        for (field, w) in [
+            ("service.init_source_w", self.service.init_source_w),
+            ("service.init_target_w", self.service.init_target_w),
+            ("service.transfer_source_w", self.service.transfer_source_w),
+            ("service.transfer_target_w", self.service.transfer_target_w),
+            (
+                "service.activation_source_w",
+                self.service.activation_source_w,
+            ),
+            (
+                "service.activation_target_w",
+                self.service.activation_target_w,
+            ),
+        ] {
+            ensure_non_negative(field, w)?;
+        }
+        for (field, cores) in [
+            (
+                "cpu_cost.source_cores_at_line_rate",
+                self.cpu_cost.source_cores_at_line_rate,
+            ),
+            (
+                "cpu_cost.target_cores_at_line_rate",
+                self.cpu_cost.target_cores_at_line_rate,
+            ),
+            (
+                "cpu_cost.dirty_tracking_cores",
+                self.cpu_cost.dirty_tracking_cores,
+            ),
+            ("cpu_cost.control_cores", self.cpu_cost.control_cores),
+        ] {
+            ensure_non_negative(field, cores)?;
+        }
+        if self.timing.tick.is_zero() {
+            return Err(Wavm3Error::invalid_config(
+                "timing.tick",
+                "simulation tick must be positive",
+            ));
+        }
+        ensure_ordered(
+            "timing.post_run_min",
+            self.timing.post_run_min,
+            "timing.post_run_max",
+            self.timing.post_run_max,
+        )?;
+        self.faults.validate()
+    }
 }
 
 #[cfg(test)]
@@ -248,5 +332,39 @@ mod tests {
         assert_eq!(p.max_rounds, 30);
         assert!(p.stall_ratio > 0.5 && p.stall_ratio <= 1.0);
         assert!(p.stop_threshold_pages > 0);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        for cfg in [
+            MigrationConfig::live(),
+            MigrationConfig::non_live(),
+            MigrationConfig::post_copy(),
+        ] {
+            cfg.validate().expect("defaults are valid");
+        }
+    }
+
+    #[test]
+    fn negative_bandwidth_and_nan_are_rejected() {
+        let mut cfg = MigrationConfig::live();
+        cfg.precopy.rate_limit_bps = Some(-125e6);
+        let msg = cfg.validate().expect_err("negative bandwidth").to_string();
+        assert!(msg.contains("rate_limit_bps"), "{msg}");
+
+        let mut cfg = MigrationConfig::live();
+        cfg.service.transfer_target_w = f64::NAN;
+        let msg = cfg.validate().expect_err("NaN power").to_string();
+        assert!(msg.contains("transfer_target_w"), "{msg}");
+
+        let mut cfg = MigrationConfig::live();
+        cfg.timing.tick = SimDuration::ZERO;
+        assert!(cfg.validate().is_err(), "zero tick must be rejected");
+
+        let mut cfg = MigrationConfig::live();
+        cfg.timing.post_run_min = SimDuration::from_secs(30);
+        cfg.timing.post_run_max = SimDuration::from_secs(8);
+        let msg = cfg.validate().expect_err("inverted tail").to_string();
+        assert!(msg.contains("post_run_min"), "{msg}");
     }
 }

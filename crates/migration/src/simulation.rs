@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use wavm3_cluster::{Cluster, HostId, VmId, PAGE_SIZE_BYTES};
 use wavm3_faults::{observe_fault, FaultEvent, FaultPlan};
+use wavm3_harness::Wavm3Error;
 use wavm3_obs::{metrics, Level};
 use wavm3_power::{
     channels, ground_truth_power, EnergyBreakdown, PhaseTimes, PowerInputs, PowerMeter, PowerTrace,
@@ -128,6 +129,11 @@ pub struct MigrationSimulation {
 impl MigrationSimulation {
     /// Assemble a scenario. The migrant must already reside on `source`,
     /// and `source != target`.
+    ///
+    /// # Panics
+    ///
+    /// On any condition [`MigrationSimulation::try_new`] rejects; use
+    /// that for the error-returning path.
     pub fn new(
         cluster: Cluster,
         workloads: BTreeMap<VmId, Arc<dyn Workload>>,
@@ -137,19 +143,49 @@ impl MigrationSimulation {
         config: MigrationConfig,
         rng: RngFactory,
     ) -> Self {
-        assert_ne!(source, target, "source and target must differ");
-        assert_eq!(
-            cluster.locate_vm(migrant),
-            Some(source),
-            "migrant must start on the source host"
-        );
-        assert!(
-            cluster
-                .host(target)
-                .fits_ram(cluster.vm(migrant).expect("migrant exists").spec.ram_mib),
-            "migrant does not fit on the target host"
-        );
-        MigrationSimulation {
+        match Self::try_new(cluster, workloads, migrant, source, target, config, rng) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible assembly: validates the configuration (NaN, negative
+    /// bandwidth, inverted intervals, ...) and the placement preconditions,
+    /// returning a taxonomy error instead of panicking.
+    pub fn try_new(
+        cluster: Cluster,
+        workloads: BTreeMap<VmId, Arc<dyn Workload>>,
+        migrant: VmId,
+        source: HostId,
+        target: HostId,
+        config: MigrationConfig,
+        rng: RngFactory,
+    ) -> Result<Self, Wavm3Error> {
+        config.validate()?;
+        if source == target {
+            return Err(Wavm3Error::invalid_input(
+                "migration",
+                "source and target must differ",
+            ));
+        }
+        if cluster.locate_vm(migrant) != Some(source) {
+            return Err(Wavm3Error::invalid_input(
+                "migration",
+                "migrant must start on the source host",
+            ));
+        }
+        let migrant_ram = cluster
+            .vm(migrant)
+            .ok_or_else(|| Wavm3Error::invalid_input("migration", "migrant VM does not exist"))?
+            .spec
+            .ram_mib;
+        if !cluster.host(target).fits_ram(migrant_ram) {
+            return Err(Wavm3Error::invalid_input(
+                "migration",
+                "migrant does not fit on the target host",
+            ));
+        }
+        Ok(MigrationSimulation {
             cluster,
             workloads,
             migrant,
@@ -157,7 +193,7 @@ impl MigrationSimulation {
             target,
             config,
             rng,
-        }
+        })
     }
 
     /// Run the scenario to completion.

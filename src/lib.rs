@@ -41,6 +41,7 @@ pub use wavm3_cluster as cluster;
 pub use wavm3_consolidation as consolidation;
 pub use wavm3_experiments as experiments;
 pub use wavm3_faults as faults;
+pub use wavm3_harness as harness;
 pub use wavm3_migration as migration;
 pub use wavm3_models as models;
 pub use wavm3_obs as obs;

@@ -1,0 +1,244 @@
+//! Crash-safety acceptance tests for the supervised campaign layer:
+//! an interrupted campaign resumed from its checkpoint directory must be
+//! byte-identical to an uninterrupted one, corrupted checkpoints must be
+//! quarantined and recomputed, and a panicking scenario must surface as a
+//! structured failure without sinking the rest of the campaign.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use wavm3_experiments::{
+    Campaign, ExperimentFamily, RepetitionPolicy, RunnerConfig, Scenario, SupervisorOptions,
+};
+use wavm3_faults::{FaultConfig, LinkFaultConfig};
+use wavm3_harness::Budget;
+use wavm3_simkit::SimDuration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("wavm3-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// Four cheap scenarios (both mechanisms, two load levels).
+fn scenarios() -> Vec<Scenario> {
+    let mut all = Scenario::family_scenarios(ExperimentFamily::CpuloadSource, MACHINE_SET);
+    all.retain(|s| s.label == "0 VM" || s.label == "1 VM");
+    assert_eq!(all.len(), 4, "fixture expects 2 kinds x 2 levels");
+    all
+}
+
+use wavm3_cluster::MachineSet;
+const MACHINE_SET: MachineSet = MachineSet::M;
+
+fn cfg() -> RunnerConfig {
+    RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(2),
+        base_seed: 0xD00D,
+        ..Default::default()
+    }
+}
+
+fn supervised(dir: &Path, resume: bool) -> Campaign {
+    Campaign::new(
+        cfg(),
+        SupervisorOptions {
+            checkpoint_dir: Some(dir.to_path_buf()),
+            resume,
+            budget: Budget::UNLIMITED,
+        },
+    )
+    .expect("valid config")
+}
+
+fn as_json(ds: &wavm3_experiments::ExperimentDataset) -> String {
+    serde_json::to_string(ds).expect("dataset serialises")
+}
+
+#[test]
+fn interrupted_campaign_resumes_byte_identical() {
+    let dir = tmp_dir("interrupt");
+    let baseline = Campaign::plain(cfg()).collect(scenarios());
+
+    // "Kill" the campaign after k of n scenarios: the first run only ever
+    // sees the first two scenarios before dying.
+    let first = supervised(&dir, false);
+    let k = 2;
+    let partial: Vec<Scenario> = scenarios().into_iter().take(k).collect();
+    first.collect(partial);
+    assert_eq!(first.report().stats.completed, k);
+    let ckpts = fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "ckpt")
+        })
+        .count();
+    assert_eq!(ckpts, k, "one checkpoint per completed scenario");
+
+    // Restart over the full scenario list with --resume semantics.
+    let second = supervised(&dir, true);
+    let resumed = second.collect(scenarios());
+    let stats = second.report().stats;
+    assert_eq!(stats.resumed, k, "the finished scenarios come from disk");
+    assert_eq!(stats.completed, 4 - k, "the rest are computed");
+    assert_eq!(
+        as_json(&resumed),
+        as_json(&baseline),
+        "merged resume run must be byte-identical to the uninterrupted one"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_truncated_scenarios_are_not_checkpointed_and_resume_cleanly() {
+    let dir = tmp_dir("budget");
+    let baseline = Campaign::plain(cfg()).collect(scenarios());
+
+    // A zero sim-time budget cuts every scenario to one repetition.
+    let truncated_run = Campaign::new(
+        cfg(),
+        SupervisorOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            budget: Budget {
+                wall: None,
+                sim: Some(SimDuration::ZERO),
+            },
+        },
+    )
+    .expect("valid config");
+    let truncated = truncated_run.collect(scenarios());
+    let stats = truncated_run.report().stats;
+    assert_eq!(stats.budget_truncated, 4, "every scenario was cut short");
+    assert!(truncated.runs.iter().all(|r| r.records.len() == 1));
+    // Truncated results never reach the journal: resuming must recompute
+    // them in full rather than merging partial repetition lists.
+    let ckpts = fs::read_dir(&dir).unwrap().count();
+    assert_eq!(ckpts, 0, "no checkpoint for a truncated scenario");
+
+    let resumed_run = supervised(&dir, true);
+    let resumed = resumed_run.collect(scenarios());
+    assert_eq!(resumed_run.report().stats.resumed, 0);
+    assert_eq!(as_json(&resumed), as_json(&baseline));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_checkpoint_is_quarantined_and_recomputed() {
+    let dir = tmp_dir("corrupt");
+    let baseline = Campaign::plain(cfg()).collect(scenarios());
+    supervised(&dir, false).collect(scenarios());
+
+    // Flip payload bytes in one checkpoint; the header checksum no longer
+    // matches.
+    let victim = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .expect("a checkpoint exists");
+    let mut raw = fs::read_to_string(&victim).unwrap();
+    raw.push_str("bitrot");
+    fs::write(&victim, raw).unwrap();
+
+    let resumed_run = supervised(&dir, true);
+    let resumed = resumed_run.collect(scenarios());
+    let stats = resumed_run.report().stats;
+    assert_eq!(stats.quarantined, 1, "the tampered file is retired");
+    assert_eq!(stats.resumed, 3, "the intact checkpoints still load");
+    assert_eq!(stats.completed, 1, "the poisoned scenario is recomputed");
+    let rewritten = fs::read_to_string(&victim).unwrap();
+    assert!(
+        !rewritten.contains("bitrot"),
+        "the recomputed scenario re-journals a clean checkpoint at the key"
+    );
+    let quarantined = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".quarantined"))
+        .count();
+    assert_eq!(quarantined, 1, "the evidence survives for debugging");
+    assert_eq!(as_json(&resumed), as_json(&baseline));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_fingerprints_are_quarantined_on_resume() {
+    let dir = tmp_dir("fingerprint");
+    supervised(&dir, false).collect(scenarios());
+
+    // A different campaign seed writes different records under the same
+    // scenario keys: every old checkpoint must be rejected, not merged.
+    let other_cfg = RunnerConfig {
+        base_seed: 0xBEEF,
+        ..cfg()
+    };
+    let other = Campaign::new(
+        other_cfg,
+        SupervisorOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            budget: Budget::UNLIMITED,
+        },
+    )
+    .expect("valid config");
+    let ds = other.collect(scenarios());
+    let stats = other.report().stats;
+    assert_eq!(stats.resumed, 0, "foreign checkpoints never load");
+    assert_eq!(stats.quarantined, 4);
+    assert_eq!(
+        as_json(&ds),
+        as_json(&Campaign::plain(other_cfg).collect(scenarios())),
+        "the new seed's results are recomputed from scratch"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panicking_scenario_becomes_a_partial_result() {
+    // Enabled but invalid fault config: passes the planner's is_enabled
+    // gate, trips its validation panic on every repetition. Campaign::new
+    // would reject it up-front, which is exactly what a robustness test
+    // must bypass — Campaign::plain performs no validation.
+    let poisoned = RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(2),
+        base_seed: 0xABAD,
+        faults: Some(FaultConfig {
+            link: LinkFaultConfig {
+                mean_windows: 5.0,
+                max_windows: 4,
+                ..LinkFaultConfig::default()
+            },
+            ..FaultConfig::default()
+        }),
+        ..Default::default()
+    };
+    let campaign = Campaign::plain(poisoned);
+    let ds = campaign.collect(scenarios());
+    assert!(campaign.has_failures());
+    let report = campaign.report();
+    assert_eq!(report.stats.failed, 4, "every scenario is poisoned");
+    assert_eq!(report.failures.len(), 4);
+    assert!(ds.runs.iter().all(|r| r.records.is_empty()));
+    assert_eq!(ds.runs.len(), 4, "the campaign still completes");
+    for failure in &report.failures {
+        assert_eq!(failure.base_seed, 0xABAD);
+        assert_eq!(failure.rep, 0);
+        assert!(
+            failure.message.contains("mean_windows"),
+            "{}",
+            failure.message
+        );
+    }
+    // The report is sorted by scenario id for determinism.
+    let ids: Vec<&str> = report
+        .failures
+        .iter()
+        .map(|f| f.scenario.as_str())
+        .collect();
+    let mut sorted = ids.clone();
+    sorted.sort();
+    assert_eq!(ids, sorted);
+}

@@ -18,7 +18,7 @@ use std::sync::OnceLock;
 use wavm3_cluster::MachineSet;
 use wavm3_experiments::figures;
 use wavm3_experiments::tables;
-use wavm3_experiments::{ExperimentDataset, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3_experiments::{Campaign, ExperimentDataset, RepetitionPolicy, RunnerConfig, Scenario};
 use wavm3_migration::MigrationKind;
 
 /// Relative tolerance for numeric cells.
@@ -195,32 +195,50 @@ fn golden_table7() {
 
 #[test]
 fn golden_fig2() {
-    check("fig2.csv", &figures::fig2(&figure_cfg()).csv);
+    check(
+        "fig2.csv",
+        &figures::fig2(&Campaign::plain(figure_cfg())).csv,
+    );
 }
 
 #[test]
 fn golden_fig3() {
-    check("fig3.csv", &figures::fig3(&figure_cfg()).csv);
+    check(
+        "fig3.csv",
+        &figures::fig3(&Campaign::plain(figure_cfg())).csv,
+    );
 }
 
 #[test]
 fn golden_fig4() {
-    check("fig4.csv", &figures::fig4(&figure_cfg()).csv);
+    check(
+        "fig4.csv",
+        &figures::fig4(&Campaign::plain(figure_cfg())).csv,
+    );
 }
 
 #[test]
 fn golden_fig5() {
-    check("fig5.csv", &figures::fig5(&figure_cfg()).csv);
+    check(
+        "fig5.csv",
+        &figures::fig5(&Campaign::plain(figure_cfg())).csv,
+    );
 }
 
 #[test]
 fn golden_fig6() {
-    check("fig6.csv", &figures::fig6(&figure_cfg()).csv);
+    check(
+        "fig6.csv",
+        &figures::fig6(&Campaign::plain(figure_cfg())).csv,
+    );
 }
 
 #[test]
 fn golden_fig7() {
-    check("fig7.csv", &figures::fig7(&figure_cfg()).csv);
+    check(
+        "fig7.csv",
+        &figures::fig7(&Campaign::plain(figure_cfg())).csv,
+    );
 }
 
 #[test]
