@@ -41,6 +41,7 @@ fn bench_enabled(c: &mut Criterion) {
         console: None,
         metrics: true,
         profiling: true,
+        ledger: false,
     });
     let mut g = c.benchmark_group("obs_enabled");
     g.sample_size(20);

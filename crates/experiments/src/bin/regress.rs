@@ -1,0 +1,218 @@
+//! `wavm3-regress` — the regression gate over the metrics pipeline.
+//!
+//! Diffs a run's metrics snapshot against the committed
+//! `BENCH_baseline.json` with per-metric relative tolerances:
+//!
+//! ```text
+//! wavm3-regress --baseline BENCH_baseline.json \
+//!     [--current metrics.json] \
+//!     [--tolerance-counters T] [--tolerance-gauges T] \
+//!     [--tolerance-histograms T] [--tolerances overrides.json] \
+//!     [--reps N] [--seed S]
+//! ```
+//!
+//! Without `--current`, the gate re-runs the baseline campaign itself
+//! (machine sets M + O, fixed repetitions, metrics-only observability
+//! session) using the `seed` / `reps` stamps the baseline carries, so
+//! CI needs exactly one command. Exit codes: `0` pass (warnings
+//! allowed, printed to stderr), `1` at least one metric failed the
+//! gate, `2` usage / unreadable inputs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::campaign::{Campaign, SupervisorOptions};
+use wavm3_experiments::cli::EXIT_USAGE;
+use wavm3_experiments::regress::{self, Tolerances, Verdict};
+use wavm3_experiments::runner::{RepetitionPolicy, RunnerConfig};
+use wavm3_experiments::tables;
+use wavm3_obs::{metrics::MetricsSnapshot, Level, ObsConfig, Session};
+
+struct Options {
+    baseline: PathBuf,
+    current: Option<PathBuf>,
+    tolerances: Tolerances,
+    overrides: Option<PathBuf>,
+    reps: Option<usize>,
+    seed: Option<u64>,
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: wavm3-regress --baseline BENCH_baseline.json [--current METRICS.json] \
+         [--tolerance-counters T] [--tolerance-gauges T] [--tolerance-histograms T] \
+         [--tolerances OVERRIDES.json] [--reps N] [--seed S]"
+    );
+    eprintln!("  --baseline: committed baseline produced by scripts/bench_baseline.sh");
+    eprintln!("  --current: metrics JSON from a --metrics-out run; omitted, the gate");
+    eprintln!("      re-runs the baseline campaign itself (seed/reps from the baseline stamps)");
+    eprintln!("  --tolerance-*: relative tolerance per metric family");
+    eprintln!("      (defaults: counters 0, gauges 0.25, histograms 0)");
+    eprintln!("  --tolerances: JSON object of per-metric overrides {{\"name\": tol}}");
+    eprintln!("  exit codes: 0 pass/warn, 1 regression, 2 usage");
+    std::process::exit(if err.is_empty() { 0 } else { EXIT_USAGE as i32 });
+}
+
+fn parse_tol(flag: &str, value: Option<String>) -> f64 {
+    value
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .unwrap_or_else(|| usage(&format!("{flag} needs a non-negative number")))
+}
+
+fn parse_args() -> Options {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerances = Tolerances::default();
+    let mut overrides = None;
+    let mut reps = None;
+    let mut seed = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--baseline needs a path"));
+                baseline = Some(PathBuf::from(v));
+            }
+            "--current" => {
+                let v = it.next().unwrap_or_else(|| usage("--current needs a path"));
+                current = Some(PathBuf::from(v));
+            }
+            "--tolerance-counters" => tolerances.counters = parse_tol(&arg, it.next()),
+            "--tolerance-gauges" => tolerances.gauges = parse_tol(&arg, it.next()),
+            "--tolerance-histograms" => tolerances.histograms = parse_tol(&arg, it.next()),
+            "--tolerances" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--tolerances needs a path"));
+                overrides = Some(PathBuf::from(v));
+            }
+            "--reps" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|v| *v >= 1)
+                    .unwrap_or_else(|| usage("--reps needs a positive integer"));
+                reps = Some(v);
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+                seed = Some(v);
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    Options {
+        baseline: baseline.unwrap_or_else(|| usage("--baseline is required")),
+        current,
+        tolerances,
+        overrides,
+        reps,
+        seed,
+    }
+}
+
+/// Re-run the baseline campaign (machine sets M + O, fixed reps) under a
+/// metrics-only observability session and return the snapshot.
+fn rerun_campaign(reps: usize, seed: u64) -> Result<MetricsSnapshot, String> {
+    eprintln!("wavm3-regress: re-running campaign (--reps {reps} --seed {seed}, sets M+O)");
+    let runner = RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(reps),
+        base_seed: seed,
+        ..RunnerConfig::default()
+    };
+    let campaign =
+        Campaign::new(runner, SupervisorOptions::default()).map_err(|e| e.to_string())?;
+    let session = Session::install(ObsConfig {
+        trace: false,
+        collect_level: Level::Debug,
+        console: None,
+        metrics: true,
+        profiling: false,
+        ledger: false,
+    });
+    for set in [MachineSet::M, MachineSet::O] {
+        tables::run_campaign(set, &campaign);
+    }
+    let report = session.finish();
+    let failures = campaign.report().failures;
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} scenarios failed during the gate's campaign re-run",
+            failures.len()
+        ));
+    }
+    Ok(report.metrics)
+}
+
+fn main() -> ExitCode {
+    let mut opts = parse_args();
+    if let Some(path) = &opts.overrides {
+        if let Err(e) = opts.tolerances.load_overrides(path) {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+
+    let baseline_text = match std::fs::read_to_string(&opts.baseline) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.baseline.display());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let baseline = match regress::snapshot_from_json(&baseline_text) {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.baseline.display());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+
+    let current = match &opts.current {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", path.display());
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            match regress::snapshot_from_json(&text) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", path.display());
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
+        }
+        None => {
+            let (stamp_seed, stamp_reps) = regress::baseline_stamps(&baseline_text);
+            let reps = opts.reps.or(stamp_reps).unwrap_or(2);
+            let seed = opts.seed.or(stamp_seed).unwrap_or(7);
+            match rerun_campaign(reps, seed) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = regress::compare(&baseline, &current, &opts.tolerances);
+    eprint!("{report}");
+    match report.worst() {
+        Verdict::Fail => ExitCode::FAILURE,
+        Verdict::Pass | Verdict::Warn => ExitCode::SUCCESS,
+    }
+}

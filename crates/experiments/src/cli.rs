@@ -4,9 +4,11 @@
 //! rule), `--seed S` (campaign seed), `--out DIR` (CSV output directory,
 //! default `out/`), `--faults` (inject the light fault mix: transient link
 //! degradation, pre-copy non-convergence, occasional aborts with retry),
-//! the observability trio: `--trace PATH` (deterministic JSONL event
-//! trace), `--log-level LVL` (human console subscriber on stderr), and
+//! the observability set: `--trace PATH` (deterministic JSONL event
+//! trace), `--log-level LVL` (human console subscriber on stderr),
 //! `--metrics-out PATH` (metrics snapshot + wall-clock profiling JSON),
+//! `--ledger-out PATH` (per-migration energy-attribution JSONL) and
+//! `--html-report PATH` (self-contained HTML campaign report),
 //! plus the crash-safety set: `--checkpoint-dir DIR` (journal per-scenario
 //! results), `--resume` (reload verified checkpoints instead of
 //! recomputing), and `--wall-budget-s S` / `--sim-budget-s S`
@@ -40,12 +42,21 @@ pub struct ObsCliOptions {
     pub log_level: Option<Level>,
     /// `--metrics-out PATH`: write the metrics + profiling JSON here.
     pub metrics_out: Option<PathBuf>,
+    /// `--ledger-out PATH`: write the energy-attribution JSONL here.
+    pub ledger_out: Option<PathBuf>,
+    /// `--html-report PATH`: write the self-contained HTML campaign
+    /// report here (arms metrics and the ledger).
+    pub html_report: Option<PathBuf>,
 }
 
 impl ObsCliOptions {
     /// `true` when any observability sink was requested.
     pub fn any(&self) -> bool {
-        self.trace.is_some() || self.log_level.is_some() || self.metrics_out.is_some()
+        self.trace.is_some()
+            || self.log_level.is_some()
+            || self.metrics_out.is_some()
+            || self.ledger_out.is_some()
+            || self.html_report.is_some()
     }
 
     /// The session configuration these flags describe.
@@ -54,8 +65,9 @@ impl ObsCliOptions {
             trace: self.trace.is_some(),
             collect_level: Level::Debug,
             console: self.log_level,
-            metrics: self.metrics_out.is_some(),
+            metrics: self.metrics_out.is_some() || self.html_report.is_some(),
             profiling: self.metrics_out.is_some(),
+            ledger: self.ledger_out.is_some() || self.html_report.is_some(),
         }
     }
 }
@@ -135,6 +147,18 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> CliOptions {
                     .unwrap_or_else(|| usage("--metrics-out needs a path"));
                 opts.obs.metrics_out = Some(PathBuf::from(v));
             }
+            "--ledger-out" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--ledger-out needs a path"));
+                opts.obs.ledger_out = Some(PathBuf::from(v));
+            }
+            "--html-report" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--html-report needs a path"));
+                opts.obs.html_report = Some(PathBuf::from(v));
+            }
             "--checkpoint-dir" => {
                 let v = it
                     .next()
@@ -177,6 +201,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--reps N] [--seed S] [--out DIR] [--faults] \
          [--trace PATH] [--log-level LVL] [--metrics-out PATH] \
+         [--ledger-out PATH] [--html-report PATH] \
          [--checkpoint-dir DIR] [--resume] [--wall-budget-s S] [--sim-budget-s S]"
     );
     eprintln!("  default repetition policy: paper variance rule (>=10 runs, <10% variance delta)");
@@ -186,6 +211,9 @@ fn usage(err: &str) -> ! {
     eprintln!("  --trace: write a deterministic sim-time JSONL event trace");
     eprintln!("  --log-level: echo events (trace/debug/info/warn/error) to stderr");
     eprintln!("  --metrics-out: write the metrics snapshot + wall-clock profile as JSON");
+    eprintln!("  --ledger-out: write the per-migration energy-attribution JSONL (deterministic)");
+    eprintln!("  --html-report: write a self-contained HTML campaign report (phase energies,");
+    eprintln!("      residual summaries, fault/retry counts); arms metrics + ledger");
     eprintln!("  --checkpoint-dir: journal per-scenario results for crash-safe restarts");
     eprintln!(
         "  --resume: reload verified checkpoints from --checkpoint-dir instead of re-running"
@@ -220,8 +248,8 @@ pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) 
     let result = body(&opts, &campaign);
 
     let mut sink_result: Result<(), Wavm3Error> = Ok(());
-    if let Some(session) = session {
-        let report = session.finish();
+    let obs_report = session.map(Session::finish);
+    if let Some(report) = &obs_report {
         if let Some(path) = &opts.obs.trace {
             match report.write_trace_jsonl(path) {
                 Ok(()) => eprintln!(
@@ -238,6 +266,16 @@ pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) 
                 Err(e) => sink_result = Err(Wavm3Error::io_at(path, e)),
             }
         }
+        if let Some(path) = &opts.obs.ledger_out {
+            match report.write_ledger_jsonl(path) {
+                Ok(()) => eprintln!(
+                    "ledger: {} migrations -> {}",
+                    report.ledger.len(),
+                    path.display()
+                ),
+                Err(e) => sink_result = Err(Wavm3Error::io_at(path, e)),
+            }
+        }
         let profile = wavm3_obs::profile::summarise(&report.profiling);
         if !profile.is_empty() {
             eprint!("{profile}");
@@ -245,6 +283,13 @@ pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) 
     }
 
     let report = campaign.report();
+    if let (Some(path), Some(obs)) = (&opts.obs.html_report, &obs_report) {
+        let html = crate::report::render_campaign_html(obs, &report);
+        match crate::export::write_file(path, &html) {
+            Ok(()) => eprintln!("report: {}", path.display()),
+            Err(e) => sink_result = Err(e),
+        }
+    }
     if let Some(dir) = campaign.checkpoint_dir() {
         let path = dir.join("campaign-report.json");
         match serde_json::to_string_pretty(&report) {
@@ -372,6 +417,27 @@ mod tests {
         let cfg = o.obs.session_config();
         assert!(cfg.trace && cfg.metrics && cfg.profiling);
         assert_eq!(cfg.console, Some(Level::Warn));
+    }
+
+    #[test]
+    fn ledger_and_html_report_flags_arm_the_session() {
+        let o = parse_from(["--ledger-out", "l.jsonl"].iter().map(|s| s.to_string()));
+        assert_eq!(
+            o.obs.ledger_out.as_deref(),
+            Some(std::path::Path::new("l.jsonl"))
+        );
+        assert!(o.obs.any());
+        let cfg = o.obs.session_config();
+        assert!(cfg.ledger && !cfg.metrics && !cfg.trace);
+
+        let o = parse_from(["--html-report", "r.html"].iter().map(|s| s.to_string()));
+        assert_eq!(
+            o.obs.html_report.as_deref(),
+            Some(std::path::Path::new("r.html"))
+        );
+        let cfg = o.obs.session_config();
+        assert!(cfg.ledger && cfg.metrics, "html report arms both sinks");
+        assert!(!cfg.profiling);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! | training-fraction sensitivity | `--bin sensitivity` |
 //! | seed-robustness of the orderings | `--bin robustness` |
 //! | JSON/CSV dataset export | `--bin campaign` |
+//! | metrics regression gate | `--bin wavm3-regress` |
 //!
 //! Every binary accepts `--reps N` (fixed repetitions) and `--seed S`; the
 //! default follows the paper's variance-rule protocol. The crash-safety
@@ -42,12 +43,16 @@ pub mod dataset;
 pub mod export;
 pub mod figures;
 pub mod netload;
+pub mod regress;
+pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod tables;
 
 pub use campaign::{Campaign, CampaignReport, CampaignStats, SupervisorOptions};
 pub use dataset::{mean_trace, ExperimentDataset, ScenarioRuns};
+pub use regress::{compare, RegressionReport, Tolerances, Verdict};
+pub use report::render_campaign_html;
 pub use runner::{
     run_all, run_scenario, run_scenario_supervised, RepetitionPolicy, RunnerConfig,
     ScenarioFailure, ScenarioResult,

@@ -10,11 +10,11 @@ use crate::scenario::Scenario;
 use std::fmt::Write as _;
 use wavm3_cluster::{hardware, vm_instances, MachineSet};
 use wavm3_migration::{MigrationKind, MigrationRecord};
-use wavm3_models::evaluation::{evaluate_models, score_model};
+use wavm3_models::evaluation::{evaluate_models, score_model, stream_model_diagnostics};
 use wavm3_models::paper;
 use wavm3_models::{
     train_huang, train_liu, train_strunk, train_wavm3, EnergyModel, HostRole, HuangModel, LiuModel,
-    ReadingSplit, StrunkModel, Wavm3Model,
+    PowerModel, ReadingSplit, StrunkModel, Wavm3Model,
 };
 
 /// Everything trained on one machine set's training runs.
@@ -418,6 +418,19 @@ pub fn table7(dataset_m: &ExperimentDataset) -> Option<String> {
     ];
     let rows_nl = evaluate_models(&models_non_live, &test);
     let rows_l = evaluate_models(&models_live, &test);
+    // Live residual diagnostics: per-run energy residuals for all four
+    // models and per-sample per-phase power residuals for the
+    // power-granular ones, streamed into the metrics registry (no-op
+    // without a metrics session; main-thread, so fully deterministic).
+    let power_non_live: Vec<&dyn PowerModel> = vec![&bundle.wavm3_non_live, &bundle.huang_non_live];
+    let power_live: Vec<&dyn PowerModel> = vec![&bundle.wavm3_live, &bundle.huang_live];
+    stream_model_diagnostics(
+        &models_non_live,
+        &power_non_live,
+        MigrationKind::NonLive,
+        &test,
+    );
+    stream_model_diagnostics(&models_live, &power_live, MigrationKind::Live, &test);
     for (i, name) in ["WAVM3", "HUANG", "LIU", "STRUNK"].iter().enumerate() {
         for role in HostRole::ALL {
             let nl = rows_nl

@@ -17,10 +17,10 @@ use std::sync::Arc;
 use wavm3_cluster::{Cluster, HostId, VmId, PAGE_SIZE_BYTES};
 use wavm3_faults::{observe_fault, FaultEvent, FaultPlan};
 use wavm3_harness::Wavm3Error;
-use wavm3_obs::{metrics, Level};
+use wavm3_obs::{metrics, Level, RoleLedger, TermEnergy};
 use wavm3_power::{
-    channels, ground_truth_power, EnergyBreakdown, PhaseTimes, PowerInputs, PowerMeter, PowerTrace,
-    TelemetryRecorder,
+    channels, ground_truth_power, ground_truth_terms, EnergyBreakdown, PhaseTimes, PowerInputs,
+    PowerMeter, PowerTerms, PowerTrace, TelemetryRecorder,
 };
 use wavm3_simkit::{RngFactory, SimDuration, SimTime};
 use wavm3_workloads::Workload;
@@ -91,6 +91,76 @@ impl PowerWander {
         let noise = sample_normal(&mut self.rng, 0.0, sigma_w * dt_s.sqrt());
         self.x += -self.x / Self::TAU_S * dt_s + noise;
         self.x
+    }
+}
+
+/// Per-term power traces on the meter's 2 Hz grid, feeding the energy
+/// ledger. Each metered (noisy) reading is split across the ground-truth
+/// terms proportionally, so the term traces always integrate back to the
+/// metered energy — conservation holds by construction, with measurement
+/// noise and environmental wander spread pro rata across the terms.
+struct TermTraces {
+    idle: PowerTrace,
+    cpu: PowerTrace,
+    mem_dirty: PowerTrace,
+    network: PowerTrace,
+    service: PowerTrace,
+}
+
+impl TermTraces {
+    fn new() -> Self {
+        TermTraces {
+            idle: PowerTrace::new("idle"),
+            cpu: PowerTrace::new("cpu"),
+            mem_dirty: PowerTrace::new("mem_dirty"),
+            network: PowerTrace::new("network"),
+            service: PowerTrace::new("service"),
+        }
+    }
+
+    /// Attribute reading `reading_w` at `t` across `terms` pro rata.
+    fn record(&mut self, t: SimTime, reading_w: f64, terms: PowerTerms) {
+        let total = terms.total_w();
+        if total > 0.0 {
+            let k = reading_w / total;
+            self.idle.record(t, terms.idle_w * k);
+            self.cpu.record(t, terms.cpu_w * k);
+            self.mem_dirty.record(t, terms.mem_dirty_w * k);
+            self.network.record(t, terms.network_w * k);
+            self.service.record(t, terms.service_w * k);
+        } else {
+            // Degenerate profile: book the whole reading as idle floor so
+            // no energy is ever dropped.
+            self.idle.record(t, reading_w);
+            self.cpu.record(t, 0.0);
+            self.mem_dirty.record(t, 0.0);
+            self.network.record(t, 0.0);
+            self.service.record(t, 0.0);
+        }
+    }
+
+    /// Integrate every term over `[from, to]` (trapezoidal, same rule as
+    /// [`EnergyBreakdown`]).
+    fn window(&self, from: SimTime, to: SimTime) -> TermEnergy {
+        TermEnergy {
+            idle_j: self.idle.energy_between(from, to),
+            cpu_j: self.cpu.energy_between(from, to),
+            mem_dirty_j: self.mem_dirty.energy_between(from, to),
+            network_j: self.network.energy_between(from, to),
+            service_j: self.service.energy_between(from, to),
+        }
+    }
+
+    /// One host's ledger over the phase windows, mirroring the
+    /// rollback semantics of [`EnergyBreakdown::from_trace_aborted`].
+    fn role_ledger(&self, phases: &PhaseTimes, aborted: bool) -> RoleLedger {
+        let tail = self.window(phases.te, phases.me);
+        RoleLedger {
+            initiation: self.window(phases.ms, phases.ts),
+            transfer: self.window(phases.ts, phases.te),
+            activation: if aborted { TermEnergy::default() } else { tail },
+            rollback: if aborted { tail } else { TermEnergy::default() },
+        }
     }
 }
 
@@ -249,6 +319,12 @@ impl MigrationSimulation {
         );
         let mut truth_src = PowerTrace::new(src_name);
         let mut truth_dst = PowerTrace::new(dst_name);
+        // Energy-attribution ledger feed, latched once per run so the
+        // per-sample work cannot toggle mid-run. No RNG stream is touched
+        // on this path, so arming the ledger never perturbs results.
+        let ledger_on = wavm3_obs::ledger_active();
+        let mut src_attrib = TermTraces::new();
+        let mut dst_attrib = TermTraces::new();
         let mut telemetry = TelemetryRecorder::new();
         let mut samples: Vec<FeatureSample> = Vec::new();
         let mut rounds: Vec<RoundStats> = Vec::new();
@@ -708,6 +784,11 @@ impl MigrationSimulation {
                 let r_src = src_meter.sample(t_sample, p_src);
                 let r_dst = dst_meter.sample(t_sample, p_dst);
 
+                if ledger_on {
+                    src_attrib.record(t_sample, r_src, ground_truth_terms(&src_power, src_inputs));
+                    dst_attrib.record(t_sample, r_dst, ground_truth_terms(&dst_power, dst_inputs));
+                }
+
                 let migrant_cpu_fraction = {
                     let vm = self.cluster.vm(self.migrant).expect("migrant exists");
                     if vm.is_running() && migrant_vcpus > 0.0 {
@@ -863,6 +944,39 @@ impl MigrationSimulation {
             metrics::buckets::ENERGY_KJ,
             (source_energy.total_j() + target_energy.total_j()) / 1e3,
         );
+        for (name, src_j, dst_j) in [
+            (
+                "migration.phase.initiation_kj",
+                source_energy.initiation_j,
+                target_energy.initiation_j,
+            ),
+            (
+                "migration.phase.transfer_kj",
+                source_energy.transfer_j,
+                target_energy.transfer_j,
+            ),
+            (
+                "migration.phase.activation_kj",
+                source_energy.activation_j,
+                target_energy.activation_j,
+            ),
+            (
+                "migration.phase.rollback_kj",
+                source_energy.rollback_j,
+                target_energy.rollback_j,
+            ),
+        ] {
+            metrics::observe(name, metrics::buckets::ENERGY_KJ, (src_j + dst_j) / 1e3);
+        }
+
+        if ledger_on {
+            wavm3_obs::ledger::record(wavm3_obs::LedgerEntry {
+                kind: cfg.kind.label(),
+                outcome: if aborted { "aborted" } else { "completed" },
+                source: src_attrib.role_ledger(&phases, aborted),
+                target: dst_attrib.role_ledger(&phases, aborted),
+            });
+        }
 
         MigrationRecord {
             kind: cfg.kind,

@@ -1,9 +1,14 @@
-//! Model comparison on a test set — the machinery behind Tables V and VII.
+//! Model comparison on a test set — the machinery behind Tables V and VII,
+//! plus live residual diagnostics streamed into the metrics registry so
+//! Table IV–VII-grade numbers are observable mid-campaign instead of only
+//! in the final exports.
 
 use crate::features::HostRole;
-use crate::model::EnergyModel;
+use crate::model::{EnergyModel, PowerModel};
 use serde::{Deserialize, Serialize};
 use wavm3_migration::{MigrationKind, MigrationRecord};
+use wavm3_obs::metrics;
+use wavm3_power::MigrationPhase;
 use wavm3_stats::ErrorReport;
 
 /// One row of a Table VII-style comparison: one model, one host role, one
@@ -73,6 +78,155 @@ pub fn evaluate_models(
     rows
 }
 
+/// Per-phase per-sample power residuals of a [`PowerModel`]: one
+/// [`ErrorReport`] per migration phase, over every sample of `kind`
+/// records. This is the power-granular view behind the paper's Table IV.
+pub fn phase_power_residuals(
+    model: &dyn PowerModel,
+    role: HostRole,
+    kind: MigrationKind,
+    records: &[&MigrationRecord],
+) -> Vec<(MigrationPhase, ErrorReport)> {
+    let phases = [
+        MigrationPhase::Initiation,
+        MigrationPhase::Transfer,
+        MigrationPhase::Activation,
+    ];
+    phases
+        .into_iter()
+        .filter_map(|phase| {
+            let mut pred = Vec::new();
+            let mut obs = Vec::new();
+            for r in records.iter().filter(|r| r.kind == kind) {
+                for s in r.samples.iter().filter(|s| s.phase == phase) {
+                    pred.push(model.predict_power(role, s));
+                    obs.push(match role {
+                        HostRole::Source => s.power_source_w,
+                        HostRole::Target => s.power_target_w,
+                    });
+                }
+            }
+            if pred.is_empty() {
+                None
+            } else {
+                Some((phase, ErrorReport::compute(&pred, &obs)))
+            }
+        })
+        .collect()
+}
+
+/// Stream one model's per-run energy residuals into the metrics
+/// registry: an absolute-residual histogram (percent of observed) per
+/// model × role × kind, plus MAE/RMSE/NRMSE gauges. No-op without a
+/// metrics session.
+pub fn stream_energy_residuals(
+    model: &dyn EnergyModel,
+    role: HostRole,
+    kind: MigrationKind,
+    records: &[&MigrationRecord],
+) {
+    if !metrics::active() {
+        return;
+    }
+    let of_kind: Vec<&MigrationRecord> =
+        records.iter().copied().filter(|r| r.kind == kind).collect();
+    if of_kind.is_empty() {
+        return;
+    }
+    let base = format!(
+        "residual.energy.{}.{}.{}",
+        model.name().to_lowercase(),
+        role.label(),
+        kind.label()
+    );
+    let mut pred = Vec::with_capacity(of_kind.len());
+    let mut obs = Vec::with_capacity(of_kind.len());
+    for r in &of_kind {
+        let p = model.predict_energy(role, r);
+        let o = observed_energy(role, r);
+        if o > 0.0 {
+            metrics::observe(
+                &format!("{base}_pct"),
+                metrics::buckets::RESIDUAL_PCT,
+                (p - o).abs() / o * 100.0,
+            );
+        }
+        pred.push(p);
+        obs.push(o);
+    }
+    let report = ErrorReport::compute(&pred, &obs);
+    metrics::gauge_set(&format!("{base}.mae_j"), report.mae);
+    metrics::gauge_set(&format!("{base}.rmse_j"), report.rmse);
+    metrics::gauge_set(&format!("{base}.nrmse_pct"), report.nrmse_pct());
+}
+
+/// Stream a power-granular model's per-sample residuals into the metrics
+/// registry, one histogram (absolute watts) and MAE/RMSE/NRMSE gauge set
+/// per migration phase. No-op without a metrics session.
+pub fn stream_power_residuals(
+    model: &dyn PowerModel,
+    role: HostRole,
+    kind: MigrationKind,
+    records: &[&MigrationRecord],
+) {
+    if !metrics::active() {
+        return;
+    }
+    let base = format!(
+        "residual.power.{}.{}.{}",
+        model.name().to_lowercase(),
+        role.label(),
+        kind.label()
+    );
+    for r in records.iter().filter(|r| r.kind == kind) {
+        for s in r.samples.iter() {
+            if s.phase == MigrationPhase::NormalExecution {
+                continue;
+            }
+            let p = model.predict_power(role, s);
+            let o = match role {
+                HostRole::Source => s.power_source_w,
+                HostRole::Target => s.power_target_w,
+            };
+            metrics::observe(
+                &format!("{base}.{}_w", s.phase.label()),
+                metrics::buckets::POWER_W,
+                (p - o).abs(),
+            );
+        }
+    }
+    for (phase, report) in phase_power_residuals(model, role, kind, records) {
+        let prefix = format!("{base}.{}", phase.label());
+        metrics::gauge_set(&format!("{prefix}.mae_w"), report.mae);
+        metrics::gauge_set(&format!("{prefix}.rmse_w"), report.rmse);
+        metrics::gauge_set(&format!("{prefix}.nrmse_pct"), report.nrmse_pct());
+    }
+}
+
+/// Stream the full diagnostics set for a trained model family: energy
+/// residuals for every model and per-phase power residuals for the
+/// power-granular ones, across both roles. Called once per evaluation
+/// pass (deterministic main-thread context); no-op without a metrics
+/// session.
+pub fn stream_model_diagnostics(
+    energy_models: &[&dyn EnergyModel],
+    power_models: &[&dyn PowerModel],
+    kind: MigrationKind,
+    records: &[&MigrationRecord],
+) {
+    if !metrics::active() {
+        return;
+    }
+    for role in HostRole::ALL {
+        for model in energy_models {
+            stream_energy_residuals(*model, role, kind, records);
+        }
+        for model in power_models {
+            stream_power_residuals(*model, role, kind, records);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +270,63 @@ mod tests {
         let refs: Vec<&MigrationRecord> = records.iter().collect();
         let liu = train_liu(&refs, MigrationKind::Live).unwrap();
         assert!(score_model(&liu, HostRole::Source, MigrationKind::NonLive, &refs).is_none());
+    }
+
+    #[test]
+    fn residual_streams_populate_the_registry() {
+        let records = dataset(MigrationKind::Live);
+        let refs: Vec<&MigrationRecord> = records.iter().collect();
+        let wavm3 = train_wavm3(&refs, MigrationKind::Live, &ReadingSplit::default()).unwrap();
+        let liu = train_liu(&refs, MigrationKind::Live).unwrap();
+        let session = wavm3_obs::Session::install(wavm3_obs::ObsConfig {
+            metrics: true,
+            ..wavm3_obs::ObsConfig::default()
+        });
+        stream_model_diagnostics(&[&wavm3, &liu], &[&wavm3], MigrationKind::Live, &refs);
+        let snap = session.finish().metrics;
+        assert!(snap
+            .histograms
+            .contains_key("residual.energy.wavm3.source.live_pct"));
+        assert!(snap
+            .gauges
+            .contains_key("residual.energy.liu.target.live.nrmse_pct"));
+        assert!(snap
+            .histograms
+            .contains_key("residual.power.wavm3.source.live.transfer_w"));
+        assert!(snap
+            .gauges
+            .contains_key("residual.power.wavm3.target.live.initiation.rmse_w"));
+        // Per-sample histograms actually saw the transfer samples.
+        let h = &snap.histograms["residual.power.wavm3.source.live.transfer_w"];
+        assert!(h.count > 0);
+    }
+
+    #[test]
+    fn residual_streams_are_inert_without_a_session() {
+        let records = dataset(MigrationKind::Live);
+        let refs: Vec<&MigrationRecord> = records.iter().collect();
+        let liu = train_liu(&refs, MigrationKind::Live).unwrap();
+        // No session: must not record anywhere (and must not panic).
+        stream_energy_residuals(&liu, HostRole::Source, MigrationKind::Live, &refs);
+        assert!(wavm3_obs::metrics::snapshot().gauges.is_empty());
+    }
+
+    #[test]
+    fn phase_power_residuals_cover_all_three_phases() {
+        let records = dataset(MigrationKind::Live);
+        let refs: Vec<&MigrationRecord> = records.iter().collect();
+        let wavm3 = train_wavm3(&refs, MigrationKind::Live, &ReadingSplit::default()).unwrap();
+        let rows = phase_power_residuals(&wavm3, HostRole::Source, MigrationKind::Live, &refs);
+        let phases: Vec<MigrationPhase> = rows.iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            phases,
+            vec![
+                MigrationPhase::Initiation,
+                MigrationPhase::Transfer,
+                MigrationPhase::Activation
+            ]
+        );
+        assert!(rows.iter().all(|(_, rep)| rep.n > 0));
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub mod strunk;
 pub mod training;
 pub mod wavm3;
 
-pub use evaluation::{evaluate_models, ComparisonRow};
+pub use evaluation::{
+    evaluate_models, phase_power_residuals, stream_energy_residuals, stream_model_diagnostics,
+    stream_power_residuals, ComparisonRow,
+};
 pub use features::{HostRole, PhaseVector};
 pub use huang::{HuangModel, HuangVmModel};
 pub use liu::LiuModel;

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod event;
+pub mod ledger;
 pub mod level;
 pub mod metrics;
 pub mod profile;
@@ -57,6 +58,7 @@ pub mod session;
 pub mod trace;
 
 pub use event::{Event, FieldValue};
+pub use ledger::{ledger_active, LedgerEntry, RoleLedger, TermEnergy};
 pub use level::Level;
 pub use session::{ObsConfig, ObsReport, Session};
 pub use trace::{emit, emit_span, event_enabled, run_scope, span, tracing_active, RunScope, Span};

@@ -27,6 +27,10 @@ pub mod buckets {
     ];
     /// Energies in kilojoules: 0.1 kJ … 100 kJ.
     pub const ENERGY_KJ: &[f64] = &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+    /// Absolute residuals in percent of the observed value: 1 % … 100 %.
+    pub const RESIDUAL_PCT: &[f64] = &[1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0, 100.0];
+    /// Absolute power residuals in watts: 0.5 W … 200 W.
+    pub const POWER_W: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0];
 }
 
 /// Fixed-point scale for deterministic histogram sums (microunits).
@@ -74,12 +78,13 @@ impl HistogramSnapshot {
         self.sum_micro as f64 / SUM_SCALE
     }
 
-    /// Mean observed sample, or 0.0 before any observation.
-    pub fn mean(&self) -> f64 {
+    /// Mean observed sample, or `None` before any observation (so an
+    /// empty histogram can never leak NaN into snapshots or exposition).
+    pub fn mean(&self) -> Option<f64> {
         if self.count == 0 {
-            0.0
+            None
         } else {
-            self.sum() / self.count as f64
+            Some(self.sum() / self.count as f64)
         }
     }
 }
@@ -100,13 +105,102 @@ impl MetricsSnapshot {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4).
+    ///
+    /// Metric names are sanitised (every character outside
+    /// `[a-zA-Z0-9_:]` becomes `_`, so `migration.runs` exposes as
+    /// `migration_runs`); label values escape `\`, `"` and newlines.
+    /// Histograms expose the conventional cumulative
+    /// `_bucket{le="…"}` series plus `_sum` and `_count`. Output order
+    /// follows the snapshot's BTreeMap ordering, so two equal snapshots
+    /// render byte-identically.
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", format_sample(*value));
+        }
+        for (name, hist) in &self.histograms {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+                cumulative += count;
+                let le = escape_label_value(&format_sample(*bound));
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            // Overflow bucket: everything observed so far.
+            cumulative += hist.counts.last().copied().unwrap_or(0);
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", format_sample(hist.sum()));
+            let _ = writeln!(out, "{name}_count {}", hist.count);
+        }
+        out
+    }
+}
+
+/// Replace every character outside `[a-zA-Z0-9_:]` with `_` (and prefix
+/// `_` if the name would start with a digit).
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a Prometheus label value: `\` → `\\`, `"` → `\"`, newline →
+/// `\n`.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a sample value: shortest round-trip for finite floats, the
+/// Prometheus spellings for the non-finite ones.
+fn format_sample(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        value.to_string()
+    }
 }
 
 #[derive(Default)]
 struct RegistryInner {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 /// A metrics registry. The workspace normally uses the process-wide one
@@ -128,44 +222,42 @@ impl Registry {
     }
 
     /// Add `delta` to counter `name` (created at 0 on first use).
-    pub fn counter_add(&self, name: &'static str, delta: u64) {
-        *self.lock().counters.entry(name).or_insert(0) += delta;
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
     }
 
     /// Set gauge `name` (last write wins).
-    pub fn gauge_set(&self, name: &'static str, value: f64) {
-        self.lock().gauges.insert(name, value);
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
     }
 
     /// Observe `value` on histogram `name`. The first call fixes the
     /// bucket bounds; later calls reuse them (`bounds` is then ignored).
-    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
-        self.lock()
-            .histograms
-            .entry(name)
-            .or_insert_with(|| HistogramSnapshot::new(bounds))
-            .observe(value);
+    pub fn observe(&self, name: &str, bounds: &[f64], value: f64) {
+        let mut inner = self.lock();
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = HistogramSnapshot::new(bounds);
+                h.observe(value);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
     }
 
     /// Deterministic snapshot (BTreeMap name order).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.lock();
         MetricsSnapshot {
-            counters: inner
-                .counters
-                .iter()
-                .map(|(k, v)| (k.to_string(), *v))
-                .collect(),
-            gauges: inner
-                .gauges
-                .iter()
-                .map(|(k, v)| (k.to_string(), *v))
-                .collect(),
-            histograms: inner
-                .histograms
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
-                .collect(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
         }
     }
 
@@ -183,7 +275,7 @@ fn global() -> &'static Registry {
 /// Add `delta` to the global counter `name`; no-op without a metrics
 /// session.
 #[inline]
-pub fn counter_add(name: &'static str, delta: u64) {
+pub fn counter_add(name: &str, delta: u64) {
     if session::metrics_active() {
         global().counter_add(name, delta);
     }
@@ -191,7 +283,7 @@ pub fn counter_add(name: &'static str, delta: u64) {
 
 /// Set the global gauge `name`; no-op without a metrics session.
 #[inline]
-pub fn gauge_set(name: &'static str, value: f64) {
+pub fn gauge_set(name: &str, value: f64) {
     if session::metrics_active() {
         global().gauge_set(name, value);
     }
@@ -200,10 +292,17 @@ pub fn gauge_set(name: &'static str, value: f64) {
 /// Observe on the global histogram `name`; no-op without a metrics
 /// session.
 #[inline]
-pub fn observe(name: &'static str, bounds: &'static [f64], value: f64) {
+pub fn observe(name: &str, bounds: &[f64], value: f64) {
     if session::metrics_active() {
         global().observe(name, bounds, value);
     }
+}
+
+/// `true` when an installed session is collecting metrics — use to skip
+/// expensive metric computation (the free functions are no-ops anyway).
+#[inline]
+pub fn active() -> bool {
+    session::metrics_active()
 }
 
 /// Snapshot the global registry (empty without a metrics session).
@@ -233,7 +332,70 @@ mod tests {
         assert_eq!(hist.count, 8);
         let expected: f64 = 0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 5.1 + 99.0;
         assert!((hist.sum() - expected).abs() < 1e-6);
-        assert!((hist.mean() - expected / 8.0).abs() < 1e-6);
+        assert!((hist.mean().expect("non-empty mean") - expected / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_none() {
+        let hist = HistogramSnapshot::new(buckets::DURATION_S);
+        assert_eq!(hist.mean(), None);
+        assert_eq!(hist.sum(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_text_golden() {
+        let r = Registry::new();
+        r.counter_add("migration.runs", 42);
+        r.counter_add("faults.injected", 3);
+        r.gauge_set("runner.throughput_runs_per_s", 12.5);
+        let bounds: &[f64] = &[1.0, 2.5];
+        for v in [0.5, 2.0, 9.0] {
+            r.observe("migration.transfer_s", bounds, v);
+        }
+        let text = r.snapshot().to_prometheus_text();
+        let expected = "\
+# TYPE faults_injected counter
+faults_injected 3
+# TYPE migration_runs counter
+migration_runs 42
+# TYPE runner_throughput_runs_per_s gauge
+runner_throughput_runs_per_s 12.5
+# TYPE migration_transfer_s histogram
+migration_transfer_s_bucket{le=\"1\"} 1
+migration_transfer_s_bucket{le=\"2.5\"} 2
+migration_transfer_s_bucket{le=\"+Inf\"} 3
+migration_transfer_s_sum 11.5
+migration_transfer_s_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_order_stable() {
+        // Insertion order must not leak into the exposition: two
+        // registries fed in opposite orders render identically.
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter_add("b.second", 1);
+        a.counter_add("a.first", 1);
+        b.counter_add("a.first", 1);
+        b.counter_add("b.second", 1);
+        assert_eq!(
+            a.snapshot().to_prometheus_text(),
+            b.snapshot().to_prometheus_text()
+        );
+    }
+
+    #[test]
+    fn prometheus_name_sanitisation_and_label_escaping() {
+        assert_eq!(
+            sanitize_metric_name("migration.energy-kj"),
+            "migration_energy_kj"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(format_sample(f64::INFINITY), "+Inf");
+        assert_eq!(format_sample(f64::NAN), "NaN");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! workspace reduces to a relaxed atomic load — the "null sink".
 
 use crate::event::Event;
+use crate::ledger::LedgerEntry;
 use crate::level::Level;
 use crate::metrics::{self, MetricsSnapshot};
 use crate::profile::{self, ProfileSnapshot};
@@ -18,6 +19,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
 static METRICS_ACTIVE: AtomicBool = AtomicBool::new(false);
+static LEDGER_ACTIVE: AtomicBool = AtomicBool::new(false);
 /// 0 = console off, otherwise `level as u8 + 1`.
 static CONSOLE_LEVEL: AtomicU8 = AtomicU8::new(0);
 /// Minimum level the JSONL buffer collects.
@@ -31,6 +33,11 @@ pub(crate) fn trace_active() -> bool {
 #[inline]
 pub(crate) fn metrics_active() -> bool {
     METRICS_ACTIVE.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn ledger_active() -> bool {
+    LEDGER_ACTIVE.load(Ordering::Relaxed)
 }
 
 #[inline]
@@ -48,7 +55,7 @@ pub(crate) fn collect_level() -> Level {
 
 #[inline]
 pub(crate) fn any_active() -> bool {
-    trace_active() || metrics_active() || console_level().is_some()
+    trace_active() || metrics_active() || ledger_active() || console_level().is_some()
 }
 
 // --- Collected buffers. ----------------------------------------------------
@@ -60,6 +67,9 @@ struct Collected {
     /// Closed run-scope buffers, in completion order (re-sorted by key at
     /// flush, which is what makes the merged stream deterministic).
     runs: Vec<(String, Vec<Event>)>,
+    /// Energy-attribution entries keyed by run key, in completion order
+    /// (re-sorted by key at flush, same determinism contract).
+    ledger: Vec<(String, LedgerEntry)>,
 }
 
 fn collected() -> &'static Mutex<Collected> {
@@ -77,6 +87,10 @@ pub(crate) fn push_root_event(event: Event) {
 
 pub(crate) fn push_run_buffer(key: String, events: Vec<Event>) {
     lock_collected().runs.push((key, events));
+}
+
+pub(crate) fn push_ledger_entry(key: String, entry: LedgerEntry) {
+    lock_collected().ledger.push((key, entry));
 }
 
 fn session_lock() -> &'static Mutex<()> {
@@ -107,6 +121,8 @@ pub struct ObsConfig {
     pub metrics: bool,
     /// Arm the wall-clock stage profiler.
     pub profiling: bool,
+    /// Collect per-migration energy-attribution [`LedgerEntry`]s.
+    pub ledger: bool,
 }
 
 impl Default for ObsConfig {
@@ -117,6 +133,7 @@ impl Default for ObsConfig {
             console: None,
             metrics: false,
             profiling: false,
+            ledger: false,
         }
     }
 }
@@ -144,6 +161,7 @@ impl Session {
         );
         TRACE_ACTIVE.store(config.trace, Ordering::Relaxed);
         METRICS_ACTIVE.store(config.metrics, Ordering::Relaxed);
+        LEDGER_ACTIVE.store(config.ledger, Ordering::Relaxed);
         profile::set_active(config.profiling);
         Session {
             _lock: lock,
@@ -167,8 +185,11 @@ impl Session {
         }
         events.extend(collected.runs);
         events.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut ledger = collected.ledger;
+        ledger.sort_by(|a, b| a.0.cmp(&b.0));
         let report = ObsReport {
             events,
+            ledger,
             metrics: metrics::snapshot(),
             profiling: profile::snapshot(),
         };
@@ -182,6 +203,7 @@ impl Session {
 fn disarm() {
     TRACE_ACTIVE.store(false, Ordering::Relaxed);
     METRICS_ACTIVE.store(false, Ordering::Relaxed);
+    LEDGER_ACTIVE.store(false, Ordering::Relaxed);
     CONSOLE_LEVEL.store(0, Ordering::Relaxed);
     profile::set_active(false);
 }
@@ -201,6 +223,8 @@ pub struct ObsReport {
     /// Run buffers sorted by run key (root buffer first, empty key).
     /// Within a buffer, events are in emission order.
     pub events: Vec<(String, Vec<Event>)>,
+    /// Energy-attribution entries sorted by run key.
+    pub ledger: Vec<(String, LedgerEntry)>,
     /// Deterministic metrics snapshot.
     pub metrics: MetricsSnapshot,
     /// Wall-clock stage profile (not reproducible; never in traces).
@@ -230,6 +254,23 @@ impl ObsReport {
     /// directories on demand.
     pub fn write_trace_jsonl(&self, path: &Path) -> io::Result<()> {
         write_with_context(path, &self.trace_jsonl())
+    }
+
+    /// The deterministic energy-attribution JSONL (one migration per
+    /// line, entries in run-key order).
+    pub fn ledger_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (key, entry) in &self.ledger {
+            out.push_str(&entry.to_jsonl(key));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write [`ObsReport::ledger_jsonl`] to `path`, creating parent
+    /// directories on demand.
+    pub fn write_ledger_jsonl(&self, path: &Path) -> io::Result<()> {
+        write_with_context(path, &self.ledger_jsonl())
     }
 
     /// Write the metrics snapshot (plus the profiling section) as a JSON
@@ -335,6 +376,7 @@ mod tests {
     fn missing_directory_errors_carry_the_path() {
         let report = ObsReport {
             events: Vec::new(),
+            ledger: Vec::new(),
             metrics: MetricsSnapshot::default(),
             profiling: ProfileSnapshot::default(),
         };

@@ -29,6 +29,12 @@ struct RunBuf {
     events: Vec<Event>,
 }
 
+/// The key of the innermost open [`run_scope`] on this thread, if any
+/// (used by the energy ledger to attribute entries to runs).
+pub(crate) fn current_run_key() -> Option<String> {
+    RUN_BUF.with(|b| b.borrow().as_ref().map(|buf| buf.key.clone()))
+}
+
 /// `true` when any trace sink (JSONL buffer or console) is installed.
 #[inline]
 pub fn tracing_active() -> bool {
@@ -226,7 +232,11 @@ impl Drop for RunScope {
             closed
         });
         if let Some(buf) = closed {
-            session::push_run_buffer(buf.key, buf.events);
+            // A ledger-only scope buffers no events; pushing it would
+            // only pad the report with empty run buffers.
+            if session::trace_active() || !buf.events.is_empty() {
+                session::push_run_buffer(buf.key, buf.events);
+            }
         }
     }
 }
@@ -236,10 +246,11 @@ impl Drop for RunScope {
 /// Keys must be unique across a session (e.g. `scenario-id|rep003|att0`)
 /// and are sorted lexicographically at flush time, so zero-pad any
 /// numeric components. Scopes nest: the inner scope's events flush under
-/// the inner key, and the outer buffer resumes afterwards. When tracing
-/// is off this is exactly `f()`.
+/// the inner key, and the outer buffer resumes afterwards. When neither
+/// tracing nor the energy ledger is armed this is exactly `f()` (the
+/// ledger needs the scope open so its entries pick up the run key).
 pub fn run_scope<R>(key: String, f: impl FnOnce() -> R) -> R {
-    if !session::trace_active() {
+    if !session::trace_active() && !session::ledger_active() {
         return f();
     }
     let _scope = RunScope::open(key);
@@ -258,6 +269,7 @@ mod tests {
             console: None,
             metrics: false,
             profiling: false,
+            ledger: false,
         })
     }
 

@@ -62,6 +62,44 @@ pub fn ground_truth_power(profile: &PowerProfile, inputs: PowerInputs) -> f64 {
         + i.service_w
 }
 
+/// The additive decomposition of [`ground_truth_power`] into its physical
+/// terms, watts. The energy-attribution ledger splits measured readings
+/// across these terms proportionally, so per-term energies always sum
+/// back to the metered total.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerTerms {
+    /// Static floor the host draws regardless of load.
+    pub idle_w: f64,
+    /// Dynamic CPU power above the idle floor (`cpu_dynamic_w · u^e`).
+    pub cpu_w: f64,
+    /// Memory-bus contention from page dirtying.
+    pub mem_dirty_w: f64,
+    /// NIC power from migration traffic.
+    pub network_w: f64,
+    /// Migration service machinery (connection setup, suspend/resume).
+    pub service_w: f64,
+}
+
+impl PowerTerms {
+    /// Sum of the terms — equals [`ground_truth_power`] up to float
+    /// summation order.
+    pub fn total_w(&self) -> f64 {
+        self.idle_w + self.cpu_w + self.mem_dirty_w + self.network_w + self.service_w
+    }
+}
+
+/// Decompose the noise-free ground-truth power into its additive terms.
+pub fn ground_truth_terms(profile: &PowerProfile, inputs: PowerInputs) -> PowerTerms {
+    let i = inputs.clamped();
+    PowerTerms {
+        idle_w: profile.idle_w,
+        cpu_w: profile.cpu_power(i.cpu_utilisation) - profile.idle_w,
+        mem_dirty_w: profile.mem_contention_w * i.mem_activity,
+        network_w: profile.nic_w_at_line_rate * i.nic_utilisation,
+        service_w: i.service_w,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +189,25 @@ mod tests {
             },
         );
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn term_decomposition_sums_to_ground_truth() {
+        let p = profile();
+        let inputs = PowerInputs {
+            cpu_utilisation: 0.63,
+            nic_utilisation: 0.8,
+            mem_activity: 0.4,
+            service_w: 12.5,
+        };
+        let terms = ground_truth_terms(&p, inputs);
+        let total = ground_truth_power(&p, inputs);
+        assert!((terms.total_w() - total).abs() < 1e-9 * total);
+        assert_eq!(terms.idle_w, p.idle_w);
+        assert!(terms.cpu_w > 0.0);
+        assert!((terms.network_w - 42.0 * 0.8).abs() < 1e-12);
+        assert!((terms.mem_dirty_w - 55.0 * 0.4).abs() < 1e-12);
+        assert_eq!(terms.service_w, 12.5);
     }
 
     #[test]

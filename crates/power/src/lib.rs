@@ -40,7 +40,7 @@ pub mod phases;
 pub mod telemetry;
 pub mod trace;
 
-pub use ground_truth::{ground_truth_power, PowerInputs};
+pub use ground_truth::{ground_truth_power, ground_truth_terms, PowerInputs, PowerTerms};
 pub use meter::PowerMeter;
 pub use phases::{EnergyBreakdown, MigrationPhase, PhaseTimes};
 pub use telemetry::{channels, TelemetryRecorder};

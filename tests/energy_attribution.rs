@@ -1,0 +1,257 @@
+//! Energy-attribution ledger invariants.
+//!
+//! 1. **Conservation**: for every migration the ledger's per-term,
+//!    per-phase contributions sum to the energy the meter recorded in
+//!    the run's `EnergyBreakdown` — within 1e-9 relative error — across
+//!    live / non-live / post-copy runs, clean and faulted, completed
+//!    and aborted.
+//! 2. **Campaign-level conservation**: across a retried, faulted
+//!    campaign the ledger (one entry per attempt) accounts for exactly
+//!    the energy the merged records carry (failed attempts are charged
+//!    to the final record's rollback).
+//! 3. **Determinism**: the `--ledger-out` JSONL is byte-identical no
+//!    matter how many rayon worker threads execute the campaign.
+
+use wavm3::cluster::MachineSet;
+use wavm3::experiments::scenario::ExperimentFamily;
+use wavm3::experiments::{run_all, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3::faults::{AbortFault, FaultConfig};
+use wavm3::migration::{MigrationConfig, MigrationKind, MigrationRecord};
+use wavm3::obs::{Level, ObsConfig, ObsReport, RoleLedger, Session};
+use wavm3::power::EnergyBreakdown;
+use wavm3::simkit::{RngFactory, SimTime};
+
+const REL_TOL: f64 = 1e-9;
+
+fn assert_close(label: &str, ledger_j: f64, recorded_j: f64) {
+    let err = if recorded_j.abs() > 0.0 {
+        (ledger_j - recorded_j).abs() / recorded_j.abs()
+    } else {
+        (ledger_j - recorded_j).abs()
+    };
+    assert!(
+        err <= REL_TOL,
+        "{label}: ledger {ledger_j} J vs recorded {recorded_j} J (rel err {err:e})"
+    );
+}
+
+/// Check a role's ledger against the corresponding phase breakdown.
+fn assert_role_conserved(label: &str, role: &RoleLedger, breakdown: &EnergyBreakdown) {
+    assert_close(
+        &format!("{label}/initiation"),
+        role.initiation.total_j(),
+        breakdown.initiation_j,
+    );
+    assert_close(
+        &format!("{label}/transfer"),
+        role.transfer.total_j(),
+        breakdown.transfer_j,
+    );
+    assert_close(
+        &format!("{label}/activation"),
+        role.activation.total_j(),
+        breakdown.activation_j,
+    );
+    assert_close(
+        &format!("{label}/rollback"),
+        role.rollback.total_j(),
+        breakdown.rollback_j,
+    );
+    assert_close(
+        &format!("{label}/total"),
+        role.total_j(),
+        breakdown.total_j(),
+    );
+}
+
+fn scenario(kind: MigrationKind) -> Scenario {
+    Scenario {
+        family: ExperimentFamily::CpuloadSource,
+        kind,
+        machine_set: MachineSet::M,
+        source_load_vms: 1,
+        target_load_vms: 0,
+        migrant_mem_ratio: None,
+        label: "1 VM".into(),
+    }
+}
+
+fn ledger_session() -> Session {
+    Session::install(ObsConfig {
+        trace: false,
+        collect_level: Level::Debug,
+        console: None,
+        metrics: false,
+        profiling: false,
+        ledger: true,
+    })
+}
+
+/// Run one migration under a ledger session; return record + report.
+fn attributed_run(
+    kind: MigrationKind,
+    config: MigrationConfig,
+    seed: u64,
+) -> (MigrationRecord, ObsReport) {
+    let session = ledger_session();
+    let record = scenario(kind)
+        .build_with_config(RngFactory::new(seed), config)
+        .run();
+    (record, session.finish())
+}
+
+#[test]
+fn ledger_conserves_energy_per_migration() {
+    let kinds = [
+        MigrationKind::Live,
+        MigrationKind::NonLive,
+        MigrationKind::PostCopy,
+    ];
+    let abort_certain = FaultConfig {
+        abort: AbortFault {
+            probability: 1.0,
+            earliest: SimTime::from_secs(10),
+            latest: SimTime::from_secs(25),
+        },
+        ..FaultConfig::light()
+    };
+    let mut aborted_seen = 0;
+    for kind in kinds {
+        for (plan_label, faults) in [
+            ("clean", FaultConfig::default()),
+            ("light", FaultConfig::light()),
+            ("abort", abort_certain),
+        ] {
+            for seed in [3u64, 17] {
+                let config = MigrationConfig::with_faults(kind, faults);
+                let (record, report) = attributed_run(kind, config, seed);
+                assert_eq!(
+                    report.ledger.len(),
+                    1,
+                    "{kind:?}/{plan_label}: one migration, one ledger entry"
+                );
+                let entry = &report.ledger[0].1;
+                let label = format!("{kind:?}/{plan_label}/seed{seed}");
+                assert_eq!(entry.kind, record.kind.label());
+                assert_eq!(
+                    entry.outcome,
+                    if record.is_aborted() {
+                        "aborted"
+                    } else {
+                        "completed"
+                    },
+                    "{label}"
+                );
+                assert_role_conserved(
+                    &format!("{label}/source"),
+                    &entry.source,
+                    &record.source_energy,
+                );
+                assert_role_conserved(
+                    &format!("{label}/target"),
+                    &entry.target,
+                    &record.target_energy,
+                );
+                assert_close(
+                    &format!("{label}/grand-total"),
+                    entry.total_j(),
+                    record.source_energy.total_j() + record.target_energy.total_j(),
+                );
+                if record.is_aborted() {
+                    aborted_seen += 1;
+                    assert_eq!(
+                        entry.source.activation.total_j(),
+                        0.0,
+                        "{label}: aborted runs book the tail as rollback"
+                    );
+                    assert!(entry.source.rollback.total_j() > 0.0, "{label}");
+                }
+            }
+        }
+    }
+    assert!(
+        aborted_seen >= 4,
+        "abort-certain plans must produce aborted runs (got {aborted_seen})"
+    );
+}
+
+fn faulted_runner() -> RunnerConfig {
+    // Aggressive aborts so the retry path (and its rollback accounting)
+    // shows up across a handful of runs.
+    let faults = FaultConfig {
+        abort: AbortFault {
+            probability: 0.6,
+            earliest: SimTime::from_secs(15),
+            latest: SimTime::from_secs(45),
+        },
+        ..FaultConfig::light()
+    };
+    RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(3),
+        base_seed: 11,
+        faults: Some(faults),
+        ..RunnerConfig::default()
+    }
+}
+
+fn campaign_scenarios() -> Vec<Scenario> {
+    vec![
+        scenario(MigrationKind::Live),
+        scenario(MigrationKind::NonLive),
+    ]
+}
+
+/// Run the faulted two-scenario campaign on `threads` rayon workers with
+/// the ledger armed; return (records, finished report).
+fn attributed_campaign(threads: usize) -> (Vec<Vec<MigrationRecord>>, ObsReport) {
+    let session = ledger_session();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    let records = pool.install(|| run_all(&campaign_scenarios(), &faulted_runner()));
+    (records, session.finish())
+}
+
+#[test]
+fn campaign_ledger_accounts_for_every_attempt() {
+    let (records, report) = attributed_campaign(2);
+    // One ledger entry per attempt: at least one per repetition, more
+    // when aborts triggered retries.
+    assert!(report.ledger.len() >= 6, "{} entries", report.ledger.len());
+    let ledger_total: f64 = report.ledger.iter().map(|(_, e)| e.total_j()).sum();
+    // The merged records charge failed attempts to rollback_j, so the
+    // campaign-level energy must match the ledger exactly.
+    let record_total: f64 = records
+        .iter()
+        .flatten()
+        .map(|r| r.source_energy.total_j() + r.target_energy.total_j())
+        .sum();
+    assert_close("campaign total", ledger_total, record_total);
+    // Run keys follow the trace convention and are sorted.
+    let keys: Vec<&String> = report.ledger.iter().map(|(k, _)| k).collect();
+    assert!(keys.iter().all(|k| k.contains("|rep")), "{keys:?}");
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "ledger must be sorted by run key");
+}
+
+#[test]
+fn ledger_jsonl_is_byte_identical_across_thread_counts() {
+    let (_, single) = attributed_campaign(1);
+    let (_, multi) = attributed_campaign(8);
+    let a = single.ledger_jsonl();
+    let b = multi.ledger_jsonl();
+    assert!(!a.is_empty(), "ledger must capture the campaign");
+    assert_eq!(a, b, "same-seed ledger must not depend on thread count");
+    // Both outcomes and both mechanisms appear in the artefact.
+    for needle in [
+        "\"outcome\":\"completed\"",
+        "\"kind\":\"live\"",
+        "\"kind\":\"non-live\"",
+    ] {
+        assert!(a.contains(needle), "missing {needle}");
+    }
+    // A ledger-only session collects no trace events.
+    assert_eq!(single.event_count(), 0);
+}

@@ -56,6 +56,7 @@ fn traced_campaign(threads: usize) -> ObsReport {
         console: None,
         metrics: true,
         profiling: false,
+        ledger: false,
     });
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
@@ -150,6 +151,7 @@ fn disabled_session_emits_nothing() {
         console: None,
         metrics: false,
         profiling: false,
+        ledger: false,
     });
     let records = run_all(&scenarios(), &faulted_runner());
     assert_eq!(records.len(), 2);
