@@ -26,6 +26,7 @@ use wavm3_experiments::cli::EXIT_USAGE;
 use wavm3_experiments::regress::{self, Tolerances, Verdict};
 use wavm3_experiments::runner::{RepetitionPolicy, RunnerConfig};
 use wavm3_experiments::tables;
+use wavm3_migration::SimulationPath;
 use wavm3_obs::{metrics::MetricsSnapshot, Level, ObsConfig, Session};
 
 struct Options {
@@ -35,6 +36,7 @@ struct Options {
     overrides: Option<PathBuf>,
     reps: Option<usize>,
     seed: Option<u64>,
+    path: SimulationPath,
 }
 
 fn usage(err: &str) -> ! {
@@ -44,7 +46,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: wavm3-regress --baseline BENCH_baseline.json [--current METRICS.json] \
          [--tolerance-counters T] [--tolerance-gauges T] [--tolerance-histograms T] \
-         [--tolerances OVERRIDES.json] [--reps N] [--seed S]"
+         [--tolerances OVERRIDES.json] [--reps N] [--seed S] [--path sampled|analytic]"
     );
     eprintln!("  --baseline: committed baseline produced by scripts/bench_baseline.sh");
     eprintln!("  --current: metrics JSON from a --metrics-out run; omitted, the gate");
@@ -52,6 +54,8 @@ fn usage(err: &str) -> ! {
     eprintln!("  --tolerance-*: relative tolerance per metric family");
     eprintln!("      (defaults: counters 0, gauges 0.25, histograms 0)");
     eprintln!("  --tolerances: JSON object of per-metric overrides {{\"name\": tol}}");
+    eprintln!("  --path: engine for the re-run; 'sampled' (default, byte-identical gate)");
+    eprintln!("      or 'analytic' (closed-form energies; pair with per-metric tolerances)");
     eprintln!("  exit codes: 0 pass/warn, 1 regression, 2 usage");
     std::process::exit(if err.is_empty() { 0 } else { EXIT_USAGE as i32 });
 }
@@ -70,6 +74,7 @@ fn parse_args() -> Options {
     let mut overrides = None;
     let mut reps = None;
     let mut seed = None;
+    let mut path = SimulationPath::Sampled;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -107,6 +112,16 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage("--seed needs an integer"));
                 seed = Some(v);
             }
+            "--path" => {
+                let v = it.next().unwrap_or_else(|| usage("--path needs a value"));
+                path = match v.as_str() {
+                    "sampled" => SimulationPath::Sampled,
+                    "analytic" => SimulationPath::Analytic,
+                    other => usage(&format!(
+                        "--path needs 'sampled' or 'analytic', got '{other}'"
+                    )),
+                };
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -118,16 +133,21 @@ fn parse_args() -> Options {
         overrides,
         reps,
         seed,
+        path,
     }
 }
 
 /// Re-run the baseline campaign (machine sets M + O, fixed reps) under a
 /// metrics-only observability session and return the snapshot.
-fn rerun_campaign(reps: usize, seed: u64) -> Result<MetricsSnapshot, String> {
-    eprintln!("wavm3-regress: re-running campaign (--reps {reps} --seed {seed}, sets M+O)");
+fn rerun_campaign(reps: usize, seed: u64, path: SimulationPath) -> Result<MetricsSnapshot, String> {
+    eprintln!(
+        "wavm3-regress: re-running campaign (--reps {reps} --seed {seed} --path {}, sets M+O)",
+        path.label()
+    );
     let runner = RunnerConfig {
         repetitions: RepetitionPolicy::Fixed(reps),
         base_seed: seed,
+        path,
         ..RunnerConfig::default()
     };
     let campaign =
@@ -199,7 +219,7 @@ fn main() -> ExitCode {
             let (stamp_seed, stamp_reps) = regress::baseline_stamps(&baseline_text);
             let reps = opts.reps.or(stamp_reps).unwrap_or(2);
             let seed = opts.seed.or(stamp_seed).unwrap_or(7);
-            match rerun_campaign(reps, seed) {
+            match rerun_campaign(reps, seed, opts.path) {
                 Ok(snap) => snap,
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -25,6 +25,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use wavm3_faults::FaultConfig;
 use wavm3_harness::Wavm3Error;
+use wavm3_migration::SimulationPath;
 use wavm3_obs::{Level, ObsConfig, Session};
 use wavm3_simkit::SimDuration;
 
@@ -128,6 +129,16 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> CliOptions {
             "--faults" => {
                 opts.runner.faults = Some(FaultConfig::light());
             }
+            "--path" => {
+                let v = it.next().unwrap_or_else(|| usage("--path needs a value"));
+                opts.runner.path = match v.as_str() {
+                    "sampled" => SimulationPath::Sampled,
+                    "analytic" => SimulationPath::Analytic,
+                    other => usage(&format!(
+                        "--path needs 'sampled' or 'analytic', got '{other}'"
+                    )),
+                };
+            }
             "--trace" => {
                 let v = it.next().unwrap_or_else(|| usage("--trace needs a path"));
                 opts.obs.trace = Some(PathBuf::from(v));
@@ -200,6 +211,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--reps N] [--seed S] [--out DIR] [--faults] \
+         [--path sampled|analytic] \
          [--trace PATH] [--log-level LVL] [--metrics-out PATH] \
          [--ledger-out PATH] [--html-report PATH] \
          [--checkpoint-dir DIR] [--resume] [--wall-budget-s S] [--sim-budget-s S]"
@@ -208,6 +220,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "  --faults: seeded fault injection (link degradation, non-convergence, aborts+retry)"
     );
+    eprintln!("  --path: integration engine; 'sampled' (default, 2 Hz meter traces) or 'analytic'");
+    eprintln!("      (closed-form per-phase energies, no per-sample rows, ~100x faster)");
     eprintln!("  --trace: write a deterministic sim-time JSONL event trace");
     eprintln!("  --log-level: echo events (trace/debug/info/warn/error) to stderr");
     eprintln!("  --metrics-out: write the metrics snapshot + wall-clock profile as JSON");
@@ -379,6 +393,16 @@ mod tests {
         assert!(matches!(o.runner.repetitions, RepetitionPolicy::Fixed(3)));
         assert_eq!(o.runner.base_seed, 42);
         assert_eq!(o.out_dir, PathBuf::from("tmpdir"));
+    }
+
+    #[test]
+    fn path_flag_selects_the_engine() {
+        let o = parse_from(std::iter::empty());
+        assert_eq!(o.runner.path, SimulationPath::Sampled, "sampled by default");
+        let o = parse_from(["--path", "analytic"].iter().map(|s| s.to_string()));
+        assert_eq!(o.runner.path, SimulationPath::Analytic);
+        let o = parse_from(["--path", "sampled"].iter().map(|s| s.to_string()));
+        assert_eq!(o.runner.path, SimulationPath::Sampled);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wavm3_faults::{FaultConfig, FaultPlan, RetryPolicy};
 use wavm3_harness::{Budget, BudgetTracker, Wavm3Error};
-use wavm3_migration::{MigrationConfig, MigrationRecord};
+use wavm3_migration::{MigrationConfig, MigrationRecord, SimulationPath};
 use wavm3_simkit::{RngFactory, SimDuration, SimTime};
 use wavm3_stats::VarianceStopper;
 
@@ -59,6 +59,12 @@ pub struct RunnerConfig {
     pub faults: Option<FaultConfig>,
     /// Retry policy for aborted runs (only consulted when faults are on).
     pub retry: RetryPolicy,
+    /// Which integration engine every repetition runs on. The default
+    /// ([`SimulationPath::Sampled`]) reproduces the pre-analytic campaign
+    /// bit for bit; [`SimulationPath::Analytic`] trades the 2 Hz meter
+    /// traces for closed-form per-phase energies (see
+    /// `wavm3_migration::analytic`).
+    pub path: SimulationPath,
 }
 
 impl Default for RunnerConfig {
@@ -68,6 +74,7 @@ impl Default for RunnerConfig {
             base_seed: 0xC1A5_7E01,
             faults: None,
             retry: RetryPolicy::default(),
+            path: SimulationPath::Sampled,
         }
     }
 }
@@ -221,9 +228,11 @@ fn run_repetition(
     let faults = match cfg.faults {
         Some(f) if f.is_enabled() => f,
         _ => {
+            let mut config = MigrationConfig::new(scenario.kind);
+            config.path = cfg.path;
             return wavm3_obs::run_scope(run_key(scenario, rep, 0), || {
-                scenario.build(scope.child(rep)).run()
-            })
+                scenario.build_with_config(scope.child(rep), config).run()
+            });
         }
     };
     let max_attempts = cfg.retry.max_attempts.max(1);
@@ -238,7 +247,8 @@ fn run_repetition(
         } else {
             scope.child(rep).child(attempt as u64)
         };
-        let config = MigrationConfig::with_faults(scenario.kind, faults);
+        let mut config = MigrationConfig::with_faults(scenario.kind, faults);
+        config.path = cfg.path;
         // The whole attempt (including the retry decision) runs inside its
         // run scope so every event lands in the attempt's own buffer —
         // worker threads never write the shared root buffer.

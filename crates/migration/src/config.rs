@@ -179,6 +179,99 @@ impl Default for MigrationCpuCost {
     }
 }
 
+/// Which integration engine [`MigrationSimulation::run`] uses.
+///
+/// Both paths expose the same public API and the same deterministic
+/// record/metrics surface; they differ in how per-phase energy is
+/// integrated. `Sampled` steps the 2 Hz meter grid and is the bit-stable
+/// reference; `Analytic` integrates each phase's per-term energy in
+/// closed form (piecewise-constant allocations × phase durations, OU
+/// wander via its exact discrete-step moments on a counter-based stream)
+/// and is ~20×+ faster, at the cost of not materialising per-sample rows
+/// — so it falls back to `Sampled` whenever a trace sink is recording.
+///
+/// [`MigrationSimulation::run`]: crate::MigrationSimulation::run
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SimulationPath {
+    /// Step the meter grid; the reference engine.
+    #[default]
+    Sampled,
+    /// Closed-form per-phase integration; the campaign fast path.
+    Analytic,
+}
+
+impl SimulationPath {
+    /// Stable lower-case label (`sampled` / `analytic`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimulationPath::Sampled => "sampled",
+            SimulationPath::Analytic => "analytic",
+        }
+    }
+}
+
+/// Environmental noise parameters: the per-run jitter draws and the
+/// slow OU power wander. The defaults reproduce the constants the engine
+/// previously hard-coded, so a default config is bit-identical to the
+/// pre-parametrised behaviour; zeroing the fields yields a fully
+/// deterministic environment (used by the differential test harness).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvNoise {
+    /// OU wander mean-reversion time constant, seconds.
+    pub wander_tau_s: f64,
+    /// OU wander stationary standard deviation, watts.
+    pub wander_std_w: f64,
+    /// Std-dev of the per-run additive idle-power shift, watts.
+    pub jitter_idle_std_w: f64,
+    /// Std-dev of the per-run multiplicative dynamic-power factor.
+    pub jitter_dyn_std: f64,
+    /// Std-dev of the per-run multiplicative service-power factor.
+    pub jitter_service_std: f64,
+}
+
+impl Default for EnvNoise {
+    fn default() -> Self {
+        EnvNoise {
+            wander_tau_s: 15.0,
+            wander_std_w: 9.0,
+            jitter_idle_std_w: 12.0,
+            jitter_dyn_std: 0.05,
+            jitter_service_std: 0.10,
+        }
+    }
+}
+
+impl EnvNoise {
+    /// A fully quiet environment: no wander, no per-run jitter.
+    pub fn disabled() -> Self {
+        EnvNoise {
+            wander_tau_s: 15.0,
+            wander_std_w: 0.0,
+            jitter_idle_std_w: 0.0,
+            jitter_dyn_std: 0.0,
+            jitter_service_std: 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), Wavm3Error> {
+        if !self.wander_tau_s.is_finite() || self.wander_tau_s <= 0.0 {
+            return Err(Wavm3Error::invalid_config(
+                "env_noise.wander_tau_s",
+                "OU time constant must be finite and positive",
+            ));
+        }
+        for (field, v) in [
+            ("env_noise.wander_std_w", self.wander_std_w),
+            ("env_noise.jitter_idle_std_w", self.jitter_idle_std_w),
+            ("env_noise.jitter_dyn_std", self.jitter_dyn_std),
+            ("env_noise.jitter_service_std", self.jitter_service_std),
+        ] {
+            ensure_non_negative(field, v)?;
+        }
+        Ok(())
+    }
+}
+
 /// Complete migration-engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MigrationConfig {
@@ -195,6 +288,11 @@ pub struct MigrationConfig {
     /// Fault injection (default: nothing fails; the engine behaves exactly
     /// as it did before the fault subsystem existed).
     pub faults: FaultConfig,
+    /// Integration engine (default: the sampled reference path).
+    pub path: SimulationPath,
+    /// Environmental noise parameters (default: the engine's historic
+    /// constants, bit-identical to the pre-parametrised behaviour).
+    pub env_noise: EnvNoise,
 }
 
 impl MigrationConfig {
@@ -207,6 +305,8 @@ impl MigrationConfig {
             timing: TimingConfig::default(),
             cpu_cost: MigrationCpuCost::default(),
             faults: FaultConfig::default(),
+            path: SimulationPath::default(),
+            env_noise: EnvNoise::default(),
         }
     }
 
@@ -285,6 +385,7 @@ impl MigrationConfig {
             "timing.post_run_max",
             self.timing.post_run_max,
         )?;
+        self.env_noise.validate()?;
         self.faults.validate()
     }
 }
@@ -357,9 +458,14 @@ mod tests {
         let msg = cfg.validate().expect_err("NaN power").to_string();
         assert!(msg.contains("transfer_target_w"), "{msg}");
 
+        // A zero tick used to trip a runtime `assert!` deep inside the
+        // engine; it must instead surface here as a config error — the
+        // variant `cli::run` maps to the usage exit code (2).
         let mut cfg = MigrationConfig::live();
         cfg.timing.tick = SimDuration::ZERO;
-        assert!(cfg.validate().is_err(), "zero tick must be rejected");
+        let err = cfg.validate().expect_err("zero tick must be rejected");
+        assert!(err.is_config_error(), "{err}");
+        assert!(err.to_string().contains("timing.tick"), "{err}");
 
         let mut cfg = MigrationConfig::live();
         cfg.timing.post_run_min = SimDuration::from_secs(30);

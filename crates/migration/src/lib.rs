@@ -46,13 +46,15 @@
 //! assert!(record.downtime.as_secs_f64() < 2.0);
 //! ```
 
+pub mod analytic;
 pub mod config;
 pub mod record;
 pub mod simulation;
 pub mod sla;
 
 pub use config::{
-    MigrationConfig, MigrationCpuCost, MigrationKind, PrecopyConfig, ServicePower, TimingConfig,
+    EnvNoise, MigrationConfig, MigrationCpuCost, MigrationKind, PrecopyConfig, ServicePower,
+    SimulationPath, TimingConfig,
 };
 pub use record::{FeatureSample, MigrationOutcome, MigrationRecord, RoundStats};
 pub use simulation::MigrationSimulation;

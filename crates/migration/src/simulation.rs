@@ -10,7 +10,7 @@
 //! bandwidth/CPU coupling, dirty-page saturation) while the meters sample
 //! on their own 2 Hz schedule, exactly like the paper's instrumentation.
 
-use crate::config::{MigrationConfig, MigrationKind};
+use crate::config::{EnvNoise, MigrationConfig, MigrationKind, SimulationPath};
 use crate::record::{FeatureSample, MigrationOutcome, MigrationRecord, RoundStats};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -41,26 +41,26 @@ const TAIL_STABILITY_TOLERANCE: f64 = 0.015;
 /// any of the regression models, so it sets the irreducible error floor of
 /// the model comparison.
 #[derive(Debug, Clone, Copy)]
-struct RunJitter {
+pub(crate) struct RunJitter {
     /// Additive idle-floor shift per host, watts (σ ≈ 12 W).
-    idle_shift_w: f64,
+    pub(crate) idle_shift_w: f64,
     /// Multiplicative dynamic-power factor (σ ≈ 5 %).
-    dyn_factor: f64,
+    pub(crate) dyn_factor: f64,
     /// Multiplicative service-power factor (σ ≈ 10 %).
-    service_factor: f64,
+    pub(crate) service_factor: f64,
 }
 
 impl RunJitter {
-    fn draw(rng: &mut wavm3_simkit::StreamRng) -> Self {
+    pub(crate) fn draw(rng: &mut wavm3_simkit::StreamRng, noise: &EnvNoise) -> Self {
         use wavm3_simkit::rng::sample_normal;
         RunJitter {
-            idle_shift_w: sample_normal(rng, 0.0, 12.0),
-            dyn_factor: sample_normal(rng, 1.0, 0.05).clamp(0.7, 1.3),
-            service_factor: sample_normal(rng, 1.0, 0.10).clamp(0.5, 1.5),
+            idle_shift_w: sample_normal(rng, 0.0, noise.jitter_idle_std_w),
+            dyn_factor: sample_normal(rng, 1.0, noise.jitter_dyn_std).clamp(0.7, 1.3),
+            service_factor: sample_normal(rng, 1.0, noise.jitter_service_std).clamp(0.5, 1.5),
         }
     }
 
-    fn apply(&self, mut p: wavm3_cluster::PowerProfile) -> wavm3_cluster::PowerProfile {
+    pub(crate) fn apply(&self, mut p: wavm3_cluster::PowerProfile) -> wavm3_cluster::PowerProfile {
         p.idle_w = (p.idle_w + self.idle_shift_w).max(0.0);
         p.cpu_dynamic_w *= self.dyn_factor;
         p.nic_w_at_line_rate *= self.dyn_factor;
@@ -70,26 +70,30 @@ impl RunJitter {
 }
 
 /// A slow Ornstein–Uhlenbeck power wander (fans, temperature, background
-/// dom-0 housekeeping): mean-reverting with time constant `TAU_S` and
-/// stationary standard deviation `WANDER_STD_W`.
+/// dom-0 housekeeping): mean-reverting with time constant `tau_s` and
+/// stationary standard deviation `std_w` (both from [`EnvNoise`]).
 struct PowerWander {
     x: f64,
+    tau_s: f64,
+    std_w: f64,
     rng: wavm3_simkit::StreamRng,
 }
 
 impl PowerWander {
-    const TAU_S: f64 = 15.0;
-    const WANDER_STD_W: f64 = 9.0;
-
-    fn new(rng: wavm3_simkit::StreamRng) -> Self {
-        PowerWander { x: 0.0, rng }
+    fn new(rng: wavm3_simkit::StreamRng, noise: &EnvNoise) -> Self {
+        PowerWander {
+            x: 0.0,
+            tau_s: noise.wander_tau_s,
+            std_w: noise.wander_std_w,
+            rng,
+        }
     }
 
     fn step(&mut self, dt_s: f64) -> f64 {
         use wavm3_simkit::rng::sample_normal;
-        let sigma_w = Self::WANDER_STD_W * (2.0 / Self::TAU_S).sqrt();
+        let sigma_w = self.std_w * (2.0 / self.tau_s).sqrt();
         let noise = sample_normal(&mut self.rng, 0.0, sigma_w * dt_s.sqrt());
-        self.x += -self.x / Self::TAU_S * dt_s + noise;
+        self.x += -self.x / self.tau_s * dt_s + noise;
         self.x
     }
 }
@@ -187,13 +191,13 @@ enum Stage {
 
 /// A fully configured migration scenario, ready to run.
 pub struct MigrationSimulation {
-    cluster: Cluster,
-    workloads: BTreeMap<VmId, Arc<dyn Workload>>,
-    migrant: VmId,
-    source: HostId,
-    target: HostId,
-    config: MigrationConfig,
-    rng: RngFactory,
+    pub(crate) cluster: Cluster,
+    pub(crate) workloads: BTreeMap<VmId, Arc<dyn Workload>>,
+    pub(crate) migrant: VmId,
+    pub(crate) source: HostId,
+    pub(crate) target: HostId,
+    pub(crate) config: MigrationConfig,
+    pub(crate) rng: RngFactory,
 }
 
 impl MigrationSimulation {
@@ -266,12 +270,33 @@ impl MigrationSimulation {
         })
     }
 
-    /// Run the scenario to completion.
-    pub fn run(mut self) -> MigrationRecord {
+    /// Run the scenario to completion on the configured
+    /// [`SimulationPath`].
+    ///
+    /// The analytic path integrates per-phase energy in closed form and
+    /// materialises no per-sample rows, so whenever a trace sink is
+    /// recording (and therefore needs every meter sample) the run falls
+    /// back to the sampled reference engine.
+    pub fn run(self) -> MigrationRecord {
+        match self.config.path {
+            SimulationPath::Sampled => self.run_sampled(),
+            SimulationPath::Analytic => {
+                if wavm3_obs::tracing_active() {
+                    self.run_sampled()
+                } else {
+                    crate::analytic::run_analytic(self)
+                }
+            }
+        }
+    }
+
+    /// The sampled reference engine: step the meter grid tick by tick.
+    /// A zero tick is rejected by [`MigrationConfig::validate`] at
+    /// construction, so the division by `dt` below is always sound.
+    pub(crate) fn run_sampled(mut self) -> MigrationRecord {
         let cfg = self.config;
         let dt = cfg.timing.tick;
         let dt_s = dt.as_secs_f64();
-        assert!(!dt.is_zero(), "tick must be positive");
 
         let migrant_ram_bytes = self
             .cluster
@@ -300,12 +325,13 @@ impl MigrationSimulation {
         };
 
         // Per-run environmental jitter and slow wander (see RunJitter).
-        let src_jitter = RunJitter::draw(&mut self.rng.stream("jitter.source"));
-        let dst_jitter = RunJitter::draw(&mut self.rng.stream("jitter.target"));
+        let noise = cfg.env_noise;
+        let src_jitter = RunJitter::draw(&mut self.rng.stream("jitter.source"), &noise);
+        let dst_jitter = RunJitter::draw(&mut self.rng.stream("jitter.target"), &noise);
         let src_power = src_jitter.apply(src_power);
         let dst_power = dst_jitter.apply(dst_power);
-        let mut src_wander = PowerWander::new(self.rng.stream("wander.source"));
-        let mut dst_wander = PowerWander::new(self.rng.stream("wander.target"));
+        let mut src_wander = PowerWander::new(self.rng.stream("wander.source"), &noise);
+        let mut dst_wander = PowerWander::new(self.rng.stream("wander.target"), &noise);
 
         let mut src_meter = PowerMeter::new(
             src_name.clone(),

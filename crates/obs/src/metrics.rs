@@ -343,6 +343,106 @@ mod tests {
     }
 
     #[test]
+    fn histogram_non_finite_observations_count_but_never_poison_the_sum() {
+        let r = Registry::new();
+        let bounds: &[f64] = &[1.0, 10.0];
+        r.observe("x", bounds, f64::NAN);
+        r.observe("x", bounds, f64::INFINITY);
+        r.observe("x", bounds, f64::NEG_INFINITY);
+        r.observe("x", bounds, 0.5);
+        let snap = r.snapshot();
+        let hist = &snap.histograms["x"];
+        // NaN and +Inf compare false against every bound → overflow
+        // bucket; -Inf satisfies `<= 1.0` → first bucket (with 0.5).
+        assert_eq!(hist.counts, vec![2, 0, 2]);
+        assert_eq!(hist.count, 4);
+        // Only the finite sample contributes to the fixed-point sum, so
+        // mean stays finite and the exposition never prints NaN sums.
+        assert_eq!(hist.sum(), 0.5);
+        assert_eq!(hist.mean(), Some(0.125));
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("x_sum 0.5"), "{text}");
+        assert!(text.contains("x_count 4"), "{text}");
+    }
+
+    #[test]
+    fn histogram_negative_values_land_in_the_first_bucket() {
+        let r = Registry::new();
+        r.observe("neg", &[0.0, 1.0], -5.0);
+        r.observe("neg", &[0.0, 1.0], -0.0);
+        let hist = r.snapshot().histograms["neg"].clone();
+        assert_eq!(hist.counts, vec![2, 0, 0]);
+        assert_eq!(hist.sum(), -5.0);
+    }
+
+    #[test]
+    fn histogram_with_empty_bounds_is_a_pure_counter() {
+        let r = Registry::new();
+        r.observe("all_overflow", &[], 3.0);
+        r.observe("all_overflow", &[], 4.0);
+        let snap = r.snapshot();
+        let hist = &snap.histograms["all_overflow"];
+        assert_eq!(hist.counts, vec![2]);
+        assert_eq!(hist.sum(), 7.0);
+        // The exposition still emits a valid series: just +Inf, sum,
+        // count.
+        let text = snap.to_prometheus_text();
+        assert!(
+            text.contains("all_overflow_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(!text.contains("all_overflow_bucket{le=\"+Inf\"} 2\nall_overflow_bucket"));
+    }
+
+    #[test]
+    fn histogram_bounds_are_fixed_by_the_first_observation() {
+        let r = Registry::new();
+        r.observe("fixed", &[1.0, 2.0], 0.5);
+        // A later caller passing a different ladder must not resize or
+        // rebucket the series.
+        r.observe("fixed", &[100.0], 1.5);
+        let hist = r.snapshot().histograms["fixed"].clone();
+        assert_eq!(hist.bounds, vec![1.0, 2.0]);
+        assert_eq!(hist.counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn prometheus_sanitises_dotted_and_unicode_names() {
+        // Dots — the workspace's metric namespace separator — become
+        // underscores, as does every non-ASCII scalar (one `_` per char).
+        assert_eq!(
+            sanitize_metric_name("migration.phase.activation_kj"),
+            "migration_phase_activation_kj"
+        );
+        assert_eq!(sanitize_metric_name("énergie.kJ"), "_nergie_kJ");
+        assert_eq!(sanitize_metric_name("runs/s"), "runs_s");
+        assert_eq!(sanitize_metric_name("host:m01"), "host:m01");
+        let r = Registry::new();
+        r.counter_add("migration.runs.完了", 1);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE migration_runs___ counter"), "{text}");
+        assert!(text.contains("\nmigration_runs___ 1\n"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_renders_non_finite_gauges_with_canonical_spellings() {
+        let r = Registry::new();
+        r.gauge_set("g.nan", f64::NAN);
+        r.gauge_set("g.pinf", f64::INFINITY);
+        r.gauge_set("g.ninf", f64::NEG_INFINITY);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("g_nan NaN"), "{text}");
+        assert!(text.contains("g_pinf +Inf"), "{text}");
+        assert!(text.contains("g_ninf -Inf"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_to_an_empty_exposition() {
+        assert!(MetricsSnapshot::default().is_empty());
+        assert_eq!(MetricsSnapshot::default().to_prometheus_text(), "");
+    }
+
+    #[test]
     fn prometheus_text_golden() {
         let r = Registry::new();
         r.counter_add("migration.runs", 42);

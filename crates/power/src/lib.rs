@@ -34,12 +34,14 @@
 //! assert!(idle >= 400.0 && busy > idle + 300.0);
 //! ```
 
+pub mod analytic;
 pub mod ground_truth;
 pub mod meter;
 pub mod phases;
 pub mod telemetry;
 pub mod trace;
 
+pub use analytic::{OuIntegrator, TermIntegral};
 pub use ground_truth::{ground_truth_power, ground_truth_terms, PowerInputs, PowerTerms};
 pub use meter::PowerMeter;
 pub use phases::{EnergyBreakdown, MigrationPhase, PhaseTimes};

@@ -32,6 +32,6 @@ pub mod time;
 pub use event::EventQueue;
 pub use interval::Interval;
 pub use periodic::PeriodicSchedule;
-pub use rng::{RngFactory, StreamRng};
+pub use rng::{CounterRng, RngFactory, StreamRng};
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};

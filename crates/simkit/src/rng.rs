@@ -56,6 +56,71 @@ impl RngFactory {
     pub fn seed_for(&self, label: &str) -> u64 {
         self.stream(label).next_u64()
     }
+
+    /// A named *counter-based* stream: a stateless generator whose `n`-th
+    /// draw is a pure function of `(root_seed, label, n)`.
+    ///
+    /// Unlike [`RngFactory::stream`], a [`CounterRng`] can be re-created at
+    /// any point and fast-forwarded with [`CounterRng::set_position`], so
+    /// analytic fast paths can consume exactly as many draws as they need
+    /// per migration without threading mutable RNG state through the
+    /// computation — and the draws are identical regardless of rayon
+    /// thread count or the order migrations are evaluated in.
+    pub fn counter_stream(&self, label: &str) -> CounterRng {
+        CounterRng::new(mix(self.root_seed, label.as_bytes()))
+    }
+}
+
+/// A counter-based RNG: draw `n` is `splitmix64(key ⊕ n·φ)` where `φ` is
+/// the 64-bit golden-ratio constant. Stateless up to the counter, so any
+/// draw index can be produced in O(1) and streams are reproducible across
+/// execution orders and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterRng {
+    key: u64,
+    counter: u64,
+}
+
+impl CounterRng {
+    /// A stream keyed by `key`, positioned at draw 0.
+    pub fn new(key: u64) -> Self {
+        CounterRng { key, counter: 0 }
+    }
+
+    /// Index of the next draw.
+    pub fn position(&self) -> u64 {
+        self.counter
+    }
+
+    /// Jump to an absolute draw index (forward or backward).
+    pub fn set_position(&mut self, counter: u64) {
+        self.counter = counter;
+    }
+
+    /// The draw at absolute index `n`, without touching the position.
+    pub fn draw_at(&self, n: u64) -> u64 {
+        // Weyl-sequence input, then the splitmix64 finalizer: the standard
+        // construction for a counter-based stream with full 64-bit state.
+        const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut z = self.key ^ n.wrapping_mul(GOLDEN);
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for CounterRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let v = self.draw_at(self.counter);
+        self.counter += 1;
+        v
+    }
 }
 
 /// FNV-1a over `bytes`, seeded by `seed`. Stable across platforms.
@@ -155,5 +220,95 @@ mod tests {
         let mut rng = RngFactory::new(9).stream("n");
         assert_eq!(sample_normal(&mut rng, 3.0, 0.0), 3.0);
         assert_eq!(sample_normal(&mut rng, 3.0, -1.0), 3.0);
+    }
+
+    #[test]
+    fn counter_stream_is_deterministic_per_label() {
+        let f = RngFactory::new(42);
+        let mut a = f.counter_stream("wander");
+        let mut b = f.counter_stream("wander");
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(
+            f.counter_stream("wander").next_u64(),
+            f.counter_stream("meter").next_u64(),
+            "labels must derive distinct keys"
+        );
+    }
+
+    #[test]
+    fn counter_stream_jumps_match_sequential_draws() {
+        let f = RngFactory::new(7);
+        let mut seq = f.counter_stream("s");
+        let sequential: Vec<u64> = (0..32).map(|_| seq.next_u64()).collect();
+        let frozen = f.counter_stream("s");
+        for (n, &expect) in sequential.iter().enumerate() {
+            assert_eq!(frozen.draw_at(n as u64), expect, "draw {n}");
+        }
+        let mut jump = f.counter_stream("s");
+        jump.set_position(31);
+        assert_eq!(jump.next_u64(), sequential[31]);
+        assert_eq!(jump.position(), 32);
+    }
+
+    #[test]
+    fn counter_stream_draws_are_execution_order_invariant() {
+        // Evaluate "per-migration" draws (one child scope per migration)
+        // forward, backward and interleaved: every schedule must observe
+        // identical values.
+        let f = RngFactory::new(0xC1A5_7E01);
+        let draws = |rep: u64| -> [u64; 3] {
+            let mut s = f.child(rep).counter_stream("wander.analytic");
+            [s.next_u64(), s.next_u64(), s.next_u64()]
+        };
+        let forward: Vec<[u64; 3]> = (0..64).map(draws).collect();
+        let backward: Vec<[u64; 3]> = (0..64).rev().map(draws).collect();
+        let interleaved: Vec<[u64; 3]> = (0..32).flat_map(|i| [i, 63 - i]).map(draws).collect();
+        assert!((0..64).all(|i| forward[i] == backward[63 - i]));
+        assert!(
+            (0..32)
+                .all(|i| interleaved[2 * i] == forward[i]
+                    && interleaved[2 * i + 1] == forward[63 - i])
+        );
+    }
+
+    #[test]
+    fn counter_stream_draws_are_thread_count_invariant() {
+        // The satellite property: per-migration draws from counter-based
+        // streams are identical no matter how many rayon threads execute
+        // the sweep or how the scheduler slices it.
+        use rayon::prelude::*;
+        let f = RngFactory::new(1234);
+        let reps: Vec<u64> = (0..64).collect();
+        let run = |threads: usize| -> Vec<[u64; 4]> {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| {
+                    reps.par_iter()
+                        .map(|&rep| {
+                            let mut s = f.child(rep).counter_stream("wander.analytic");
+                            [s.next_u64(), s.next_u64(), s.next_u64(), s.next_u64()]
+                        })
+                        .collect()
+                })
+        };
+        let reference = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run(threads), reference, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn counter_stream_feeds_the_normal_sampler() {
+        let mut rng = RngFactory::new(5).counter_stream("normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 0.0, 1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
 }

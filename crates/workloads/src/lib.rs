@@ -40,4 +40,4 @@ pub use matmul::MatMulWorkload;
 pub use network::{MixedWorkload, NetworkWorkload};
 pub use pagedirtier::PageDirtierWorkload;
 pub use synthetic::{generate_utilisation, generate_workload, TraceSpec};
-pub use workload::{IdleWorkload, TraceWorkload, Workload};
+pub use workload::{DemandProfile, IdleWorkload, TraceWorkload, Workload, WorkloadProfile};

@@ -9,7 +9,7 @@
 //! synchronisation overhead), and no memory dirtying beyond a tiny working
 //! set (the matrices themselves).
 
-use crate::workload::Workload;
+use crate::workload::{DemandProfile, Workload, WorkloadProfile};
 use wavm3_simkit::SimTime;
 
 /// Simulated matrixmult: pegs `target_cores` with a small ripple.
@@ -95,6 +95,24 @@ impl Workload for MatMulWorkload {
             self.working_set_fraction
         }
     }
+
+    fn demand_profile(&self) -> WorkloadProfile {
+        if self.target_cores <= 0.0 {
+            return WorkloadProfile::constant(0.0, 0.0, 0.0);
+        }
+        // The ripple factor stays within 1 ± ripple/2 < 2, so demand never
+        // reaches zero and the write rate is constant whenever target > 0.
+        WorkloadProfile {
+            cpu: DemandProfile::Ripple {
+                target: self.target_cores,
+                ripple: self.ripple,
+                period_s: self.ripple_period_s,
+                phase: self.phase,
+            },
+            page_write_rate: Some(self.write_rate),
+            line_share: Some(0.0),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +178,23 @@ mod tests {
         let b = MatMulWorkload::full(4).with_phase(0.5);
         let t = SimTime::from_secs(2);
         assert_ne!(a.cpu_demand(t), b.cpu_demand(t));
+    }
+
+    #[test]
+    fn profile_matches_trait_bitwise() {
+        for w in [
+            MatMulWorkload::full(4).with_phase(0.3),
+            MatMulWorkload::with_cores(2.5),
+            MatMulWorkload::with_cores(0.0),
+        ] {
+            let p = w.demand_profile();
+            for s in 0..200 {
+                let t = SimTime::from_millis(s * 100);
+                assert_eq!(p.cpu.eval(t), Some(w.cpu_demand(t)), "t={t:?}");
+                assert_eq!(p.page_write_rate, Some(w.page_write_rate(t)));
+                assert_eq!(p.line_share, Some(w.line_share(t)));
+            }
+        }
     }
 
     #[test]

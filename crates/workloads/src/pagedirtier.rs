@@ -17,7 +17,7 @@
 //! simulated process exposes exactly `r` and `W`; the migration engine
 //! integrates the saturation per pre-copy round.
 
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadProfile};
 use wavm3_simkit::SimTime;
 
 /// Simulated pagedirtier: rewrites a fixed fraction of guest memory.
@@ -88,6 +88,14 @@ impl Workload for PageDirtierWorkload {
     fn working_set_fraction(&self) -> f64 {
         self.working_set_fraction
     }
+
+    fn demand_profile(&self) -> WorkloadProfile {
+        if self.working_set_fraction > 0.0 {
+            WorkloadProfile::constant(self.cpu_cores, self.write_rate, 0.0)
+        } else {
+            WorkloadProfile::constant(0.0, 0.0, 0.0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +130,23 @@ mod tests {
         let w = PageDirtierWorkload::with_ratio(0.0);
         assert_eq!(w.cpu_demand(SimTime::ZERO), 0.0);
         assert_eq!(w.page_write_rate(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn profile_matches_trait_bitwise() {
+        for w in [
+            PageDirtierWorkload::with_ratio(0.95),
+            PageDirtierWorkload::with_ratio(0.4).with_write_rate(250_000.0),
+            PageDirtierWorkload::with_ratio(0.0),
+        ] {
+            let p = w.demand_profile();
+            for s in 0..20 {
+                let t = SimTime::from_millis(s * 700);
+                assert_eq!(p.cpu.eval(t), Some(w.cpu_demand(t)));
+                assert_eq!(p.page_write_rate, Some(w.page_write_rate(t)));
+                assert_eq!(p.line_share, Some(w.line_share(t)));
+            }
+        }
     }
 
     #[test]

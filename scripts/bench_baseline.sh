@@ -38,11 +38,28 @@ for i in $(seq 1 "$RUNS"); do
     echo "run $i/$RUNS: ${WALL_TIMES[-1]}s"
 done
 
+# The same campaign on the analytic fast path (DESIGN.md §12): its
+# median throughput is recorded under the `analytic` key so perf PRs
+# have a before/after anchor for both engines.
+ANALYTIC_WALL_TIMES=()
+for i in $(seq 1 "$RUNS"); do
+    START=$(date +%s.%N)
+    ./target/release/campaign \
+        --reps "$REPS" --seed "$SEED" --path analytic \
+        --out "$TMPDIR/aout$i" \
+        --metrics-out "$TMPDIR/ametrics$i.json" \
+        >"$TMPDIR/astdout$i.txt"
+    END=$(date +%s.%N)
+    ANALYTIC_WALL_TIMES+=("$(awk -v a="$START" -v b="$END" 'BEGIN { printf "%.3f", b - a }')")
+    echo "analytic run $i/$RUNS: ${ANALYTIC_WALL_TIMES[-1]}s"
+done
+
 GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 RUSTC="$(rustc --version)"
 
 TMPDIR="$TMPDIR" RUNS="$RUNS" REPS="$REPS" SEED="$SEED" \
-GIT_SHA="$GIT_SHA" RUSTC="$RUSTC" WALL_TIMES="${WALL_TIMES[*]}" python3 - <<'PY'
+GIT_SHA="$GIT_SHA" RUSTC="$RUSTC" WALL_TIMES="${WALL_TIMES[*]}" \
+ANALYTIC_WALL_TIMES="${ANALYTIC_WALL_TIMES[*]}" python3 - <<'PY'
 import json, os, statistics
 
 tmp = os.environ["TMPDIR"]
@@ -72,7 +89,26 @@ if throughputs:
 
 wall_times = [float(w) for w in os.environ["WALL_TIMES"].split()]
 
+# Analytic-path runs: the path must change only the energy integration,
+# never what was simulated, so its deterministic counters have to match
+# the sampled campaign's exactly.
+analytic = []
+for i in range(1, runs + 1):
+    with open(f"{tmp}/ametrics{i}.json") as f:
+        analytic.append(json.load(f))
+for i, snap in enumerate(analytic, start=1):
+    if snap.get("counters") != snapshots[0].get("counters"):
+        raise SystemExit(f"analytic run {i} counters diverge from sampled")
+analytic_tp = statistics.median(
+    s["gauges"]["runner.throughput_runs_per_s"] for s in analytic
+)
+analytic_wall = [float(w) for w in os.environ["ANALYTIC_WALL_TIMES"].split()]
+
 baseline = {
+    "analytic": {
+        "throughput_runs_per_s": analytic_tp,
+        "wall_time_s": round(statistics.median(analytic_wall), 3),
+    },
     "benchmark": "campaign --reps %s --seed %s (machine sets M+O, release)"
     % (os.environ["REPS"], os.environ["SEED"]),
     "git_sha": os.environ["GIT_SHA"],
@@ -87,7 +123,13 @@ with open("BENCH_baseline.json", "w") as f:
     json.dump(baseline, f, indent=2, sort_keys=True)
     f.write("\n")
 print(
-    "wrote BENCH_baseline.json (median wall %.1fs over %d runs, %d counters)"
-    % (baseline["wall_time_s"], runs, len(metrics.get("counters", {})))
+    "wrote BENCH_baseline.json (median wall %.1fs over %d runs, %d counters, "
+    "analytic %.0f runs/s)"
+    % (
+        baseline["wall_time_s"],
+        runs,
+        len(metrics.get("counters", {})),
+        analytic_tp,
+    )
 )
 PY

@@ -123,6 +123,7 @@ proptest! {
             base_seed: seed,
             faults: Some(faults),
             retry: RetryPolicy { max_attempts, ..RetryPolicy::default() },
+            ..RunnerConfig::default()
         };
         let records = wavm3::experiments::run_scenario(&scenario(MigrationKind::Live, None), &cfg);
         for r in &records {

@@ -1,0 +1,293 @@
+//! 32 adversarial golden configurations pinning the analytic engine.
+//!
+//! Each config stresses a boundary the closed-form integration must get
+//! exactly right — tiny ticks, zero-duration phases, a dirty rate
+//! saturated at `PEAK_PAGE_WRITE_RATE`, aborts landing inside specific
+//! phases, rate-capped links, and an immediately-converging pre-copy —
+//! across all three mechanisms and both workload shapes. The expected
+//! outcome, round structure, µs-exact phase instants, and per-phase ×
+//! per-role energies are checked in under `tests/golden/` with shortest
+//! round-trip formatting and compared at 1e-12 relative tolerance, so
+//! any behavioural drift in the fast path is caught to the last bit
+//! that survives cross-libm variation.
+//!
+//! Regenerate after an intentional engine change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_analytic
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use wavm3::cluster::{hardware, vm_instances, Cluster, Link, VmId};
+use wavm3::faults::{AbortFault, FaultConfig};
+use wavm3::migration::{
+    MigrationConfig, MigrationKind, MigrationRecord, MigrationSimulation, SimulationPath,
+};
+use wavm3::simkit::{RngFactory, SimDuration, SimTime};
+use wavm3::workloads::{MatMulWorkload, PageDirtierWorkload, Workload};
+
+/// Relative tolerance for numeric cells — tight enough to pin behaviour,
+/// loose enough to survive a libm `powf` ulp.
+const REL_TOL: f64 = 1e-12;
+/// Absolute floor below which two numbers are considered equal.
+const ABS_TOL: f64 = 1e-9;
+
+const GOLDEN: &str = "analytic_adversarial.txt";
+
+/// The four base (mechanism, migrant-workload) combinations.
+#[derive(Debug, Clone, Copy)]
+struct Base {
+    name: &'static str,
+    kind: MigrationKind,
+    /// `Some(ratio)` → PageDirtier migrant, `None` → MatMul migrant.
+    mem_ratio: Option<f64>,
+}
+
+const BASES: [Base; 4] = [
+    Base {
+        name: "live-cpu",
+        kind: MigrationKind::Live,
+        mem_ratio: None,
+    },
+    Base {
+        name: "live-mem",
+        kind: MigrationKind::Live,
+        mem_ratio: Some(0.8),
+    },
+    Base {
+        name: "nonlive-mem",
+        kind: MigrationKind::NonLive,
+        mem_ratio: Some(0.5),
+    },
+    Base {
+        name: "postcopy-cpu",
+        kind: MigrationKind::PostCopy,
+        mem_ratio: None,
+    },
+];
+
+/// One adversarial twist applied on top of a base.
+struct Variant {
+    name: &'static str,
+    apply: fn(&mut MigrationConfig, &mut Option<f64>),
+}
+
+const VARIANTS: [Variant; 8] = [
+    Variant {
+        // 1 ms ticks: 100× finer than default; exercises sub-tick
+        // transfer-loop boundaries and the µs phase arithmetic.
+        name: "tiny-tick",
+        apply: |cfg, _| cfg.timing.tick = SimDuration::from_millis(1),
+    },
+    Variant {
+        // Zero-duration initiation: `ts == ms`, an empty energy window.
+        name: "zero-initiation",
+        apply: |cfg, _| cfg.timing.initiation = SimDuration::ZERO,
+    },
+    Variant {
+        // Zero-duration activation (and post-copy handover): `me` rides
+        // directly on the transfer end plus the tail envelope.
+        name: "zero-activation",
+        apply: |cfg, _| {
+            cfg.timing.activation = SimDuration::ZERO;
+            cfg.timing.postcopy_handover = SimDuration::ZERO;
+        },
+    },
+    Variant {
+        // Migrant dirtying flat out at PEAK_PAGE_WRITE_RATE: live
+        // pre-copy cannot converge and must degenerate to stop-and-copy
+        // via the stall rule (the paper's §VI-D observation).
+        name: "saturated-dirty",
+        apply: |_, mem| *mem = Some(1.0),
+    },
+    Variant {
+        // Certain abort inside the initiation phase [12 s, 14 s).
+        name: "abort-initiation",
+        apply: |cfg, _| {
+            cfg.faults = FaultConfig {
+                abort: AbortFault {
+                    probability: 1.0,
+                    earliest: SimTime::from_millis(12_400),
+                    latest: SimTime::from_millis(13_600),
+                },
+                ..FaultConfig::default()
+            }
+        },
+    },
+    Variant {
+        // Certain abort mid-transfer (never fires for post-copy, whose
+        // migrant is already on the target — also worth pinning).
+        name: "abort-transfer",
+        apply: |cfg, _| {
+            cfg.faults = FaultConfig {
+                abort: AbortFault {
+                    probability: 1.0,
+                    earliest: SimTime::from_secs(20),
+                    latest: SimTime::from_secs(34),
+                },
+                ..FaultConfig::default()
+            }
+        },
+    },
+    Variant {
+        // Tight rate cap + coarse tick: many rate-limited sub-steps.
+        name: "rate-capped",
+        apply: |cfg, _| {
+            cfg.precopy.rate_limit_bps = Some(5.0e7);
+            cfg.timing.tick = SimDuration::from_millis(250);
+        },
+    },
+    Variant {
+        // A stop threshold above the whole image with a one-round cap:
+        // pre-copy converges immediately after the bulk pass.
+        name: "instant-converge",
+        apply: |cfg, _| {
+            cfg.precopy.stop_threshold_pages = u64::MAX / 2;
+            cfg.precopy.max_rounds = 1;
+        },
+    },
+];
+
+fn run_config(base: Base, variant: &Variant, seed: u64) -> MigrationRecord {
+    let mut cfg = MigrationConfig::new(base.kind);
+    cfg.path = SimulationPath::Analytic;
+    let mut mem_ratio = base.mem_ratio;
+    (variant.apply)(&mut cfg, &mut mem_ratio);
+    cfg.validate().expect("adversarial configs stay valid");
+
+    let mut cluster = Cluster::new(Link::gigabit());
+    let src = cluster.add_host(hardware::m01());
+    let dst = cluster.add_host(hardware::m02());
+    let migrant_spec = if mem_ratio.is_some() {
+        vm_instances::migrating_mem()
+    } else {
+        vm_instances::migrating_cpu()
+    };
+    let vm = cluster.boot_vm(src, migrant_spec);
+    let mut workloads: BTreeMap<VmId, Arc<dyn Workload>> = BTreeMap::new();
+    match mem_ratio {
+        Some(r) => {
+            workloads.insert(vm, Arc::new(PageDirtierWorkload::with_ratio(r)));
+        }
+        None => {
+            workloads.insert(vm, Arc::new(MatMulWorkload::full(4)));
+        }
+    }
+    // One oscillating background VM on each side so CPU coupling is live.
+    let bg_src = cluster.boot_vm(src, vm_instances::load_cpu());
+    workloads.insert(bg_src, Arc::new(MatMulWorkload::full(4).with_phase(0.137)));
+    let bg_dst = cluster.boot_vm(dst, vm_instances::load_cpu());
+    workloads.insert(bg_dst, Arc::new(MatMulWorkload::full(4).with_phase(0.41)));
+
+    MigrationSimulation::new(cluster, workloads, vm, src, dst, cfg, RngFactory::new(seed)).run()
+}
+
+/// One golden line per config: discrete outcome fields exactly, then the
+/// µs phase instants and per-phase × per-role energies with shortest
+/// round-trip float formatting.
+fn render(name: &str, r: &MigrationRecord) -> String {
+    let e = |j: f64| format!("{j}");
+    format!(
+        "{name} outcome={:?} rounds={} bytes={} ms={} ts={} te={} me={} down_us={} \
+         src=[{} {} {} {}] dst=[{} {} {} {}]\n",
+        r.outcome,
+        r.rounds.len(),
+        r.total_bytes,
+        r.phases.ms.as_micros(),
+        r.phases.ts.as_micros(),
+        r.phases.te.as_micros(),
+        r.phases.me.as_micros(),
+        r.downtime.as_micros(),
+        e(r.source_energy.initiation_j),
+        e(r.source_energy.transfer_j),
+        e(r.source_energy.activation_j),
+        e(r.source_energy.rollback_j),
+        e(r.target_energy.initiation_j),
+        e(r.target_energy.transfer_j),
+        e(r.target_energy.activation_j),
+        e(r.target_energy.rollback_j),
+    )
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(GOLDEN)
+}
+
+fn cells_match(golden: &str, actual: &str) -> bool {
+    if golden == actual {
+        return true;
+    }
+    match (golden.parse::<f64>(), actual.parse::<f64>()) {
+        (Ok(g), Ok(a)) => {
+            let scale = g.abs().max(a.abs());
+            (g - a).abs() <= ABS_TOL + REL_TOL * scale
+        }
+        _ => false,
+    }
+}
+
+#[test]
+fn adversarial_configs_match_their_goldens() {
+    let mut actual = String::new();
+    for (bi, base) in BASES.iter().enumerate() {
+        for (vi, variant) in VARIANTS.iter().enumerate() {
+            let r = run_config(*base, variant, 1000 + (bi * VARIANTS.len() + vi) as u64);
+            let name = format!("{}/{}", base.name, variant.name);
+            actual.push_str(&render(&name, &r));
+        }
+    }
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {GOLDEN}; regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test golden_analytic"
+        )
+    });
+
+    let g_lines: Vec<&str> = golden.lines().collect();
+    let a_lines: Vec<&str> = actual.lines().collect();
+    assert_eq!(
+        g_lines.len(),
+        a_lines.len(),
+        "config count changed ({} golden vs {} actual)",
+        g_lines.len(),
+        a_lines.len()
+    );
+    assert_eq!(
+        a_lines.len(),
+        32,
+        "the adversarial matrix is 4 bases x 8 variants"
+    );
+    for (gl, al) in g_lines.iter().zip(&a_lines) {
+        let gt: Vec<&str> = gl.split_whitespace().collect();
+        let at: Vec<&str> = al.split_whitespace().collect();
+        assert_eq!(
+            gt.len(),
+            at.len(),
+            "cell count changed\n golden: {gl}\n actual: {al}"
+        );
+        for (gc, ac) in gt.iter().zip(&at) {
+            // Strip the bracket/key decorations so numbers parse.
+            let strip = |s: &str| {
+                s.trim_matches(|c| c == '[' || c == ']')
+                    .split('=')
+                    .next_back()
+                    .unwrap_or(s)
+                    .to_string()
+            };
+            assert!(
+                cells_match(&strip(gc), &strip(ac)),
+                "cell {gc:?} became {ac:?}\n golden: {gl}\n actual: {al}"
+            );
+        }
+    }
+}

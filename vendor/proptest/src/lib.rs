@@ -38,6 +38,19 @@ impl Default for ProptestConfig {
     }
 }
 
+/// The case count a property actually runs: the configured count, unless
+/// the `WAVM3_PROPTEST_CASES` environment variable holds a positive
+/// integer, which overrides it verbatim. CI's nightly job uses this to
+/// deepen every property sweep without code changes; it also lets a
+/// developer shrink a slow suite while debugging.
+pub fn resolved_cases(configured: u32) -> u32 {
+    std::env::var("WAVM3_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+}
+
 /// A failed property case (produced by the `prop_assert*` macros).
 #[derive(Debug, Clone)]
 pub struct TestCaseError {
@@ -517,12 +530,13 @@ macro_rules! __proptest_body {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $config;
+                let __cases = $crate::resolved_cases(__config.cases);
                 let mut __rng = $crate::TestRng::for_test(
                     concat!(file!(), "::", stringify!($name)),
                     &__config,
                 );
                 let __strategy = ($($strategy,)+);
-                for __case in 0..__config.cases {
+                for __case in 0..__cases {
                     let __values = $crate::Strategy::generate(&__strategy, &mut __rng);
                     let __input = ::std::format!("{:#?}", &__values);
                     let __outcome = ::std::panic::catch_unwind(
@@ -539,7 +553,7 @@ macro_rules! __proptest_body {
                         Ok(Ok(())) => {}
                         Ok(Err(err)) => panic!(
                             "property `{}` failed on case {}/{}: {}\nfailing input (unshrunk):\n{}",
-                            stringify!($name), __case + 1, __config.cases, err, __input
+                            stringify!($name), __case + 1, __cases, err, __input
                         ),
                         Err(payload) => {
                             let msg = payload
@@ -549,7 +563,7 @@ macro_rules! __proptest_body {
                                 .unwrap_or_else(|| "non-string panic payload".to_string());
                             panic!(
                                 "property `{}` panicked on case {}/{}: {}\nfailing input (unshrunk):\n{}",
-                                stringify!($name), __case + 1, __config.cases, msg, __input
+                                stringify!($name), __case + 1, __cases, msg, __input
                             );
                         }
                     }
