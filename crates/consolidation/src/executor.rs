@@ -91,7 +91,7 @@ pub fn execute_plan(
     config: MigrationConfig,
     rng: &RngFactory,
 ) -> Vec<ExecutedMove> {
-    let _timer = wavm3_obs::profile::stage("executor.plan");
+    let _timer = wavm3_obs::perf::scope("executor.plan");
     let mut world = cluster.clone();
     let mut out = Vec::with_capacity(moves.len());
     for (i, mv) in moves.iter().enumerate() {

@@ -70,6 +70,11 @@ pub struct CampaignReport {
     pub stats: CampaignStats,
     /// Every scenario failure, sorted by scenario id.
     pub failures: Vec<ScenarioFailure>,
+    /// Flat wall-clock profile (scope path → stage stats), filled by the
+    /// CLI layer from the observability session when the self-profiler is
+    /// armed; empty otherwise. Wall-clock data — excluded from all
+    /// determinism comparisons.
+    pub profiling: wavm3_obs::perf::ProfileSnapshot,
 }
 
 /// A supervised experiment campaign: a [`RunnerConfig`] plus checkpoint
@@ -142,7 +147,7 @@ impl Campaign {
     /// contribute an empty record list and are recorded in the report;
     /// the campaign always completes.
     pub fn collect(&self, scenarios: Vec<Scenario>) -> ExperimentDataset {
-        let _timer = wavm3_obs::profile::stage("runner.campaign");
+        let _timer = wavm3_obs::perf::scope("runner.campaign");
         let started = std::time::Instant::now();
         let results: Vec<Vec<MigrationRecord>> = scenarios
             .par_iter()
@@ -299,6 +304,7 @@ impl Campaign {
         CampaignReport {
             stats: state.stats,
             failures,
+            profiling: Default::default(),
         }
     }
 }

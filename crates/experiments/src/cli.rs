@@ -7,8 +7,11 @@
 //! the observability set: `--trace PATH` (deterministic JSONL event
 //! trace), `--log-level LVL` (human console subscriber on stderr),
 //! `--metrics-out PATH` (metrics snapshot + wall-clock profiling JSON),
-//! `--ledger-out PATH` (per-migration energy-attribution JSONL) and
-//! `--html-report PATH` (self-contained HTML campaign report),
+//! `--ledger-out PATH` (per-migration energy-attribution JSONL),
+//! `--html-report PATH` (self-contained HTML campaign report) and
+//! `--profile-out DIR` (arms the hierarchical self-profiler and writes
+//! `profile.json`, `trace.json` — Chrome `chrome://tracing` / Perfetto
+//! format — and `flame.folded` — collapsed stacks for flamegraph tools),
 //! plus the crash-safety set: `--checkpoint-dir DIR` (journal per-scenario
 //! results), `--resume` (reload verified checkpoints instead of
 //! recomputing), and `--wall-budget-s S` / `--sim-budget-s S`
@@ -48,6 +51,9 @@ pub struct ObsCliOptions {
     /// `--html-report PATH`: write the self-contained HTML campaign
     /// report here (arms metrics and the ledger).
     pub html_report: Option<PathBuf>,
+    /// `--profile-out DIR`: arm the hierarchical self-profiler and write
+    /// `profile.json` / `trace.json` / `flame.folded` into this directory.
+    pub profile_out: Option<PathBuf>,
 }
 
 impl ObsCliOptions {
@@ -58,6 +64,7 @@ impl ObsCliOptions {
             || self.metrics_out.is_some()
             || self.ledger_out.is_some()
             || self.html_report.is_some()
+            || self.profile_out.is_some()
     }
 
     /// The session configuration these flags describe.
@@ -67,7 +74,7 @@ impl ObsCliOptions {
             collect_level: Level::Debug,
             console: self.log_level,
             metrics: self.metrics_out.is_some() || self.html_report.is_some(),
-            profiling: self.metrics_out.is_some(),
+            profiling: self.profile_out.is_some(),
             ledger: self.ledger_out.is_some() || self.html_report.is_some(),
         }
     }
@@ -170,6 +177,12 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> CliOptions {
                     .unwrap_or_else(|| usage("--html-report needs a path"));
                 opts.obs.html_report = Some(PathBuf::from(v));
             }
+            "--profile-out" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--profile-out needs a directory"));
+                opts.obs.profile_out = Some(PathBuf::from(v));
+            }
             "--checkpoint-dir" => {
                 let v = it
                     .next()
@@ -213,7 +226,7 @@ fn usage(err: &str) -> ! {
         "usage: <bin> [--reps N] [--seed S] [--out DIR] [--faults] \
          [--path sampled|analytic] \
          [--trace PATH] [--log-level LVL] [--metrics-out PATH] \
-         [--ledger-out PATH] [--html-report PATH] \
+         [--ledger-out PATH] [--html-report PATH] [--profile-out DIR] \
          [--checkpoint-dir DIR] [--resume] [--wall-budget-s S] [--sim-budget-s S]"
     );
     eprintln!("  default repetition policy: paper variance rule (>=10 runs, <10% variance delta)");
@@ -228,6 +241,8 @@ fn usage(err: &str) -> ! {
     eprintln!("  --ledger-out: write the per-migration energy-attribution JSONL (deterministic)");
     eprintln!("  --html-report: write a self-contained HTML campaign report (phase energies,");
     eprintln!("      residual summaries, fault/retry counts); arms metrics + ledger");
+    eprintln!("  --profile-out: arm the hierarchical self-profiler; writes profile.json (call");
+    eprintln!("      tree), trace.json (Chrome trace_event) and flame.folded (collapsed stacks)");
     eprintln!("  --checkpoint-dir: journal per-scenario results for crash-safe restarts");
     eprintln!(
         "  --resume: reload verified checkpoints from --checkpoint-dir instead of re-running"
@@ -290,13 +305,22 @@ pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) 
                 Err(e) => sink_result = Err(Wavm3Error::io_at(path, e)),
             }
         }
-        let profile = wavm3_obs::profile::summarise(&report.profiling);
+        if let Some(dir) = &opts.obs.profile_out {
+            match write_profile_exports(dir, report) {
+                Ok(()) => eprintln!("profile: {}", dir.display()),
+                Err(e) => sink_result = Err(e),
+            }
+        }
+        let profile = wavm3_obs::perf::summarise(&report.profiling);
         if !profile.is_empty() {
             eprint!("{profile}");
         }
     }
 
-    let report = campaign.report();
+    let mut report = campaign.report();
+    if let Some(obs) = &obs_report {
+        report.profiling = obs.profiling.clone();
+    }
     if let (Some(path), Some(obs)) = (&opts.obs.html_report, &obs_report) {
         let html = crate::report::render_campaign_html(obs, &report);
         match crate::export::write_file(path, &html) {
@@ -350,6 +374,28 @@ pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) 
             }
         }
     }
+}
+
+/// Write the profiler's export files for `report` into `dir`:
+/// `profile.json` (the raw call-tree snapshot), `trace.json` (Chrome
+/// `trace_event` format, loadable in `chrome://tracing` / Perfetto) and
+/// `flame.folded` (collapsed stacks for flamegraph tooling).
+pub fn write_profile_exports(
+    dir: &std::path::Path,
+    report: &wavm3_obs::ObsReport,
+) -> Result<(), Wavm3Error> {
+    let json = serde_json::to_string_pretty(&report.perf)
+        .map_err(|e| Wavm3Error::serde("perf snapshot", e))?;
+    crate::export::write_file(&dir.join("profile.json"), &json)?;
+    crate::export::write_file(
+        &dir.join("trace.json"),
+        &wavm3_obs::perf::chrome_trace(&report.perf),
+    )?;
+    crate::export::write_file(
+        &dir.join("flame.folded"),
+        &wavm3_obs::perf::collapsed_stacks(&report.perf),
+    )?;
+    Ok(())
 }
 
 /// Write a figure's CSV into the output directory and print its summary.
@@ -439,8 +485,22 @@ mod tests {
         );
         assert!(o.obs.any());
         let cfg = o.obs.session_config();
-        assert!(cfg.trace && cfg.metrics && cfg.profiling);
+        assert!(cfg.trace && cfg.metrics);
+        assert!(!cfg.profiling, "profiling is armed by --profile-out only");
         assert_eq!(cfg.console, Some(Level::Warn));
+    }
+
+    #[test]
+    fn profile_out_arms_the_profiler_only() {
+        let o = parse_from(["--profile-out", "prof"].iter().map(|s| s.to_string()));
+        assert_eq!(
+            o.obs.profile_out.as_deref(),
+            Some(std::path::Path::new("prof"))
+        );
+        assert!(o.obs.any());
+        let cfg = o.obs.session_config();
+        assert!(cfg.profiling, "--profile-out arms the self-profiler");
+        assert!(!cfg.trace && !cfg.metrics && !cfg.ledger);
     }
 
     #[test]

@@ -233,6 +233,34 @@ fn supervision_section(out: &mut String, campaign: &CampaignReport) {
     }
 }
 
+fn profiling_section(out: &mut String, campaign: &CampaignReport) {
+    if campaign.profiling.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "<h2>Wall-clock profile</h2>\
+         <p>Self-profiler call tree, flattened (wall-clock data — not \
+         reproducible across machines).</p>\
+         <table><tr><th>scope path</th><th class=\"num\">count</th>\
+         <th class=\"num\">total (ms)</th><th class=\"num\">self (ms)</th>\
+         <th class=\"num\">max (ms)</th></tr>"
+    );
+    for (path, s) in &campaign.profiling {
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
+            escape_html(path),
+            s.count,
+            cell(s.total_ms),
+            cell(s.self_ms),
+            cell(s.max_ms),
+        );
+    }
+    let _ = writeln!(out, "</table>");
+}
+
 fn metrics_section(out: &mut String, obs: &ObsReport) {
     let snap = &obs.metrics;
     let _ = writeln!(out, "<h2>Counters</h2>");
@@ -257,16 +285,25 @@ fn metrics_section(out: &mut String, obs: &ObsReport) {
             out,
             "<h2>Distributions</h2>\
              <table><tr><th>histogram</th><th class=\"num\">samples</th>\
-             <th class=\"num\">mean</th><th class=\"num\">sum</th></tr>"
+             <th class=\"num\">mean</th><th class=\"num\">p50</th>\
+             <th class=\"num\">p95</th><th class=\"num\">p99</th>\
+             <th class=\"num\">sum</th></tr>"
         );
+        let quant = |h: &wavm3_obs::metrics::HistogramSnapshot, q: f64| {
+            h.quantile(q).map(cell).unwrap_or_else(|| "n/a".to_string())
+        };
         for (name, h) in &snap.histograms {
             let _ = writeln!(
                 out,
                 "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
                  <td class=\"num\">{}</td></tr>",
                 escape_html(name),
                 h.count,
                 h.mean().map(cell).unwrap_or_else(|| "n/a".to_string()),
+                quant(h, 0.5),
+                quant(h, 0.95),
+                quant(h, 0.99),
                 cell(h.sum())
             );
         }
@@ -295,6 +332,7 @@ pub fn render_campaign_html(obs: &ObsReport, campaign: &CampaignReport) -> Strin
     energy_section(&mut out, &obs.ledger);
     residual_section(&mut out, &obs.metrics.gauges);
     metrics_section(&mut out, obs);
+    profiling_section(&mut out, campaign);
     let _ = writeln!(out, "</body>\n</html>");
     out
 }
@@ -309,6 +347,7 @@ mod tests {
         CampaignReport {
             stats: Default::default(),
             failures: Vec::new(),
+            profiling: Default::default(),
         }
     }
 
@@ -340,6 +379,7 @@ mod tests {
             ledger,
             metrics: snap,
             profiling: Default::default(),
+            perf: Default::default(),
         }
     }
 

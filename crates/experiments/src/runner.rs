@@ -224,7 +224,7 @@ fn run_repetition(
     scope: &RngFactory,
     rep: u64,
 ) -> MigrationRecord {
-    let _timer = wavm3_obs::profile::stage("runner.repetition");
+    let _timer = wavm3_obs::perf::scope("runner.repetition");
     let faults = match cfg.faults {
         Some(f) if f.is_enabled() => f,
         _ => {
@@ -315,7 +315,7 @@ pub fn run_scenario_supervised(
     cfg: &RunnerConfig,
     budget: &Budget,
 ) -> Result<ScenarioResult, Box<ScenarioFailure>> {
-    let _timer = wavm3_obs::profile::stage("runner.scenario");
+    let _timer = wavm3_obs::perf::scope("runner.scenario");
     let scope = scenario_rng(cfg, scenario);
     let mut tracker = BudgetTracker::start(*budget);
     let mut truncated = false;
@@ -394,7 +394,7 @@ pub fn run_scenario_supervised(
 
 /// Run many scenarios in parallel; output order matches input order.
 pub fn run_all(scenarios: &[Scenario], cfg: &RunnerConfig) -> Vec<Vec<MigrationRecord>> {
-    let _timer = wavm3_obs::profile::stage("runner.campaign");
+    let _timer = wavm3_obs::perf::scope("runner.campaign");
     let started = std::time::Instant::now();
     let results: Vec<Vec<MigrationRecord>> =
         scenarios.par_iter().map(|s| run_scenario(s, cfg)).collect();

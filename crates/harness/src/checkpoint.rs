@@ -117,6 +117,7 @@ impl CheckpointStore {
 
     /// Journal `payload` for `key` atomically under `fingerprint`.
     pub fn save(&self, key: &str, fingerprint: &str, payload: &str) -> Result<(), Wavm3Error> {
+        let _perf = wavm3_obs::perf::scope("harness.checkpoint.save");
         let header = Header {
             magic: CHECKPOINT_MAGIC.to_string(),
             version: CHECKPOINT_VERSION,
@@ -139,6 +140,7 @@ impl CheckpointStore {
         if !self.resume {
             return Ok(CheckpointLoad::Missing);
         }
+        let _perf = wavm3_obs::perf::scope("harness.checkpoint.load");
         let path = self.path_for(key);
         let raw = match fs::read_to_string(&path) {
             Ok(raw) => raw,

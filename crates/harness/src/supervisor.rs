@@ -31,6 +31,7 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// deterministic RNG scope rebuilds everything from seeds), so no
 /// broken invariant outlives the failed call.
 pub fn run_isolated<T>(context: &str, f: impl FnOnce() -> T) -> Result<T, Wavm3Error> {
+    let _perf = wavm3_obs::perf::scope("harness.isolated");
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(v) => Ok(v),
         Err(payload) => {

@@ -473,6 +473,7 @@ fn note_link_windows(
 /// Run the scenario on the analytic path. See the module docs for the
 /// contract with the sampled reference engine.
 pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
+    let _perf = wavm3_obs::perf::scope("migration.run.analytic");
     let MigrationSimulation {
         cluster,
         workloads,
@@ -630,6 +631,13 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
 
     let horizon = SimTime::from_secs(3_600);
 
+    // Tick-cache tier tallies (flushed once per run into the profiler so
+    // the hot loop never touches shared state).
+    let mut ticks_full: u64 = 0;
+    let mut ticks_fast: u64 = 0;
+    let mut ticks_semi: u64 = 0;
+
+    let _perf_ticks = wavm3_obs::perf::scope("analytic.tick_loop");
     loop {
         if let Some(me_t) = me {
             if now >= me_t {
@@ -745,6 +753,7 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
         let src_bg;
         let dst_bg;
         if cache_dirty {
+            ticks_full += 1;
             let src_sums = hsrc.refresh_tick(now, migrant_factor);
             let dst_sums = hdst.refresh_tick(now, migrant_factor);
 
@@ -835,6 +844,7 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
         } else if fast_ok {
             // Cached tick: every prelude input is unchanged by
             // construction; only the fault factor is time-dependent.
+            ticks_fast += 1;
             migrant_wr = c_migrant_wr;
             src_alloc = c_src_alloc;
             dst_alloc = c_dst_alloc;
@@ -863,6 +873,7 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
             // whose inputs cannot have moved since the last event. A host
             // that is itself fully constant skips even that — its fold,
             // allocation and power terms are frozen between events.
+            ticks_semi += 1;
             migrant_wr = c_migrant_wr;
             let migrant_running_on_source = !migrant_on_target && migrant_running;
             let dirty_intensity = if cfg.kind == MigrationKind::Live && migrant_running_on_source {
@@ -1172,6 +1183,11 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
 
         now += dt;
     }
+    drop(_perf_ticks);
+    wavm3_obs::perf::counter_add("analytic.tick_cache.full", ticks_full);
+    wavm3_obs::perf::counter_add("analytic.tick_cache.fast_hit", ticks_fast);
+    wavm3_obs::perf::counter_add("analytic.tick_cache.semi_hit", ticks_semi);
+    let _perf_finalise = wavm3_obs::perf::scope("analytic.finalise");
 
     let te = te.expect("transfer completed");
     let me = me.expect("activation scheduled");

@@ -294,6 +294,7 @@ impl MigrationSimulation {
     /// A zero tick is rejected by [`MigrationConfig::validate`] at
     /// construction, so the division by `dt` below is always sound.
     pub(crate) fn run_sampled(mut self) -> MigrationRecord {
+        let _perf = wavm3_obs::perf::scope("migration.run.sampled");
         let cfg = self.config;
         let dt = cfg.timing.tick;
         let dt_s = dt.as_secs_f64();

@@ -17,10 +17,14 @@
 //! * **Metrics** ([`metrics`]) — a process-wide registry of counters,
 //!   gauges and fixed-bucket histograms with a deterministic,
 //!   serde-serialisable [`metrics::MetricsSnapshot`].
-//! * **Profiling** ([`profile`]) — wall-clock stage timers for perf work.
-//!   Wall time is inherently non-reproducible, so profiling data is kept
-//!   strictly out of traces and golden outputs: it only appears in the
-//!   session report's dedicated profiling section.
+//! * **Profiling** ([`perf`]) — a hierarchical wall-clock self-profiler:
+//!   nested [`perf::scope`]s accumulate into per-thread arenas that merge
+//!   lock-free into a call-tree [`perf::PerfSnapshot`] (cumulative/self
+//!   time, counts, maxima, optional allocation tallies) with Chrome
+//!   `trace_event` and collapsed-stack (flamegraph) exporters. Wall time
+//!   is inherently non-reproducible, so profiling data is kept strictly
+//!   out of traces and golden outputs: it only appears in the session
+//!   report's dedicated profiling sections.
 //!
 //! ## Quick tour
 //!
@@ -53,7 +57,7 @@ pub mod event;
 pub mod ledger;
 pub mod level;
 pub mod metrics;
-pub mod profile;
+pub mod perf;
 pub mod session;
 pub mod trace;
 

@@ -87,6 +87,45 @@ impl HistogramSnapshot {
             Some(self.sum() / self.count as f64)
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
+    /// interpolation within the bucket containing the target rank —
+    /// the same estimator as Prometheus' `histogram_quantile`.
+    ///
+    /// The first bucket's lower edge is taken as `min(bound, 0)`;
+    /// samples in the overflow bucket resolve to the last finite bound
+    /// (the distribution's tail is unknowable from bounded buckets).
+    /// Returns `None` for an empty histogram, one without finite bounds,
+    /// or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || self.bounds.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let below = cumulative as f64;
+            cumulative += c;
+            if cumulative as f64 >= target {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: clamp to the last finite bound.
+                    return self.bounds.last().copied();
+                }
+                let upper = self.bounds[i];
+                let lower = if i == 0 {
+                    upper.min(0.0)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((target - below) / c as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        self.bounds.last().copied()
+    }
 }
 
 /// Deterministic point-in-time copy of a [`Registry`].
@@ -113,7 +152,8 @@ impl MetricsSnapshot {
     /// `[a-zA-Z0-9_:]` becomes `_`, so `migration.runs` exposes as
     /// `migration_runs`); label values escape `\`, `"` and newlines.
     /// Histograms expose the conventional cumulative
-    /// `_bucket{le="…"}` series plus `_sum` and `_count`. Output order
+    /// `_bucket{le="…"}` series plus `_sum`, `_count` and interpolated
+    /// `_p50`/`_p95`/`_p99` quantile estimates. Output order
     /// follows the snapshot's BTreeMap ordering, so two equal snapshots
     /// render byte-identically.
     pub fn to_prometheus_text(&self) -> String {
@@ -143,6 +183,11 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
             let _ = writeln!(out, "{name}_sum {}", format_sample(hist.sum()));
             let _ = writeln!(out, "{name}_count {}", hist.count);
+            for (suffix, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                if let Some(v) = hist.quantile(q) {
+                    let _ = writeln!(out, "{name}_{suffix} {}", format_sample(v));
+                }
+            }
         }
         out
     }
@@ -340,6 +385,48 @@ mod tests {
         let hist = HistogramSnapshot::new(buckets::DURATION_S);
         assert_eq!(hist.mean(), None);
         assert_eq!(hist.sum(), 0.0);
+        assert_eq!(hist.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let bounds: &[f64] = &[1.0, 2.0, 4.0];
+        // 4 samples in (1, 2], 4 in (2, 4] → uniform mass over [1, 4].
+        for v in [1.2, 1.4, 1.6, 1.8, 2.5, 3.0, 3.5, 4.0] {
+            r.observe("q", bounds, v);
+        }
+        let hist = r.snapshot().histograms["q"].clone();
+        // Rank 4 of 8 lands exactly on the (1, 2] bucket's upper edge.
+        assert_eq!(hist.quantile(0.5), Some(2.0));
+        // Rank 2 of 8 is halfway through the (1, 2] bucket.
+        assert_eq!(hist.quantile(0.25), Some(1.5));
+        // q=0 resolves to the first occupied bucket's lower edge, q=1 to
+        // the last occupied bucket's upper edge.
+        assert_eq!(hist.quantile(0.0), Some(1.0));
+        assert_eq!(hist.quantile(1.0), Some(4.0));
+        // Out-of-range q never panics.
+        assert_eq!(hist.quantile(-0.1), None);
+        assert_eq!(hist.quantile(1.5), None);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Overflow-bucket mass clamps to the last finite bound.
+        let r = Registry::new();
+        r.observe("over", &[1.0, 2.0], 50.0);
+        r.observe("over", &[1.0, 2.0], 60.0);
+        let hist = r.snapshot().histograms["over"].clone();
+        assert_eq!(hist.quantile(0.99), Some(2.0));
+        // First bucket interpolates from min(bound, 0).
+        let r = Registry::new();
+        r.observe("first", &[10.0, 20.0], 3.0);
+        let hist = r.snapshot().histograms["first"].clone();
+        assert_eq!(hist.quantile(0.5), Some(5.0));
+        // A bound-less histogram (pure counter) has no quantiles.
+        let r = Registry::new();
+        r.observe("none", &[], 3.0);
+        assert_eq!(r.snapshot().histograms["none"].quantile(0.5), None);
     }
 
     #[test]
@@ -466,6 +553,9 @@ migration_transfer_s_bucket{le=\"2.5\"} 2
 migration_transfer_s_bucket{le=\"+Inf\"} 3
 migration_transfer_s_sum 11.5
 migration_transfer_s_count 3
+migration_transfer_s_p50 1.75
+migration_transfer_s_p95 2.5
+migration_transfer_s_p99 2.5
 ";
         assert_eq!(text, expected);
     }

@@ -9,7 +9,7 @@ use crate::event::Event;
 use crate::ledger::LedgerEntry;
 use crate::level::Level;
 use crate::metrics::{self, MetricsSnapshot};
-use crate::profile::{self, ProfileSnapshot};
+use crate::perf::{self, PerfSnapshot, ProfileSnapshot};
 use std::io::{self, Write as _};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
@@ -153,7 +153,7 @@ impl Session {
         let lock = session_lock().lock().unwrap_or_else(|p| p.into_inner());
         *lock_collected() = Collected::default();
         metrics::reset_global();
-        profile::reset_global();
+        perf::reset_global();
         COLLECT_LEVEL.store(config.collect_level as u8, Ordering::Relaxed);
         CONSOLE_LEVEL.store(
             config.console.map(|l| l as u8 + 1).unwrap_or(0),
@@ -162,7 +162,7 @@ impl Session {
         TRACE_ACTIVE.store(config.trace, Ordering::Relaxed);
         METRICS_ACTIVE.store(config.metrics, Ordering::Relaxed);
         LEDGER_ACTIVE.store(config.ledger, Ordering::Relaxed);
-        profile::set_active(config.profiling);
+        perf::set_active(config.profiling);
         Session {
             _lock: lock,
             config,
@@ -187,14 +187,16 @@ impl Session {
         events.sort_by(|a, b| a.0.cmp(&b.0));
         let mut ledger = collected.ledger;
         ledger.sort_by(|a, b| a.0.cmp(&b.0));
+        let perf = perf::snapshot();
         let report = ObsReport {
             events,
             ledger,
             metrics: metrics::snapshot(),
-            profiling: profile::snapshot(),
+            profiling: perf.flatten(),
+            perf,
         };
         metrics::reset_global();
-        profile::reset_global();
+        perf::reset_global();
         report
         // `self._lock` releases here, letting the next session install.
     }
@@ -205,7 +207,7 @@ fn disarm() {
     METRICS_ACTIVE.store(false, Ordering::Relaxed);
     LEDGER_ACTIVE.store(false, Ordering::Relaxed);
     CONSOLE_LEVEL.store(0, Ordering::Relaxed);
-    profile::set_active(false);
+    perf::set_active(false);
 }
 
 impl Drop for Session {
@@ -213,7 +215,7 @@ impl Drop for Session {
         disarm();
         *lock_collected() = Collected::default();
         metrics::reset_global();
-        profile::reset_global();
+        perf::reset_global();
     }
 }
 
@@ -227,8 +229,12 @@ pub struct ObsReport {
     pub ledger: Vec<(String, LedgerEntry)>,
     /// Deterministic metrics snapshot.
     pub metrics: MetricsSnapshot,
-    /// Wall-clock stage profile (not reproducible; never in traces).
+    /// Flat per-stage wall-clock profile, keyed by call-tree path (not
+    /// reproducible; never in traces). Derived from [`ObsReport::perf`].
     pub profiling: ProfileSnapshot,
+    /// Hierarchical wall-clock call tree with profiler counters (not
+    /// reproducible; never in traces).
+    pub perf: PerfSnapshot,
 }
 
 impl ObsReport {
@@ -346,7 +352,7 @@ mod tests {
         });
         crate::metrics::counter_add("migration.runs", 2);
         {
-            let _t = crate::profile::stage("unit.stage");
+            let _t = crate::perf::scope("unit.stage");
         }
         let report = session.finish();
         let json = report.metrics_json();
@@ -379,6 +385,7 @@ mod tests {
             ledger: Vec::new(),
             metrics: MetricsSnapshot::default(),
             profiling: ProfileSnapshot::default(),
+            perf: PerfSnapshot::default(),
         };
         let err = report
             .write_trace_jsonl(Path::new("/dev/null/not-a-dir/x.jsonl"))

@@ -25,6 +25,7 @@
 pub mod event;
 pub mod interval;
 pub mod periodic;
+pub mod probe;
 pub mod rng;
 pub mod series;
 pub mod time;

@@ -41,6 +41,7 @@ impl RngFactory {
     /// `self.child(a).stream(s)` differs from `self.child(b).stream(s)`
     /// whenever `a != b`.
     pub fn child(&self, index: u64) -> RngFactory {
+        crate::probe::note_child();
         RngFactory {
             root_seed: mix(self.root_seed, &index.to_le_bytes()),
         }
@@ -48,6 +49,7 @@ impl RngFactory {
 
     /// A named, independent random stream.
     pub fn stream(&self, label: &str) -> StreamRng {
+        crate::probe::note_stream();
         let seed = mix(self.root_seed, label.as_bytes());
         ChaCha8Rng::seed_from_u64(seed)
     }
@@ -67,6 +69,7 @@ impl RngFactory {
     /// computation — and the draws are identical regardless of rayon
     /// thread count or the order migrations are evaluated in.
     pub fn counter_stream(&self, label: &str) -> CounterRng {
+        crate::probe::note_counter_stream();
         CounterRng::new(mix(self.root_seed, label.as_bytes()))
     }
 }

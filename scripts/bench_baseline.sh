@@ -9,6 +9,14 @@
 # folds everything — plus the provenance stamps (git SHA, rustc version,
 # repetition count, seed) — into BENCH_baseline.json at the repo root.
 #
+# The analytic fast path is timed separately. Because it finishes the
+# base campaign in milliseconds — far too short for a stable median —
+# its repetition count is auto-scaled from a calibration run until one
+# timed run takes at least MIN_ANALYTIC_WALL seconds; the scaled rep
+# count is recorded under `analytic.reps`. A `wavm3-profile` run stamps
+# the per-stage self-time breakdown (µs per migration run) under
+# `analytic.profile` so perf PRs can see *where* a regression landed.
+#
 # `wavm3-regress --baseline BENCH_baseline.json` re-runs the identical
 # campaign using the `seed` / `reps` stamps and diffs the snapshots.
 #
@@ -20,10 +28,11 @@ cd "$(dirname "$0")/.."
 REPS="${1:-2}"
 SEED=7
 RUNS=3
+MIN_ANALYTIC_WALL="${MIN_ANALYTIC_WALL:-1.0}"
 TMPDIR="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR"' EXIT
 
-cargo build --release -q -p wavm3-experiments --bin campaign
+cargo build --release -q -p wavm3-experiments --bin campaign --bin wavm3-profile
 
 WALL_TIMES=()
 for i in $(seq 1 "$RUNS"); do
@@ -38,27 +47,69 @@ for i in $(seq 1 "$RUNS"); do
     echo "run $i/$RUNS: ${WALL_TIMES[-1]}s"
 done
 
-# The same campaign on the analytic fast path (DESIGN.md §12): its
-# median throughput is recorded under the `analytic` key so perf PRs
-# have a before/after anchor for both engines.
+# The same campaign on the analytic fast path (DESIGN.md §12). First a
+# calibration run at the base rep count: it feeds the determinism check
+# (the path must change only the energy integration, never what was
+# simulated) and tells us how far to scale the timed runs.
+START=$(date +%s.%N)
+./target/release/campaign \
+    --reps "$REPS" --seed "$SEED" --path analytic \
+    --out "$TMPDIR/acal" \
+    --metrics-out "$TMPDIR/ametrics-cal.json" \
+    >"$TMPDIR/astdout-cal.txt"
+END=$(date +%s.%N)
+CAL_WALL="$(awk -v a="$START" -v b="$END" 'BEGIN { printf "%.4f", b - a }')"
+echo "analytic calibration: ${CAL_WALL}s at $REPS reps"
+
+# Iterate the rep scaling: the first calibration is dominated by fixed
+# per-campaign overhead, so a single linear extrapolation undershoots.
+ANALYTIC_REPS="$REPS"
+for attempt in 1 2 3 4; do
+    if awk -v w="$CAL_WALL" -v min="$MIN_ANALYTIC_WALL" 'BEGIN { exit !(w >= min) }'; then
+        break
+    fi
+    ANALYTIC_REPS="$(awk -v reps="$ANALYTIC_REPS" -v wall="$CAL_WALL" -v min="$MIN_ANALYTIC_WALL" \
+        'BEGIN { if (wall < 0.0005) wall = 0.0005;
+                 n = int(reps * min * 1.2 / wall) + 1;
+                 print (n > reps) ? n : reps + 1 }')"
+    START=$(date +%s.%N)
+    ./target/release/campaign \
+        --reps "$ANALYTIC_REPS" --seed "$SEED" --path analytic \
+        --out "$TMPDIR/acal$attempt" \
+        --metrics-out "$TMPDIR/ametrics-cal$attempt.json" \
+        >"$TMPDIR/astdout-cal$attempt.txt"
+    END=$(date +%s.%N)
+    CAL_WALL="$(awk -v a="$START" -v b="$END" 'BEGIN { printf "%.4f", b - a }')"
+    echo "analytic calibration $attempt: ${CAL_WALL}s at $ANALYTIC_REPS reps"
+done
+echo "analytic timing at $ANALYTIC_REPS reps (${CAL_WALL}s >= ${MIN_ANALYTIC_WALL}s)"
+
 ANALYTIC_WALL_TIMES=()
 for i in $(seq 1 "$RUNS"); do
     START=$(date +%s.%N)
     ./target/release/campaign \
-        --reps "$REPS" --seed "$SEED" --path analytic \
+        --reps "$ANALYTIC_REPS" --seed "$SEED" --path analytic \
         --out "$TMPDIR/aout$i" \
         --metrics-out "$TMPDIR/ametrics$i.json" \
         >"$TMPDIR/astdout$i.txt"
     END=$(date +%s.%N)
     ANALYTIC_WALL_TIMES+=("$(awk -v a="$START" -v b="$END" 'BEGIN { printf "%.3f", b - a }')")
-    echo "analytic run $i/$RUNS: ${ANALYTIC_WALL_TIMES[-1]}s"
+    echo "analytic run $i/$RUNS: ${ANALYTIC_WALL_TIMES[-1]}s ($ANALYTIC_REPS reps)"
 done
+
+# Per-stage self-time breakdown of the analytic path (single-threaded so
+# self times are comparable to wall time).
+./target/release/wavm3-profile \
+    --reps "$REPS" --seed "$SEED" --path analytic \
+    --out "$TMPDIR/pout" --profile-out "$TMPDIR/profile" \
+    >"$TMPDIR/profile-stdout.txt"
 
 GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 RUSTC="$(rustc --version)"
 
 TMPDIR="$TMPDIR" RUNS="$RUNS" REPS="$REPS" SEED="$SEED" \
 GIT_SHA="$GIT_SHA" RUSTC="$RUSTC" WALL_TIMES="${WALL_TIMES[*]}" \
+ANALYTIC_REPS="$ANALYTIC_REPS" \
 ANALYTIC_WALL_TIMES="${ANALYTIC_WALL_TIMES[*]}" python3 - <<'PY'
 import json, os, statistics
 
@@ -89,25 +140,56 @@ if throughputs:
 
 wall_times = [float(w) for w in os.environ["WALL_TIMES"].split()]
 
-# Analytic-path runs: the path must change only the energy integration,
-# never what was simulated, so its deterministic counters have to match
-# the sampled campaign's exactly.
+# Analytic calibration run at the base rep count: the path must change
+# only the energy integration, never what was simulated, so its
+# deterministic counters have to match the sampled campaign's exactly.
+with open(f"{tmp}/ametrics-cal.json") as f:
+    analytic_cal = json.load(f)
+if analytic_cal.get("counters") != snapshots[0].get("counters"):
+    raise SystemExit("analytic calibration counters diverge from sampled")
+
 analytic = []
 for i in range(1, runs + 1):
     with open(f"{tmp}/ametrics{i}.json") as f:
         analytic.append(json.load(f))
-for i, snap in enumerate(analytic, start=1):
-    if snap.get("counters") != snapshots[0].get("counters"):
-        raise SystemExit(f"analytic run {i} counters diverge from sampled")
 analytic_tp = statistics.median(
     s["gauges"]["runner.throughput_runs_per_s"] for s in analytic
 )
 analytic_wall = [float(w) for w in os.environ["ANALYTIC_WALL_TIMES"].split()]
 
+# Per-stage breakdown from the wavm3-profile run: aggregate the call
+# tree by scope name and normalise self time by profiled migration runs.
+with open(f"{tmp}/profile/profile.json") as f:
+    profile = json.load(f)
+with open(f"{tmp}/profile/summary.json") as f:
+    summary = json.load(f)
+
+stage_self_ns = {}
+
+def walk(node):
+    stage_self_ns[node["name"]] = (
+        stage_self_ns.get(node["name"], 0) + node["self_ns"]
+    )
+    for child in node.get("children", []):
+        walk(child)
+
+for root in profile.get("roots", []):
+    walk(root)
+profiled_runs = max(summary.get("runs", 0), 1)
+stage_us_per_run = {
+    name: round(ns / 1e3 / profiled_runs, 3) for name, ns in stage_self_ns.items()
+}
+
 baseline = {
     "analytic": {
         "throughput_runs_per_s": analytic_tp,
         "wall_time_s": round(statistics.median(analytic_wall), 3),
+        "reps": int(os.environ["ANALYTIC_REPS"]),
+        "profile": {
+            "runs": summary.get("runs", 0),
+            "coverage_pct": round(summary.get("coverage_pct", 0.0), 1),
+            "stage_self_us_per_run": stage_us_per_run,
+        },
     },
     "benchmark": "campaign --reps %s --seed %s (machine sets M+O, release)"
     % (os.environ["REPS"], os.environ["SEED"]),
@@ -124,12 +206,14 @@ with open("BENCH_baseline.json", "w") as f:
     f.write("\n")
 print(
     "wrote BENCH_baseline.json (median wall %.1fs over %d runs, %d counters, "
-    "analytic %.0f runs/s)"
+    "analytic %.0f runs/s at %s reps, profiler coverage %.1f%%)"
     % (
         baseline["wall_time_s"],
         runs,
         len(metrics.get("counters", {})),
         analytic_tp,
+        baseline["analytic"]["reps"],
+        baseline["analytic"]["profile"]["coverage_pct"],
     )
 )
 PY

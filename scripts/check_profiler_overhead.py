@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Assert the dormant profiler costs <=2% throughput vs a no-obs build.
+
+The default build compiles the `perf::scope` probes in but leaves them
+disarmed (one relaxed atomic load per probe); a build with the
+`perf-off` feature compiles them out entirely. This script compares the
+`runner.throughput_runs_per_s` gauge from repeated runs of each binary
+and fails when the default build's best run is more than `--tolerance`
+(default 0.02) slower than the no-obs build's best run. Best-of-N is
+used on both sides because shared-runner noise only ever slows a run
+down — the fastest observation is the least contaminated one.
+
+Usage: check_profiler_overhead.py --off OFF.json... --on ON.json...
+"""
+
+import argparse
+import json
+
+
+def best_throughput(paths):
+    best = 0.0
+    for path in paths:
+        with open(path) as f:
+            metrics = json.load(f)
+        best = max(best, metrics["gauges"]["runner.throughput_runs_per_s"])
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--off", nargs="+", required=True,
+                    help="metrics.json files from the perf-off (no-obs) build")
+    ap.add_argument("--on", nargs="+", required=True,
+                    help="metrics.json files from the default (dormant) build")
+    ap.add_argument("--tolerance", type=float, default=0.02,
+                    help="allowed fractional slowdown (default 0.02)")
+    args = ap.parse_args()
+
+    off = best_throughput(args.off)
+    on = best_throughput(args.on)
+    if off <= 0.0:
+        raise SystemExit("no-obs build reported zero throughput")
+    slowdown = 1.0 - on / off
+    print(
+        f"no-obs build: {off:.0f} runs/s (best of {len(args.off)}), "
+        f"dormant profiler: {on:.0f} runs/s (best of {len(args.on)}), "
+        f"slowdown {slowdown * 100:+.2f}% (gate {args.tolerance * 100:.0f}%)"
+    )
+    if slowdown > args.tolerance:
+        raise SystemExit(
+            f"dormant profiler overhead {slowdown * 100:.2f}% exceeds "
+            f"{args.tolerance * 100:.0f}%: probes are doing work while disarmed"
+        )
+    print("ok: dormant profiler overhead within tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,202 @@
+//! Profiler concurrency and determinism: the hierarchical self-profiler
+//! must count the same work no matter how many rayon threads execute it,
+//! must not perturb the deterministic trace/metrics outputs in any way
+//! when disarmed, and must export valid Chrome `trace_event` JSON and
+//! well-formed collapsed stacks.
+
+use wavm3::cluster::MachineSet;
+use wavm3::experiments::scenario::ExperimentFamily;
+use wavm3::experiments::{run_all, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3::migration::{MigrationKind, SimulationPath};
+use wavm3::obs::perf::{chrome_trace, collapsed_stacks, PerfSnapshot};
+use wavm3::obs::{Level, ObsConfig, ObsReport, Session};
+
+fn scenarios() -> Vec<Scenario> {
+    [MigrationKind::Live, MigrationKind::NonLive]
+        .into_iter()
+        .map(|kind| Scenario {
+            family: ExperimentFamily::CpuloadSource,
+            kind,
+            machine_set: MachineSet::M,
+            source_load_vms: 1,
+            target_load_vms: 0,
+            migrant_mem_ratio: None,
+            label: "1 VM".into(),
+        })
+        .collect()
+}
+
+fn runner(path: SimulationPath) -> RunnerConfig {
+    RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(3),
+        base_seed: 11,
+        path,
+        ..RunnerConfig::default()
+    }
+}
+
+/// Run the campaign on `threads` rayon workers with the given config;
+/// return the finished report.
+fn campaign(threads: usize, config: ObsConfig, path: SimulationPath) -> ObsReport {
+    let session = Session::install(config);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    let records = pool.install(|| run_all(&scenarios(), &runner(path)));
+    assert_eq!(records.len(), 2);
+    session.finish()
+}
+
+fn profiled() -> ObsConfig {
+    ObsConfig {
+        profiling: true,
+        collect_level: Level::Debug,
+        ..ObsConfig::default()
+    }
+}
+
+/// Total scope count over the whole tree plus the merged counters —
+/// everything about a snapshot that must be thread-count invariant.
+fn deterministic_view(perf: &PerfSnapshot) -> (u64, Vec<(String, u64)>) {
+    fn count(nodes: &[wavm3::obs::perf::PerfNode]) -> u64 {
+        nodes
+            .iter()
+            .map(|n| n.count + count(&n.children))
+            .sum::<u64>()
+    }
+    (
+        count(&perf.roots),
+        perf.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+    )
+}
+
+#[test]
+fn snapshot_counts_are_identical_across_thread_counts() {
+    let one = campaign(1, profiled(), SimulationPath::Analytic);
+    let two = campaign(2, profiled(), SimulationPath::Analytic);
+    let eight = campaign(8, profiled(), SimulationPath::Analytic);
+
+    let v1 = deterministic_view(&one.perf);
+    let v2 = deterministic_view(&two.perf);
+    let v8 = deterministic_view(&eight.perf);
+    assert!(v1.0 > 0, "profiled campaign must record scopes");
+    assert_eq!(v1, v2, "1 vs 2 threads");
+    assert_eq!(v1, v8, "1 vs 8 threads");
+
+    // Per-stage counts are invariant too, not just the total.
+    for stage in [
+        "migration.run.analytic",
+        "analytic.tick_loop",
+        "runner.repetition",
+        "harness.isolated",
+    ] {
+        let n = one.perf.count_of(stage);
+        assert!(n > 0, "stage {stage} missing from the tree");
+        assert_eq!(n, two.perf.count_of(stage), "{stage}: 1 vs 2 threads");
+        assert_eq!(n, eight.perf.count_of(stage), "{stage}: 1 vs 8 threads");
+    }
+
+    // The tick-cache tiers partition the tick count deterministically.
+    let tiers: u64 = [
+        "analytic.tick_cache.full",
+        "analytic.tick_cache.fast_hit",
+        "analytic.tick_cache.semi_hit",
+    ]
+    .iter()
+    .map(|k| one.perf.counters.get(*k).copied().unwrap_or(0))
+    .sum();
+    assert!(
+        tiers > 0,
+        "tick-cache counters missing: {:?}",
+        one.perf.counters
+    );
+}
+
+#[test]
+fn profiler_does_not_perturb_deterministic_outputs() {
+    let traced = |profiling: bool| {
+        campaign(
+            2,
+            ObsConfig {
+                trace: true,
+                metrics: true,
+                profiling,
+                collect_level: Level::Debug,
+                ..ObsConfig::default()
+            },
+            SimulationPath::Sampled,
+        )
+    };
+    let off = traced(false);
+    let on = traced(true);
+
+    // Byte-identical deterministic outputs either way: the profiler's
+    // wall-clock data lives only in the perf/profiling sections.
+    assert_eq!(off.trace_jsonl(), on.trace_jsonl(), "trace perturbed");
+    assert_eq!(off.metrics.counters, on.metrics.counters);
+    assert_eq!(off.metrics.histograms, on.metrics.histograms);
+    assert_eq!(off.ledger_jsonl(), on.ledger_jsonl());
+
+    // And the profiling sections really are off/on respectively.
+    assert!(off.perf.is_empty(), "disarmed session recorded scopes");
+    assert!(off.profiling.is_empty());
+    assert!(!on.perf.is_empty(), "armed session recorded nothing");
+}
+
+#[test]
+fn exports_are_valid_trace_event_json_and_collapsed_stacks() {
+    use serde::Value;
+    struct Raw(Value);
+    impl serde::Deserialize for Raw {
+        fn from_value(v: &Value) -> Result<Self, serde::Error> {
+            Ok(Raw(v.clone()))
+        }
+    }
+
+    // Single-threaded so every scope nests under the one `runner.campaign`
+    // root; on worker threads the first scope entered becomes a root of
+    // its own thread's subtree, which is exercised elsewhere.
+    let report = campaign(1, profiled(), SimulationPath::Analytic);
+    let trace = chrome_trace(&report.perf);
+    let Raw(root) = serde_json::from_str(&trace).expect("trace.json must parse");
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let mut complete = 0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph field");
+        match ph {
+            "X" => {
+                complete += 1;
+                for key in ["name", "ts", "dur", "pid", "tid", "args"] {
+                    assert!(ev.get(key).is_some(), "complete event missing {key}");
+                }
+            }
+            "M" => {} // metadata
+            other => panic!("unexpected event phase {other}"),
+        }
+    }
+    assert!(complete > 0, "no complete events in the trace");
+
+    let folded = collapsed_stacks(&report.perf);
+    assert!(!folded.is_empty(), "collapsed stacks empty");
+    for line in folded.lines() {
+        let (path, samples) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(!path.is_empty());
+        samples.parse::<u64>().expect("sample count is an integer");
+        // Stack frames are ;-joined scope names rooted at a known root.
+        assert!(
+            path.starts_with("runner.campaign"),
+            "unexpected stack root in {line:?}"
+        );
+    }
+
+    // The self-time identity the hotspot attribution relies on.
+    assert_eq!(
+        report.perf.total_ns(),
+        report.perf.self_total_ns(),
+        "self times must sum exactly to cumulative root time"
+    );
+}
