@@ -181,6 +181,23 @@ impl Campaign {
 
     fn run_one(&self, scenario: &Scenario) -> Vec<MigrationRecord> {
         let id = scenario.id();
+        // An interrupt (SIGINT/SIGTERM caught by the CLI layer) drains the
+        // campaign instead of killing it: scenarios already running finish
+        // and checkpoint normally, the rest are skipped here and recorded
+        // as failures, and `cli::run` maps the whole run to exit code 3.
+        if let Some(signal) = wavm3_harness::signal::interrupted_by() {
+            self.trace_lifecycle(&id, "scenario.interrupted", 0);
+            let mut state = self.lock();
+            state.stats.failed += 1;
+            state.failures.push(ScenarioFailure {
+                scenario: id,
+                base_seed: self.runner.base_seed,
+                rep: 0,
+                fault_plan: None,
+                message: format!("interrupted by {signal}: scenario skipped during drain"),
+            });
+            return Vec::new();
+        }
         if let Some(records) = self.try_restore(scenario, &id) {
             return records;
         }

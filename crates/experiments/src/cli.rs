@@ -261,6 +261,13 @@ fn usage(err: &str) -> ! {
 /// checkpoints. A campaign whose scenarios partially failed exits with
 /// code 3; other failures are reported on stderr and exit with code 1.
 pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) -> ExitCode {
+    // Catch SIGINT/SIGTERM instead of dying mid-write: the campaign
+    // drains (in-flight scenarios finish and checkpoint, queued ones are
+    // skipped as recorded failures) and the run exits with the
+    // partial-success code 3 — mirroring the serve crate's graceful
+    // drain, and keeping `--resume` able to pick up where the interrupt
+    // landed.
+    wavm3_harness::signal::install();
     let opts = parse_args();
     let campaign = match Campaign::new(opts.runner, opts.supervisor.clone()) {
         Ok(campaign) => campaign,
@@ -320,6 +327,26 @@ pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) 
     let mut report = campaign.report();
     if let Some(obs) = &obs_report {
         report.profiling = obs.profiling.clone();
+    }
+    if let Some(signal) = wavm3_harness::signal::interrupted_by() {
+        // The campaign records one failure per scenario it skipped during
+        // the drain; a signal that lands after the last scenario still
+        // deserves an entry so `campaign-report.json` and the exit code
+        // (3, partial success) say what happened.
+        if !report
+            .failures
+            .iter()
+            .any(|f| f.message.contains("interrupted by"))
+        {
+            report.failures.push(crate::runner::ScenarioFailure {
+                scenario: "<campaign>".to_string(),
+                base_seed: campaign.runner().base_seed,
+                rep: 0,
+                fault_plan: None,
+                message: format!("interrupted by {signal} after the last scenario completed"),
+            });
+        }
+        eprintln!("interrupted by {signal}: campaign drained, reporting partial success");
     }
     if let (Some(path), Some(obs)) = (&opts.obs.html_report, &obs_report) {
         let html = crate::report::render_campaign_html(obs, &report);

@@ -1,0 +1,78 @@
+//! Interrupt-drain acceptance: a campaign that observes the interrupt
+//! flag (set by the SIGINT/SIGTERM handler `cli::run` installs) skips the
+//! remaining scenarios, records each skip as a structured failure — the
+//! shape `cli::run` maps to the partial-success exit code 3 — and keeps
+//! every record produced before the signal.
+//!
+//! The flag is process-global, so these tests live in their own
+//! integration-test binary and run serially against each other via the
+//! usual cargo test-name ordering plus explicit clear/raise pairs inside
+//! a single test.
+
+use wavm3_cluster::MachineSet;
+use wavm3_experiments::{Campaign, ExperimentFamily, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3_harness::signal;
+
+fn cheap_scenarios() -> Vec<Scenario> {
+    let mut all = Scenario::family_scenarios(ExperimentFamily::CpuloadSource, MachineSet::M);
+    all.retain(|s| s.label == "0 VM" || s.label == "1 VM");
+    assert_eq!(all.len(), 4, "fixture expects 2 kinds x 2 levels");
+    all
+}
+
+fn cfg() -> RunnerConfig {
+    RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(1),
+        base_seed: 0x51C,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn interrupted_campaign_drains_to_recorded_failures() {
+    signal::clear_for_tests();
+
+    // Uninterrupted reference: every scenario yields records, no failures.
+    let clean = Campaign::plain(cfg());
+    let reference = clean.collect(cheap_scenarios());
+    assert!(reference.runs.iter().all(|r| !r.records.is_empty()));
+    assert!(clean.report().failures.is_empty());
+
+    // Raise the flag as SIGTERM would, then run the same campaign: every
+    // scenario is skipped during the drain and recorded as a failure
+    // carrying the signal name — the campaign completes instead of dying.
+    signal::raise_for_tests(true);
+    let interrupted = Campaign::plain(cfg());
+    let drained = interrupted.collect(cheap_scenarios());
+    let report = interrupted.report();
+    signal::clear_for_tests();
+
+    assert!(
+        drained.runs.iter().all(|r| r.records.is_empty()),
+        "no scenario may start once the interrupt flag is up"
+    );
+    assert_eq!(report.failures.len(), cheap_scenarios().len());
+    assert_eq!(report.stats.failed, cheap_scenarios().len());
+    for failure in &report.failures {
+        assert!(
+            failure.message.contains("interrupted by SIGTERM"),
+            "failure message names the signal: {}",
+            failure.message
+        );
+    }
+
+    // The report serialises — this is what lands in campaign-report.json.
+    let json = serde_json::to_string(&report).expect("report serialises");
+    assert!(json.contains("interrupted by SIGTERM"), "{json}");
+}
+
+#[test]
+fn signal_flag_reports_the_signal_name() {
+    // Runs in the same process as the test above; the clear/raise pairs
+    // inside each test keep them independent regardless of order.
+    signal::clear_for_tests();
+    assert!(!signal::interrupted());
+    signal::raise_for_tests(false);
+    assert_eq!(signal::interrupted_by(), Some("SIGINT"));
+    signal::clear_for_tests();
+}

@@ -486,7 +486,12 @@ impl RetryPolicy {
     }
 
     /// Reject a zero attempt budget and NaN / non-finite / shrinking
-    /// backoff parameters.
+    /// backoff parameters, including combinations whose *worst-case*
+    /// backoff overflows f64: `SimDuration::from_secs_f64` saturates
+    /// non-finite inputs to ZERO, so an unchecked overflow would turn
+    /// the longest pause into a hot retry loop — the opposite of the
+    /// configured intent. Configs that can reach that state are a
+    /// config error (exit 2), not a latent runtime surprise.
     pub fn validate(&self) -> Result<(), Wavm3Error> {
         if self.max_attempts == 0 {
             return Err(Wavm3Error::invalid_config(
@@ -503,17 +508,38 @@ impl RetryPolicy {
                 ),
             ));
         }
+        let worst =
+            self.base_backoff.as_secs_f64() * self.multiplier.powi(self.max_attempts as i32 - 1);
+        if !worst.is_finite() {
+            return Err(Wavm3Error::invalid_config(
+                "retry.multiplier",
+                format!(
+                    "worst-case backoff overflows ({}s base x {}^{} is not finite)",
+                    self.base_backoff.as_secs_f64(),
+                    self.multiplier,
+                    self.max_attempts.saturating_sub(1)
+                ),
+            ));
+        }
         Ok(())
     }
 
     /// Simulated pause before retry attempt `attempt` (1-based; attempt 0
-    /// is the initial try and has no backoff).
+    /// is the initial try and has no backoff). A product that escapes
+    /// f64 range despite [`validate`](Self::validate) (e.g. a policy
+    /// mutated after validation) saturates to the *maximum* pause rather
+    /// than letting `from_secs_f64`'s non-finite handling collapse it to
+    /// zero — too much backoff is safe, zero backoff is a retry storm.
     pub fn backoff_before(&self, attempt: u32) -> SimDuration {
         if attempt == 0 {
             return SimDuration::ZERO;
         }
         let scale = self.multiplier.max(1.0).powi(attempt as i32 - 1);
-        SimDuration::from_secs_f64(self.base_backoff.as_secs_f64() * scale)
+        let secs = self.base_backoff.as_secs_f64() * scale;
+        if !secs.is_finite() {
+            return SimDuration::from_micros(u64::MAX);
+        }
+        SimDuration::from_secs_f64(secs)
     }
 }
 

@@ -3,7 +3,9 @@
 //! by `validate()` can never panic the planner.
 
 use proptest::prelude::*;
-use wavm3_faults::{AbortFault, FaultConfig, FaultPlan, LinkFaultConfig, NonConvergenceFault};
+use wavm3_faults::{
+    AbortFault, FaultConfig, FaultPlan, LinkFaultConfig, NonConvergenceFault, RetryPolicy,
+};
 use wavm3_simkit::{RngFactory, SimDuration, SimTime};
 
 #[test]
@@ -90,6 +92,77 @@ fn nan_and_out_of_range_probabilities_are_rejected() {
         ..FaultConfig::default()
     };
     assert!(cfg.validate().is_err(), "NaN mean_windows must be rejected");
+}
+
+#[test]
+fn retry_policy_rejections_classify_as_config_errors() {
+    // Every RetryPolicy rejection must be a *config* error so `cli::run`
+    // maps it to the usage exit code 2 instead of runtime failure 1.
+    let zero_attempts = RetryPolicy {
+        max_attempts: 0,
+        ..RetryPolicy::default()
+    };
+    let err = zero_attempts.validate().expect_err("zero attempts");
+    assert!(err.is_config_error(), "{err}");
+    assert!(err.to_string().contains("max_attempts"), "{err}");
+
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.5, -3.0] {
+        let policy = RetryPolicy {
+            multiplier: bad,
+            ..RetryPolicy::default()
+        };
+        let err = match policy.validate() {
+            Err(err) => err,
+            Ok(()) => panic!("multiplier {bad} must be rejected"),
+        };
+        assert!(err.is_config_error(), "{err}");
+    }
+}
+
+#[test]
+fn retry_policy_worst_case_backoff_overflow_is_a_config_error() {
+    // 5s * (1e40)^9 overflows f64; before validation learned to check
+    // the worst case this config passed and the overflowing attempts
+    // then collapsed to ZERO backoff (from_secs_f64 saturates non-finite
+    // to zero) — a hot retry loop wearing a "40 orders of magnitude of
+    // backoff" costume.
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_backoff: SimDuration::from_secs(5),
+        multiplier: 1e40,
+    };
+    let err = policy.validate().expect_err("worst-case overflow");
+    assert!(err.is_config_error(), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("worst-case backoff overflows"), "{msg}");
+
+    // The same growth rate with an attempt budget that keeps the product
+    // finite stays valid.
+    let bounded = RetryPolicy {
+        max_attempts: 3,
+        ..policy
+    };
+    assert!(bounded.validate().is_ok());
+}
+
+#[test]
+fn overflowing_backoff_saturates_up_not_down() {
+    // Defense in depth for a policy mutated after validation: a
+    // non-finite product pins the pause at the maximum representable
+    // duration instead of zero, and the schedule stays monotone.
+    let policy = RetryPolicy {
+        max_attempts: 200,
+        base_backoff: SimDuration::from_secs(5),
+        multiplier: 1e12,
+    };
+    let saturated = policy.backoff_before(100);
+    assert_eq!(saturated, SimDuration::from_micros(u64::MAX));
+    let mut prev = SimDuration::ZERO;
+    for attempt in 0..12 {
+        let pause = policy.backoff_before(attempt);
+        assert!(pause >= prev, "backoff must be monotone in the attempt");
+        prev = pause;
+    }
 }
 
 #[test]

@@ -82,6 +82,21 @@ pub enum Wavm3Error {
         /// What was being checked and how it failed.
         context: String,
     },
+    /// A request or operation blew through its deadline (serving-path
+    /// taxonomy: the work may have been abandoned mid-flight).
+    DeadlineExceeded {
+        /// What was being served or computed.
+        context: String,
+        /// The deadline that was breached, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// Work was shed because a bounded queue or admission limit was full
+    /// — the load-shedding path, distinct from a runtime failure: the
+    /// caller should back off and retry.
+    Overloaded {
+        /// Which queue or limiter shed the work.
+        context: String,
+    },
 }
 
 impl Wavm3Error {
@@ -121,6 +136,31 @@ impl Wavm3Error {
         Wavm3Error::CheckFailed {
             context: context.into(),
         }
+    }
+
+    /// An [`Wavm3Error::DeadlineExceeded`] for `context`.
+    pub fn deadline_exceeded(context: impl Into<String>, deadline_ms: u64) -> Self {
+        Wavm3Error::DeadlineExceeded {
+            context: context.into(),
+            deadline_ms,
+        }
+    }
+
+    /// An [`Wavm3Error::Overloaded`] for `context`.
+    pub fn overloaded(context: impl Into<String>) -> Self {
+        Wavm3Error::Overloaded {
+            context: context.into(),
+        }
+    }
+
+    /// `true` for the load-dependent, retry-worthy variants — the ones a
+    /// server maps to 429/503 rather than 500, and a client answers with
+    /// backoff instead of giving up.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Wavm3Error::DeadlineExceeded { .. } | Wavm3Error::Overloaded { .. }
+        )
     }
 
     /// An [`Wavm3Error::Serde`] with formatted parts.
@@ -169,6 +209,13 @@ impl fmt::Display for Wavm3Error {
             }
             Wavm3Error::InvalidInput { context, reason } => write!(f, "{context}: {reason}"),
             Wavm3Error::CheckFailed { context } => write!(f, "check failed: {context}"),
+            Wavm3Error::DeadlineExceeded {
+                context,
+                deadline_ms,
+            } => write!(f, "deadline exceeded: {context}: {deadline_ms} ms"),
+            Wavm3Error::Overloaded { context } => {
+                write!(f, "overloaded: {context}: request shed, retry later")
+            }
         }
     }
 }
@@ -262,6 +309,24 @@ mod tests {
         assert!(e.to_string().contains("/tmp/x"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(!e.is_config_error());
+    }
+
+    #[test]
+    fn serving_variants_classify_as_retryable_not_config() {
+        let e = Wavm3Error::deadline_exceeded("serve./plan", 250);
+        assert_eq!(e.to_string(), "deadline exceeded: serve./plan: 250 ms");
+        assert!(e.is_retryable());
+        assert!(!e.is_config_error());
+
+        let e = Wavm3Error::overloaded("serve.admission_queue");
+        assert!(e.to_string().contains("retry later"), "{e}");
+        assert!(e.is_retryable());
+        assert!(!e.is_config_error());
+
+        // Config rejections are not retryable: resending the same bad
+        // request can never succeed.
+        assert!(!Wavm3Error::invalid_config("f", "bad").is_retryable());
+        assert!(!Wavm3Error::check_failed("c").is_retryable());
     }
 
     #[test]

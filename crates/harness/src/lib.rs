@@ -27,6 +27,7 @@
 pub mod checkpoint;
 pub mod error;
 pub mod fsx;
+pub mod signal;
 pub mod supervisor;
 
 pub use checkpoint::{

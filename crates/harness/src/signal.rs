@@ -1,0 +1,125 @@
+//! Interrupt-aware campaigns: SIGINT/SIGTERM as graceful partial success.
+//!
+//! The default disposition for both signals is immediate process death —
+//! no campaign report, no exit-code distinction from a crash, and any
+//! artefact being written at that instant is torn mid-byte. A supervised
+//! campaign can do better: [`install`] replaces the disposition with a
+//! flag-setting handler, the campaign polls [`interrupted`] between
+//! scenarios and skips the remainder (recording them as failures), and
+//! the CLI layer maps the whole run to the partial-success exit code 3
+//! with an `interrupted by SIGTERM` entry in `campaign-report.json` —
+//! the same contract as a scenario that panicked under supervision.
+//!
+//! The handler is async-signal-safe: it stores one relaxed atomic and
+//! returns. Everything else (reporting, draining, exiting) happens on
+//! the normal control path. A second signal while the first is still
+//! draining re-runs the same store, so repeated Ctrl-C never escalates
+//! to an unclean death — callers who want that behaviour can restore
+//! `SIG_DFL` themselves.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which signal fired, encoded for the handler's single atomic store.
+const NONE: u8 = 0;
+const INT: u8 = 1;
+const TERM: u8 = 2;
+
+static INTERRUPT: AtomicU8 = AtomicU8::new(NONE);
+
+#[cfg(unix)]
+mod sys {
+    use super::{Ordering, INT, INTERRUPT, TERM};
+
+    // Bind the C library's `signal(2)` directly: the platform libc is
+    // already linked into every Rust binary, so this adds no dependency
+    // — exactly the vendor-free discipline the workspace uses elsewhere.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        let kind = if signum == SIGTERM { TERM } else { INT };
+        INTERRUPT.store(kind, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; `signal` itself is safe to call from the
+        // main control path.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    /// Non-unix targets keep the default disposition; the flag can still
+    /// be raised through [`super::raise_for_tests`].
+    pub(super) fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM flag handlers (idempotent; later installs
+/// are harmless re-registrations of the same handler).
+pub fn install() {
+    sys::install();
+}
+
+/// `true` once an interrupt signal has been observed.
+pub fn interrupted() -> bool {
+    INTERRUPT.load(Ordering::Relaxed) != NONE
+}
+
+/// The human name of the observed signal, if any.
+pub fn interrupted_by() -> Option<&'static str> {
+    match INTERRUPT.load(Ordering::Relaxed) {
+        INT => Some("SIGINT"),
+        TERM => Some("SIGTERM"),
+        _ => None,
+    }
+}
+
+/// Test hook: raise the flag as if `sigterm`-vs-`sigint` had fired.
+/// Process-global — tests using it must run in their own process (a
+/// dedicated integration-test binary) or clear it when done.
+pub fn raise_for_tests(term: bool) {
+    INTERRUPT.store(if term { TERM } else { INT }, Ordering::Relaxed);
+}
+
+/// Test hook: lower the flag again.
+pub fn clear_for_tests() {
+    INTERRUPT.store(NONE, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        // Serialise against any other test touching the global flag by
+        // doing the full cycle in one test.
+        clear_for_tests();
+        assert!(!interrupted());
+        assert_eq!(interrupted_by(), None);
+        raise_for_tests(false);
+        assert!(interrupted());
+        assert_eq!(interrupted_by(), Some("SIGINT"));
+        raise_for_tests(true);
+        assert_eq!(interrupted_by(), Some("SIGTERM"));
+        clear_for_tests();
+        assert!(!interrupted());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+        assert!(!interrupted(), "installation alone never raises the flag");
+    }
+}

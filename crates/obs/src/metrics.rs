@@ -31,6 +31,10 @@ pub mod buckets {
     pub const RESIDUAL_PCT: &[f64] = &[1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0, 100.0];
     /// Absolute power residuals in watts: 0.5 W … 200 W.
     pub const POWER_W: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0];
+    /// Request latencies in milliseconds (serving paths): 0.5 ms … 5 s.
+    pub const LATENCY_MS: &[f64] = &[
+        0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+    ];
 }
 
 /// Fixed-point scale for deterministic histogram sums (microunits).

@@ -1,0 +1,112 @@
+//! `wavm3-loadgen` — deterministic load generator for `wavm3-serve`.
+//!
+//! Exit codes: 0 when every request eventually succeeded, 1 when any
+//! client-visible error remained after retries, 2 on configuration
+//! errors. The count lines are seed-deterministic (see
+//! `wavm3_serve::loadgen`); the latency quantiles are wall-clock.
+
+use std::process::ExitCode;
+use wavm3_serve::{LoadgenConfig, RetryConfig, Target};
+
+const USAGE: &str = "\
+usage: wavm3-loadgen --addr HOST:PORT [options]
+
+  --addr HOST:PORT   server address (required)
+  --requests N       total requests (default 100)
+  --concurrency N    client threads (default 4)
+  --rps R            request rate limit, 0 = unthrottled (default 0)
+  --seed N           seed for bodies, chaos keys, jitter (default 42)
+  --deadline-ms MS   per-request deadline header (default 2000)
+  --retries N        attempts per request (default 4)
+  --backoff-ms MS    base retry backoff (default 20)
+  --multiplier X     backoff growth factor (default 2)
+  --jitter-ms MS     max uniform retry jitter (default 10)
+  --endpoint E       predict | plan | mixed (default mixed)
+  --help             this text
+";
+
+fn parse_args(args: &[String]) -> Result<LoadgenConfig, String> {
+    let mut cfg = LoadgenConfig::default();
+    let mut retry = RetryConfig::default();
+    let mut addr_given = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                cfg.addr = value("--addr")?.clone();
+                addr_given = true;
+            }
+            "--requests" => cfg.requests = parse(value("--requests")?)?,
+            "--concurrency" => cfg.concurrency = parse(value("--concurrency")?)?,
+            "--rps" => cfg.rps = parse(value("--rps")?)?,
+            "--seed" => cfg.seed = parse(value("--seed")?)?,
+            "--deadline-ms" => cfg.deadline_ms = parse(value("--deadline-ms")?)?,
+            "--retries" => retry.max_attempts = parse(value("--retries")?)?,
+            "--backoff-ms" => retry.base_backoff_ms = parse(value("--backoff-ms")?)?,
+            "--multiplier" => retry.multiplier = parse(value("--multiplier")?)?,
+            "--jitter-ms" => retry.max_jitter_ms = parse(value("--jitter-ms")?)?,
+            "--endpoint" => {
+                cfg.target = match value("--endpoint")?.as_str() {
+                    "predict" => Target::Predict,
+                    "plan" => Target::Plan,
+                    "mixed" => Target::Mixed,
+                    other => return Err(format!("unknown endpoint {other:?}")),
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other}\n\n{USAGE}")),
+        }
+    }
+    if !addr_given {
+        return Err(format!("--addr is required\n\n{USAGE}"));
+    }
+    cfg.retry = retry;
+    Ok(cfg)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match wavm3_serve::loadgen::run(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("wavm3-loadgen: {e}");
+            return ExitCode::from(if e.is_config_error() { 2 } else { 1 });
+        }
+    };
+    println!(
+        "counts: sent={} ok={} degraded={} shed_seen={} server_errors_seen={} \
+         connection_errors={} retries={} client_errors={} failed={}",
+        report.sent,
+        report.ok,
+        report.degraded,
+        report.shed_seen,
+        report.server_errors_seen,
+        report.connection_errors,
+        report.retries,
+        report.client_errors,
+        report.failed,
+    );
+    println!(
+        "latency_ms: p50={:.2} p95={:.2} p99={:.2}",
+        report.p50_ms, report.p95_ms, report.p99_ms
+    );
+    if report.failed > 0 {
+        eprintln!("{} request(s) failed after retries", report.failed);
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,118 @@
+//! `wavm3-serve` — run the prediction & planning service.
+//!
+//! Prints `listening on <addr>` once bound (scripts parse this line),
+//! then serves until SIGINT/SIGTERM, drains gracefully, prints the drain
+//! accounting, and exits 0. Configuration errors exit 2 before binding.
+
+use std::process::ExitCode;
+use wavm3_serve::{BreakerConfig, ChaosConfig, ServeConfig};
+
+const USAGE: &str = "\
+usage: wavm3-serve [options]
+
+  --addr HOST:PORT          bind address (default 127.0.0.1:0)
+  --workers N               worker threads (default 4)
+  --queue N                 admission queue capacity (default 64)
+  --deadline-ms MS          default per-request deadline (default 1000)
+  --breaker-threshold N     consecutive failures that trip the breaker (default 3)
+  --breaker-cooldown-ms MS  open-state cooldown (default 2000)
+  --breaker-probes N        half-open probe quota (default 2)
+  --coeffs-live PATH        fitted live-migration coefficients (JSON)
+  --coeffs-non-live PATH    fitted non-live coefficients (JSON)
+  --chaos-seed N            chaos RNG seed (default 0)
+  --chaos-latency P         latency injection probability (default 0)
+  --chaos-latency-min MS    injected latency lower bound (default 10)
+  --chaos-latency-max MS    injected latency upper bound (default 100)
+  --chaos-error P           500-injection probability (default 0)
+  --chaos-drop P            connection-drop probability (default 0)
+  --help                    this text
+";
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::default();
+    let mut breaker = BreakerConfig::default();
+    let mut chaos = ChaosConfig {
+        min_latency_ms: 10,
+        max_latency_ms: 100,
+        ..ChaosConfig::off()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?.clone(),
+            "--workers" => cfg.workers = parse(value("--workers")?)?,
+            "--queue" => cfg.queue_capacity = parse(value("--queue")?)?,
+            "--deadline-ms" => cfg.default_deadline_ms = parse(value("--deadline-ms")?)?,
+            "--breaker-threshold" => {
+                breaker.failure_threshold = parse(value("--breaker-threshold")?)?
+            }
+            "--breaker-cooldown-ms" => {
+                let ms: u64 = parse(value("--breaker-cooldown-ms")?)?;
+                breaker.cooldown_us = ms.saturating_mul(1_000);
+            }
+            "--breaker-probes" => {
+                breaker.probe_quota = parse(value("--breaker-probes")?)?;
+                breaker.probe_successes = breaker.probe_quota;
+            }
+            "--coeffs-live" => cfg.coeffs_live = Some(value("--coeffs-live")?.into()),
+            "--coeffs-non-live" => cfg.coeffs_non_live = Some(value("--coeffs-non-live")?.into()),
+            "--chaos-seed" => chaos.seed = parse(value("--chaos-seed")?)?,
+            "--chaos-latency" => chaos.latency_probability = parse(value("--chaos-latency")?)?,
+            "--chaos-latency-min" => chaos.min_latency_ms = parse(value("--chaos-latency-min")?)?,
+            "--chaos-latency-max" => chaos.max_latency_ms = parse(value("--chaos-latency-max")?)?,
+            "--chaos-error" => chaos.error_probability = parse(value("--chaos-error")?)?,
+            "--chaos-drop" => chaos.drop_probability = parse(value("--chaos-drop")?)?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other}\n\n{USAGE}")),
+        }
+    }
+    cfg.breaker = breaker;
+    cfg.chaos = chaos;
+    Ok(cfg)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    wavm3_harness::signal::install();
+    let handle = match wavm3_serve::start(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("wavm3-serve: {e}");
+            return ExitCode::from(if e.is_config_error() { 2 } else { 1 });
+        }
+    };
+    println!("listening on {}", handle.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !wavm3_harness::signal::interrupted() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let signal = wavm3_harness::signal::interrupted_by().unwrap_or("signal");
+    eprintln!("received {signal}: draining");
+    let report = handle.join();
+    println!(
+        "drained: accepted={} completed={} shed={} chaos_dropped={} dropped_inflight={}",
+        report.accepted,
+        report.completed,
+        report.shed,
+        report.chaos_dropped,
+        report.accepted - report.completed - report.shed,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,308 @@
+//! Circuit breaker around the planner.
+//!
+//! Closed → Open on `failure_threshold` *consecutive* failures (planner
+//! deadline breaches or injected faults); Open → HalfOpen once
+//! `cooldown_us` has elapsed; HalfOpen admits exactly `probe_quota`
+//! probes and returns to Closed after `probe_successes` of them succeed,
+//! or slams back to Open on the first probe failure. While not admitting,
+//! the server answers from the analytic fast path with last-known-good
+//! coefficients (`degraded: true`) instead of erroring — prediction
+//! quality degrades, availability does not.
+//!
+//! The clock is injected as microseconds so the state machine is a pure
+//! function of its inputs: the property tests drive it with a synthetic
+//! clock and the server feeds it wall time since startup.
+
+use wavm3_harness::Wavm3Error;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Time in Open before the first probe is allowed, microseconds.
+    pub cooldown_us: u64,
+    /// Probes admitted per HalfOpen episode.
+    pub probe_quota: u32,
+    /// Probe successes required to close again (≤ `probe_quota`).
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_us: 2_000_000,
+            probe_quota: 2,
+            probe_successes: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Reject thresholds/quotas that would make the machine unable to
+    /// trip, probe, or close.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        if self.failure_threshold == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "serve.breaker.failure_threshold",
+                "must be at least 1",
+            ));
+        }
+        if self.probe_quota == 0 || self.probe_successes == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "serve.breaker.probe_quota",
+                "probe quota and required successes must be at least 1",
+            ));
+        }
+        if self.probe_successes > self.probe_quota {
+            return Err(Wavm3Error::invalid_config(
+                "serve.breaker.probe_successes",
+                format!(
+                    "cannot require more successes than probes ({} > {})",
+                    self.probe_successes, self.probe_quota
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Public view of the breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Admitting everything.
+    Closed,
+    /// Admitting nothing; cooling down.
+    Open,
+    /// Admitting a bounded probe quota.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lowercase label for responses and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the real planner (and report the outcome back).
+    Allow,
+    /// Serve the degraded analytic fast path; do not touch the planner.
+    Degrade,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { since_us: u64 },
+    HalfOpen { probes_issued: u32, successes: u32 },
+}
+
+/// The deterministic breaker state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: State,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given (already validated) tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: State::Closed {
+                consecutive_failures: 0,
+            },
+        }
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Admit or degrade one request at time `now_us`. Admission from
+    /// HalfOpen consumes one probe slot; callers that were admitted must
+    /// later report [`on_success`](Self::on_success) or
+    /// [`on_failure`](Self::on_failure).
+    pub fn try_acquire(&mut self, now_us: u64) -> Admission {
+        match self.state {
+            State::Closed { .. } => Admission::Allow,
+            State::Open { since_us } => {
+                if now_us.saturating_sub(since_us) >= self.cfg.cooldown_us {
+                    // Cooldown over: become HalfOpen and spend the first
+                    // probe slot on this very request.
+                    self.state = State::HalfOpen {
+                        probes_issued: 1,
+                        successes: 0,
+                    };
+                    Admission::Allow
+                } else {
+                    Admission::Degrade
+                }
+            }
+            State::HalfOpen {
+                ref mut probes_issued,
+                ..
+            } => {
+                if *probes_issued < self.cfg.probe_quota {
+                    *probes_issued += 1;
+                    Admission::Allow
+                } else {
+                    Admission::Degrade
+                }
+            }
+        }
+    }
+
+    /// Report a successful admitted request.
+    pub fn on_success(&mut self, _now_us: u64) {
+        match self.state {
+            State::Closed { .. } => {
+                self.state = State::Closed {
+                    consecutive_failures: 0,
+                };
+            }
+            State::HalfOpen {
+                probes_issued,
+                successes,
+            } => {
+                let successes = successes + 1;
+                if successes >= self.cfg.probe_successes {
+                    self.state = State::Closed {
+                        consecutive_failures: 0,
+                    };
+                } else {
+                    self.state = State::HalfOpen {
+                        probes_issued,
+                        successes,
+                    };
+                }
+            }
+            // A stale success from before the trip: ignore.
+            State::Open { .. } => {}
+        }
+    }
+
+    /// Report a failed admitted request (deadline breach or fault).
+    pub fn on_failure(&mut self, now_us: u64) {
+        match self.state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.cfg.failure_threshold {
+                    self.state = State::Open { since_us: now_us };
+                } else {
+                    self.state = State::Closed {
+                        consecutive_failures: failures,
+                    };
+                }
+            }
+            // Any probe failure slams the breaker back open and restarts
+            // the cooldown from now.
+            State::HalfOpen { .. } => {
+                self.state = State::Open { since_us: now_us };
+            }
+            // A stale failure from before the trip: stay put (the
+            // original cooldown keeps counting).
+            State::Open { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_us: 1_000,
+            probe_quota: 2,
+            probe_successes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_failure(0);
+        b.on_failure(1);
+        b.on_success(2); // resets the streak
+        b.on_failure(3);
+        b.on_failure(4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(5);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_acquire(6), Admission::Degrade);
+    }
+
+    #[test]
+    fn cooldown_then_probe_then_close() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert_eq!(b.try_acquire(500), Admission::Degrade);
+        assert_eq!(b.try_acquire(1_002 + 2), Admission::Allow);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.try_acquire(1_200), Admission::Allow);
+        assert_eq!(b.try_acquire(1_300), Admission::Degrade, "quota spent");
+        b.on_success(1_400);
+        b.on_success(1_500);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_fresh_cooldown() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert_eq!(b.try_acquire(2_000), Admission::Allow);
+        b.on_failure(2_100);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_acquire(2_500), Admission::Degrade);
+        assert_eq!(b.try_acquire(3_200), Admission::Allow);
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_tunings() {
+        for bad in [
+            BreakerConfig {
+                failure_threshold: 0,
+                ..cfg()
+            },
+            BreakerConfig {
+                probe_quota: 0,
+                ..cfg()
+            },
+            BreakerConfig {
+                probe_successes: 0,
+                ..cfg()
+            },
+            BreakerConfig {
+                probe_successes: 3,
+                probe_quota: 2,
+                ..cfg()
+            },
+        ] {
+            let err = bad.validate().expect_err("degenerate tuning");
+            assert!(err.is_config_error(), "{err}");
+        }
+        assert!(cfg().validate().is_ok());
+    }
+}

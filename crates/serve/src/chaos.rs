@@ -1,0 +1,213 @@
+//! Seeded chaos middleware.
+//!
+//! Reuses the workspace RNG-stream discipline: every request carries a
+//! chaos key (the `x-wavm3-chaos-key` header, typically `"{id}:{attempt}"`
+//! from the load generator), the key is FNV-hashed into a child of the
+//! configured seed, and each decision dimension draws from its own named
+//! stream. The same `(seed, key)` pair therefore always yields the same
+//! fate — across reruns, across worker threads, and regardless of request
+//! interleaving — which is what makes chaos-mode assertions in CI and the
+//! loadgen golden test possible at all.
+
+use rand::Rng;
+use wavm3_harness::{fnv1a64, Wavm3Error};
+use wavm3_simkit::RngFactory;
+
+/// Injection probabilities and the latency range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Root seed for all decisions (`0` is a valid seed, not "off").
+    pub seed: u64,
+    /// Probability of injecting extra latency.
+    pub latency_probability: f64,
+    /// Injected latency lower bound, milliseconds.
+    pub min_latency_ms: u64,
+    /// Injected latency upper bound, milliseconds (inclusive).
+    pub max_latency_ms: u64,
+    /// Probability of replacing the response with a 500.
+    pub error_probability: f64,
+    /// Probability of dropping the connection without a response.
+    pub drop_probability: f64,
+}
+
+impl ChaosConfig {
+    /// No injection at all (the production configuration).
+    pub fn off() -> Self {
+        ChaosConfig {
+            seed: 0,
+            latency_probability: 0.0,
+            min_latency_ms: 0,
+            max_latency_ms: 0,
+            error_probability: 0.0,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// `true` when any fault class can fire.
+    pub fn is_enabled(&self) -> bool {
+        self.latency_probability > 0.0
+            || self.error_probability > 0.0
+            || self.drop_probability > 0.0
+    }
+
+    /// Reject out-of-range probabilities and an inverted latency range.
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        wavm3_harness::ensure_probability(
+            "serve.chaos.latency_probability",
+            self.latency_probability,
+        )?;
+        wavm3_harness::ensure_probability("serve.chaos.error_probability", self.error_probability)?;
+        wavm3_harness::ensure_probability("serve.chaos.drop_probability", self.drop_probability)?;
+        if self.error_probability + self.drop_probability > 1.0 {
+            return Err(Wavm3Error::invalid_config(
+                "serve.chaos.error_probability",
+                "error and drop probabilities must sum to at most 1",
+            ));
+        }
+        if self.min_latency_ms > self.max_latency_ms {
+            return Err(Wavm3Error::invalid_config(
+                "serve.chaos.min_latency_ms",
+                format!(
+                    "latency range inverted ({} > {})",
+                    self.min_latency_ms, self.max_latency_ms
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What happens to the response stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Respond normally.
+    Deliver,
+    /// Respond `500 injected fault`.
+    Error,
+    /// Close the connection without any response.
+    Drop,
+}
+
+/// The complete injected perturbation for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosDecision {
+    /// Extra latency charged to the request before handling.
+    pub latency_ms: u64,
+    /// Response-stream fate.
+    pub fate: Fate,
+}
+
+impl ChaosDecision {
+    /// The no-op decision (chaos disabled or the dice said "clean").
+    pub fn clean() -> Self {
+        ChaosDecision {
+            latency_ms: 0,
+            fate: Fate::Deliver,
+        }
+    }
+}
+
+/// Decide the fate of the request identified by `key`.
+pub fn decide(cfg: &ChaosConfig, key: &str) -> ChaosDecision {
+    if !cfg.is_enabled() {
+        return ChaosDecision::clean();
+    }
+    let factory = RngFactory::new(cfg.seed).child(fnv1a64(key.as_bytes()));
+    let mut fate_rng = factory.stream("chaos.fate");
+    let roll: f64 = fate_rng.gen_range(0.0..1.0);
+    let fate = if roll < cfg.error_probability {
+        Fate::Error
+    } else if roll < cfg.error_probability + cfg.drop_probability {
+        Fate::Drop
+    } else {
+        Fate::Deliver
+    };
+    let mut latency_rng = factory.stream("chaos.latency");
+    let latency_ms = if latency_rng.gen_range(0.0..1.0) < cfg.latency_probability {
+        latency_rng.gen_range(cfg.min_latency_ms..=cfg.max_latency_ms)
+    } else {
+        0
+    };
+    ChaosDecision { latency_ms, fate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic() -> ChaosConfig {
+        ChaosConfig {
+            seed: 7,
+            latency_probability: 0.5,
+            min_latency_ms: 5,
+            max_latency_ms: 30,
+            error_probability: 0.2,
+            drop_probability: 0.1,
+        }
+    }
+
+    #[test]
+    fn same_key_same_fate() {
+        let cfg = chaotic();
+        for key in ["1:0", "1:1", "2:0", "weird key"] {
+            assert_eq!(decide(&cfg, key), decide(&cfg, key));
+        }
+    }
+
+    #[test]
+    fn seed_and_key_both_matter() {
+        let a = chaotic();
+        let b = ChaosConfig { seed: 8, ..a };
+        let mut differs = false;
+        for id in 0..64u32 {
+            let key = format!("{id}:0");
+            if decide(&a, &key) != decide(&b, &key) {
+                differs = true;
+            }
+        }
+        assert!(differs, "different seeds must yield different schedules");
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honoured() {
+        let cfg = chaotic();
+        let mut errors = 0;
+        let mut drops = 0;
+        let mut latencies = 0;
+        const N: u32 = 2_000;
+        for id in 0..N {
+            let d = decide(&cfg, &format!("{id}:0"));
+            match d.fate {
+                Fate::Error => errors += 1,
+                Fate::Drop => drops += 1,
+                Fate::Deliver => {}
+            }
+            if d.latency_ms > 0 {
+                latencies += 1;
+                assert!((5..=30).contains(&d.latency_ms));
+            }
+        }
+        let frac = |n: u32| n as f64 / N as f64;
+        assert!((frac(errors) - 0.2).abs() < 0.05, "{errors}");
+        assert!((frac(drops) - 0.1).abs() < 0.05, "{drops}");
+        assert!((frac(latencies) - 0.5).abs() < 0.05, "{latencies}");
+    }
+
+    #[test]
+    fn off_is_clean_and_invalid_configs_are_config_errors() {
+        assert_eq!(decide(&ChaosConfig::off(), "1:0"), ChaosDecision::clean());
+        let bad = ChaosConfig {
+            error_probability: 0.8,
+            drop_probability: 0.4,
+            ..chaotic()
+        };
+        assert!(bad.validate().expect_err("sum > 1").is_config_error());
+        let inverted = ChaosConfig {
+            min_latency_ms: 50,
+            max_latency_ms: 10,
+            ..chaotic()
+        };
+        assert!(inverted.validate().expect_err("inverted").is_config_error());
+        assert!(chaotic().validate().is_ok());
+    }
+}

@@ -1,0 +1,103 @@
+//! Server configuration and validation.
+
+use crate::breaker::BreakerConfig;
+use crate::chaos::ChaosConfig;
+use std::path::PathBuf;
+use wavm3_harness::Wavm3Error;
+
+/// Everything `Server::start` needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed with 429.
+    pub queue_capacity: usize,
+    /// Default per-request deadline, milliseconds (header
+    /// `x-wavm3-deadline-ms` overrides per request).
+    pub default_deadline_ms: u64,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Chaos middleware tuning.
+    pub chaos: ChaosConfig,
+    /// Optional fitted live-migration coefficients (JSON `Wavm3Model`);
+    /// the paper's Table IV coefficients when absent.
+    pub coeffs_live: Option<PathBuf>,
+    /// Optional fitted non-live coefficients; Table III when absent.
+    pub coeffs_non_live: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline_ms: 1_000,
+            breaker: BreakerConfig::default(),
+            chaos: ChaosConfig::off(),
+            coeffs_live: None,
+            coeffs_non_live: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reject configurations that cannot serve: no workers, no queue, a
+    /// zero deadline, or invalid breaker/chaos tunings. All rejections
+    /// are config errors (CLI exit code 2).
+    pub fn validate(&self) -> Result<(), Wavm3Error> {
+        if self.workers == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "serve.workers",
+                "must have at least one worker",
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "serve.queue_capacity",
+                "must admit at least one waiting request",
+            ));
+        }
+        if self.default_deadline_ms == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "serve.default_deadline_ms",
+                "a zero deadline rejects every request",
+            ));
+        }
+        self.breaker.validate()?;
+        self.chaos.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_configs_classify_as_config_errors() {
+        for cfg in [
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                default_deadline_ms: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            let err = cfg.validate().expect_err("degenerate");
+            assert!(err.is_config_error(), "{err}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # wavm3-serve — failure-hardened prediction & planning service
+//!
+//! The deployment story the paper closes with (§VIII: the fitted model
+//! "could also be easily integrated" into live infrastructure) needs a
+//! serving layer that stays available when its inputs misbehave. This
+//! crate is that layer: an HTTP/1.1 service on `std::net` (no async
+//! runtime — the build environment is offline and the workspace is
+//! vendored-deps-only) exposing the fitted energy models and the
+//! analytic planner behind an explicit robustness envelope:
+//!
+//! * **deadlines** — every request carries a budget (default or the
+//!   `x-wavm3-deadline-ms` header) enforced from the accept instant;
+//! * **admission control** — a bounded queue sheds overload with
+//!   `429 Retry-After` instead of queueing unboundedly;
+//! * **circuit breaker** — consecutive planner failures trip it open and
+//!   requests degrade to an analytic fast path with last-known-good
+//!   coefficients (`degraded: true`) instead of erroring;
+//! * **graceful drain** — shutdown stops accepting, finishes every
+//!   accepted in-flight request, and reports the accounting;
+//! * **seeded chaos** — latency/error/drop injection keyed per request by
+//!   the same RNG-stream discipline as `wavm3-faults`, so failure drills
+//!   are reproducible;
+//! * **deterministic load generation** — [`loadgen`] drives the server
+//!   with seed-derived traffic and reports shed/degraded/error counts
+//!   that are identical across reruns of the same seed.
+//!
+//! The binaries `wavm3-serve` and `wavm3-loadgen` wrap [`server`] and
+//! [`loadgen`]; the CI `serve-smoke` job exercises clean, chaos, and
+//! drain scenarios end to end.
+
+pub mod api;
+pub mod breaker;
+pub mod chaos;
+pub mod config;
+pub mod http;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+
+pub use api::{ApiRequest, ErrorResponse, PlanResponse, PredictResponse};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{ChaosConfig, ChaosDecision, Fate};
+pub use config::ServeConfig;
+pub use loadgen::{LoadReport, LoadgenConfig, RetryConfig, Target};
+pub use queue::{BoundedQueue, PushOutcome};
+pub use server::{start, DrainReport, ServerHandle};

@@ -1,0 +1,144 @@
+//! Property tests for the circuit-breaker state machine (satellite 2):
+//! driven by arbitrary event sequences on a synthetic monotone clock, the
+//! breaker must (a) never admit a request while Open before the cooldown
+//! elapses, (b) admit at most the probe quota per HalfOpen episode, and
+//! (c) only move Open → HalfOpen at a time consistent with the cooldown
+//! that started at the trip.
+
+use proptest::prelude::*;
+use wavm3_serve::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+
+/// One step of the driving sequence.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// `try_acquire` after advancing the clock by the given step.
+    Acquire { advance_us: u64 },
+    /// Report success on a previously admitted request.
+    Success,
+    /// Report failure on a previously admitted request.
+    Failure,
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u64..3_000).prop_map(|advance_us| Event::Acquire { advance_us }),
+        Just(Event::Success),
+        Just(Event::Failure),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = BreakerConfig> {
+    (1u32..=4, 100u64..=2_000, 1u32..=3).prop_map(|(threshold, cooldown_us, quota)| BreakerConfig {
+        failure_threshold: threshold,
+        cooldown_us,
+        probe_quota: quota,
+        probe_successes: quota,
+    })
+}
+
+proptest! {
+    #[test]
+    fn breaker_invariants_hold_over_any_event_sequence(
+        cfg in arb_config(),
+        events in prop::collection::vec(arb_event(), 1..200),
+    ) {
+        prop_assert!(cfg.validate().is_ok());
+        let mut breaker = CircuitBreaker::new(cfg);
+        let mut now_us: u64 = 0;
+        // Time of the most recent transition *into* Open, tracked from
+        // the outside by watching state changes around on_failure.
+        let mut opened_at: Option<u64> = None;
+        // Probes admitted in the current HalfOpen episode.
+        let mut probes_this_episode: u32 = 0;
+
+        for event in events {
+            match event {
+                Event::Acquire { advance_us } => {
+                    now_us += advance_us;
+                    let before = breaker.state();
+                    let admission = breaker.try_acquire(now_us);
+                    let after = breaker.state();
+
+                    if before == BreakerState::Open {
+                        let since = opened_at.expect("Open state always has a trip time");
+                        if now_us.saturating_sub(since) < cfg.cooldown_us {
+                            // (a) never serves from an open breaker
+                            // before the cooldown has elapsed.
+                            prop_assert_eq!(admission, Admission::Degrade);
+                            prop_assert_eq!(after, BreakerState::Open);
+                        } else {
+                            // (c) the transition out of Open happens
+                            // exactly when the cooldown allows it, and
+                            // the admitted request is the first probe.
+                            prop_assert_eq!(admission, Admission::Allow);
+                            prop_assert_eq!(after, BreakerState::HalfOpen);
+                            probes_this_episode = 1;
+                        }
+                    } else if before == BreakerState::HalfOpen {
+                        if admission == Admission::Allow {
+                            probes_this_episode += 1;
+                        }
+                        // (b) half-open admits at most the probe quota.
+                        prop_assert!(probes_this_episode <= cfg.probe_quota);
+                    } else {
+                        prop_assert_eq!(admission, Admission::Allow);
+                    }
+                }
+                Event::Success => {
+                    let before = breaker.state();
+                    breaker.on_success(now_us);
+                    if before != BreakerState::Open {
+                        // Success never trips the breaker open.
+                        prop_assert_ne!(breaker.state(), BreakerState::Open);
+                    }
+                    if breaker.state() == BreakerState::Closed {
+                        probes_this_episode = 0;
+                    }
+                }
+                Event::Failure => {
+                    let before = breaker.state();
+                    breaker.on_failure(now_us);
+                    if before != BreakerState::Open && breaker.state() == BreakerState::Open {
+                        opened_at = Some(now_us);
+                        probes_this_episode = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cooldowns are monotone: if the breaker refuses at time `t`, it
+    /// refuses at every earlier time in the same Open episode — probing
+    /// can only begin once, at or after `since + cooldown`.
+    #[test]
+    fn open_refusal_is_monotone_in_time(
+        cfg in arb_config(),
+        trip_failures in 1u32..=4,
+        probe_at in 0u64..4_000,
+    ) {
+        let mut breaker = CircuitBreaker::new(cfg);
+        for _ in 0..trip_failures.max(cfg.failure_threshold) {
+            breaker.on_failure(1_000);
+        }
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+        // Replay the same Open state against increasing probe times; the
+        // admission decision must flip from Degrade to Allow exactly once.
+        let mut seen_allow = false;
+        for t in [1_000, 1_000 + probe_at, 1_000 + probe_at + cfg.cooldown_us] {
+            let mut replay = breaker;
+            let admission = replay.try_acquire(t);
+            if seen_allow {
+                prop_assert_eq!(
+                    admission,
+                    Admission::Allow,
+                    "a later probe may not be refused after an earlier one was admitted"
+                );
+            }
+            if admission == Admission::Allow {
+                seen_allow = true;
+                prop_assert!(t.saturating_sub(1_000) >= cfg.cooldown_us);
+            }
+        }
+        prop_assert!(seen_allow, "cooldown + trip time must eventually admit");
+    }
+}

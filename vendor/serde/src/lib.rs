@@ -225,6 +225,21 @@ macro_rules! impl_serde_float {
 
 impl_serde_float!(f32, f64);
 
+// `Value` round-trips through itself, so callers can deserialize a
+// payload to the raw tree, inspect/default optional fields by hand, and
+// then `Deserialize::from_value` the parts that are plain structs.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
