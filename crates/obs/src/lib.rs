@@ -17,6 +17,10 @@
 //! * **Metrics** ([`metrics`]) — a process-wide registry of counters,
 //!   gauges and fixed-bucket histograms with a deterministic,
 //!   serde-serialisable [`metrics::MetricsSnapshot`].
+//! * **Request observability** ([`reqtrace`], [`slo`]) — wall-clock
+//!   span trees for the serving layer with deterministic seed-keyed
+//!   tail sampling, SLO burn-rate evaluation over RED metric families,
+//!   and windowed NRMSE drift monitoring of online predictions.
 //! * **Profiling** ([`perf`]) — a hierarchical wall-clock self-profiler:
 //!   nested [`perf::scope`]s accumulate into per-thread arenas that merge
 //!   lock-free into a call-tree [`perf::PerfSnapshot`] (cumulative/self
@@ -58,7 +62,9 @@ pub mod ledger;
 pub mod level;
 pub mod metrics;
 pub mod perf;
+pub mod reqtrace;
 pub mod session;
+pub mod slo;
 pub mod trace;
 
 pub use event::{Event, FieldValue};

@@ -55,7 +55,10 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    fn new(bounds: &[f64]) -> Self {
+    /// An empty histogram over `bounds` (public so clients — e.g. the
+    /// load generator — can aggregate with the *same* estimator the
+    /// server exposes and quantiles stay comparable bucket-for-bucket).
+    pub fn new(bounds: &[f64]) -> Self {
         HistogramSnapshot {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
@@ -64,7 +67,8 @@ impl HistogramSnapshot {
         }
     }
 
-    fn observe(&mut self, value: f64) {
+    /// Record one sample (inclusive upper-bound bucketing).
+    pub fn observe(&mut self, value: f64) {
         let idx = self
             .bounds
             .iter()
@@ -132,6 +136,33 @@ impl HistogramSnapshot {
     }
 }
 
+/// One exemplar: a trace id attached to a histogram observation, the
+/// metric↔trace join key of the serving layer's correlation story.
+///
+/// Exemplars live in a separate registry store rather than inside
+/// [`HistogramSnapshot`]: adding a field there would break
+/// deserialisation of committed baseline snapshots (the vendored serde
+/// derive requires every field present).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Trace id of the observation (32-hex for the serving layer).
+    pub trace_id: String,
+    /// The observed value.
+    pub value: f64,
+    /// Upper bound of the bucket the value landed in
+    /// (`f64::INFINITY` = overflow bucket).
+    pub bucket_le: f64,
+    /// Pinned exemplars (errors) are never displaced by later
+    /// same-bucket observations; unpinned ones (tail latencies) keep
+    /// only the latest per bucket.
+    pub pinned: bool,
+}
+
+/// Retained exemplars per histogram before eviction. Generous enough
+/// that a CI chaos run never evicts; evictions are counted on
+/// `obs.exemplars.evicted` so the cap is never silent.
+const EXEMPLAR_CAP: usize = 4096;
+
 /// Deterministic point-in-time copy of a [`Registry`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -161,6 +192,26 @@ impl MetricsSnapshot {
     /// follows the snapshot's BTreeMap ordering, so two equal snapshots
     /// render byte-identically.
     pub fn to_prometheus_text(&self) -> String {
+        self.to_prometheus_text_with_exemplars(&BTreeMap::new())
+    }
+
+    /// Like [`to_prometheus_text`](Self::to_prometheus_text), but after
+    /// each histogram's series the attached exemplars are rendered as
+    /// comment lines:
+    ///
+    /// ```text
+    /// # exemplar serve_red_predict_5xx_duration_ms{le="2",trace_id="0af7…"} 1.8
+    /// ```
+    ///
+    /// Comment lines keep the exposition valid for any 0.0.4 parser
+    /// (real exemplar syntax needs the OpenMetrics content type) while
+    /// staying one-line-greppable for the correlation checker. With an
+    /// empty map the output is byte-identical to the exemplar-free
+    /// exposition.
+    pub fn to_prometheus_text_with_exemplars(
+        &self,
+        exemplars: &BTreeMap<String, Vec<Exemplar>>,
+    ) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (name, value) in &self.counters {
@@ -173,8 +224,8 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {}", format_sample(*value));
         }
-        for (name, hist) in &self.histograms {
-            let name = sanitize_metric_name(name);
+        for (raw_name, hist) in &self.histograms {
+            let name = sanitize_metric_name(raw_name);
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
@@ -191,6 +242,15 @@ impl MetricsSnapshot {
                 if let Some(v) = hist.quantile(q) {
                     let _ = writeln!(out, "{name}_{suffix} {}", format_sample(v));
                 }
+            }
+            for e in exemplars.get(raw_name).into_iter().flatten() {
+                let _ = writeln!(
+                    out,
+                    "# exemplar {name}{{le=\"{}\",trace_id=\"{}\"}} {}",
+                    escape_label_value(&format_sample(e.bucket_le)),
+                    escape_label_value(&e.trace_id),
+                    format_sample(e.value),
+                );
             }
         }
         out
@@ -250,6 +310,7 @@ struct RegistryInner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, HistogramSnapshot>,
+    exemplars: BTreeMap<String, Vec<Exemplar>>,
 }
 
 /// A metrics registry. The workspace normally uses the process-wide one
@@ -298,6 +359,88 @@ impl Registry {
                 inner.histograms.insert(name.to_string(), h);
             }
         }
+    }
+
+    /// Observe `value` on histogram `name` and attach `trace_id` as an
+    /// exemplar on the bucket it lands in.
+    ///
+    /// `pinned` exemplars (errors) all survive — every one of them is a
+    /// required join key for the correlation checker; unpinned ones
+    /// (tail latencies) keep only the latest per bucket. Past
+    /// [`EXEMPLAR_CAP`] the oldest unpinned exemplar is evicted first
+    /// (then the oldest pinned), and each eviction increments the
+    /// `obs.exemplars.evicted` counter so truncation is visible.
+    pub fn observe_with_exemplar(
+        &self,
+        name: &str,
+        bounds: &[f64],
+        value: f64,
+        trace_id: &str,
+        pinned: bool,
+    ) {
+        let mut inner = self.lock();
+        let bucket_le = match inner.histograms.get_mut(name) {
+            Some(h) => {
+                h.observe(value);
+                h.bounds
+                    .iter()
+                    .find(|&&b| value <= b)
+                    .copied()
+                    .unwrap_or(f64::INFINITY)
+            }
+            None => {
+                let mut h = HistogramSnapshot::new(bounds);
+                h.observe(value);
+                let le = h
+                    .bounds
+                    .iter()
+                    .find(|&&b| value <= b)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                inner.histograms.insert(name.to_string(), h);
+                le
+            }
+        };
+        let store = inner.exemplars.entry(name.to_string()).or_default();
+        let exemplar = Exemplar {
+            trace_id: trace_id.to_string(),
+            value,
+            bucket_le,
+            pinned,
+        };
+        if !pinned {
+            if let Some(existing) = store
+                .iter_mut()
+                .find(|e| !e.pinned && e.bucket_le == bucket_le)
+            {
+                *existing = exemplar;
+                return;
+            }
+        }
+        let mut evicted = 0u64;
+        while store.len() >= EXEMPLAR_CAP {
+            let victim = store.iter().position(|e| !e.pinned).unwrap_or(0);
+            store.remove(victim);
+            evicted += 1;
+        }
+        store.push(exemplar);
+        if evicted > 0 {
+            match inner.counters.get_mut("obs.exemplars.evicted") {
+                Some(v) => *v += evicted,
+                None => {
+                    inner
+                        .counters
+                        .insert("obs.exemplars.evicted".to_string(), evicted);
+                }
+            }
+        }
+    }
+
+    /// The exemplar store, histogram-name order (insertion order within
+    /// a histogram). Pass to
+    /// [`MetricsSnapshot::to_prometheus_text_with_exemplars`].
+    pub fn exemplars(&self) -> BTreeMap<String, Vec<Exemplar>> {
+        self.lock().exemplars.clone()
     }
 
     /// Deterministic snapshot (BTreeMap name order).
@@ -634,6 +777,69 @@ migration_transfer_s_p99 2.5
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse snapshot");
         assert_eq!(back, snap);
         assert_eq!(back.histograms["migration.transfer_s"].count, 2);
+    }
+
+    #[test]
+    fn exemplars_attach_to_buckets_and_render_as_comment_lines() {
+        let r = Registry::new();
+        let bounds: &[f64] = &[1.0, 2.0, 5.0];
+        r.observe_with_exemplar("req.ms", bounds, 1.8, "aaaa", true);
+        r.observe_with_exemplar("req.ms", bounds, 99.0, "bbbb", false);
+        let ex = r.exemplars();
+        assert_eq!(ex["req.ms"].len(), 2);
+        assert_eq!(ex["req.ms"][0].bucket_le, 2.0);
+        assert_eq!(ex["req.ms"][1].bucket_le, f64::INFINITY);
+        // The histogram itself counted both observations.
+        assert_eq!(r.snapshot().histograms["req.ms"].count, 2);
+        let text = r.snapshot().to_prometheus_text_with_exemplars(&ex);
+        assert!(
+            text.contains("# exemplar req_ms{le=\"2\",trace_id=\"aaaa\"} 1.8"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# exemplar req_ms{le=\"+Inf\",trace_id=\"bbbb\"} 99"),
+            "{text}"
+        );
+        // Exemplar-free rendering is unchanged by the feature.
+        assert_eq!(
+            r.snapshot().to_prometheus_text(),
+            r.snapshot()
+                .to_prometheus_text_with_exemplars(&BTreeMap::new())
+        );
+    }
+
+    #[test]
+    fn unpinned_exemplars_replace_per_bucket_pinned_ones_accumulate() {
+        let r = Registry::new();
+        let bounds: &[f64] = &[10.0];
+        r.observe_with_exemplar("h", bounds, 3.0, "first", false);
+        r.observe_with_exemplar("h", bounds, 4.0, "second", false);
+        let ex = r.exemplars();
+        assert_eq!(ex["h"].len(), 1, "unpinned replaces in-bucket");
+        assert_eq!(ex["h"][0].trace_id, "second");
+        r.observe_with_exemplar("h", bounds, 5.0, "err1", true);
+        r.observe_with_exemplar("h", bounds, 6.0, "err2", true);
+        let ex = r.exemplars();
+        assert_eq!(ex["h"].len(), 3, "pinned exemplars all survive");
+    }
+
+    #[test]
+    fn exemplar_cap_evicts_unpinned_first_and_counts_it() {
+        let r = Registry::new();
+        let bounds: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        // One unpinned, then pinned entries past the cap.
+        r.observe_with_exemplar("h", &bounds, 0.5, "unpinned", false);
+        for i in 0..EXEMPLAR_CAP {
+            r.observe_with_exemplar("h", &bounds, 1.5, &format!("e{i}"), true);
+        }
+        let ex = r.exemplars();
+        assert_eq!(ex["h"].len(), EXEMPLAR_CAP);
+        assert!(
+            ex["h"].iter().all(|e| e.trace_id != "unpinned"),
+            "unpinned must be the first eviction"
+        );
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("obs.exemplars.evicted"), Some(&1));
     }
 
     #[test]

@@ -1,0 +1,613 @@
+//! SLO evaluation over RED metric families, and online residual drift
+//! monitoring.
+//!
+//! ## RED families
+//!
+//! The serving layer records one duration histogram per
+//! route × status-class under the naming convention
+//! `serve.red.{route}.{class}.duration_ms` (classes from
+//! [`crate::reqtrace::status_class`]: `2xx`, `4xx`, `429`, `503`,
+//! `5xx`, `drop`). [`evaluate`] walks a [`MetricsSnapshot`], regroups
+//! those families per route, and scores them against a declarative
+//! [`SloConfig`]:
+//!
+//! * **availability** — `429`/`503`/`5xx`/`drop` outcomes spend error
+//!   budget (plain `4xx` is the client's bug and spends nothing);
+//!   the *burn rate* is `error_rate / (1 - objective)`, the standard
+//!   multi-window burn-rate gauge (burn 1.0 = exactly consuming the
+//!   budget, >1 = on track to exhaust it).
+//! * **p99 latency** — the interpolated p99 of the `2xx` histogram is
+//!   compared against the objective, and the fraction of successes
+//!   slower than the objective (by bucket rank) burns the latency
+//!   budget at `slow_fraction / (1 - objective)`.
+//!
+//! ## Drift
+//!
+//! [`DriftMonitor`] keeps a sliding window of signed residuals
+//! (`predicted − truth`) per key (`{kind}.{role}` for the serving
+//! layer), summarising each window as NRMSE% — RMSE normalised by the
+//! window's mean |truth|, the same Table VII metric the paper reports.
+//! A window is *degraded* once it holds `min_samples` and its NRMSE
+//! exceeds `multiple ×` the configured per-key baseline; the serving
+//! layer surfaces that on `/healthz`.
+
+use crate::metrics::MetricsSnapshot;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Metric-name prefix of every RED duration family.
+pub const RED_PREFIX: &str = "serve.red.";
+/// Metric-name suffix of every RED duration family.
+pub const RED_SUFFIX: &str = ".duration_ms";
+
+/// The RED duration histogram name for one route × status class.
+pub fn red_metric(route: &str, class: &str) -> String {
+    format!("{RED_PREFIX}{route}.{class}{RED_SUFFIX}")
+}
+
+/// Status classes that spend availability error budget. Plain `4xx`
+/// (malformed bodies, unknown routes) is excluded: a client bug is not
+/// a service failure.
+pub const ERROR_CLASSES: &[&str] = &["429", "503", "5xx", "drop"];
+
+/// Declarative service-level objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SloConfig {
+    /// Availability objective in `(0, 1)`, e.g. `0.99` = at most 1% of
+    /// requests may fail.
+    pub availability: f64,
+    /// p99 latency objective, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            availability: 0.99,
+            p99_ms: 500.0,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Reject objectives with no error budget (`availability = 1`
+    /// divides by zero) or nonsensical bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.availability.is_finite() || !(0.0..1.0).contains(&self.availability) {
+            return Err(format!(
+                "slo.availability must be in [0, 1) — an objective of exactly 1 \
+                 leaves no error budget to burn — got {}",
+                self.availability
+            ));
+        }
+        if !self.p99_ms.is_finite() || self.p99_ms <= 0.0 {
+            return Err(format!(
+                "slo.p99_ms must be finite and positive, got {}",
+                self.p99_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One route's scored SLO state.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RouteSlo {
+    /// Route label.
+    pub route: String,
+    /// Total requests across every status class.
+    pub requests: u64,
+    /// Requests in budget-spending classes (`429`/`503`/`5xx`/`drop`).
+    pub errors: u64,
+    /// `errors / requests` (0 when idle).
+    pub error_rate: f64,
+    /// `error_rate / (1 - availability objective)`.
+    pub burn_rate: f64,
+    /// Interpolated p99 of the `2xx` duration histogram, ms (0 when no
+    /// successes were recorded yet).
+    pub p99_ms: f64,
+    /// Successes slower than the latency objective (by bucket rank).
+    pub slow: u64,
+    /// `slow / successes / (1 - availability objective)`.
+    pub latency_burn_rate: f64,
+}
+
+/// The full SLO report served by `GET /debug/slo`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloReport {
+    /// The objectives the routes were scored against.
+    pub objectives: SloConfig,
+    /// Per-route scores, route order.
+    pub routes: Vec<RouteSlo>,
+    /// Max availability burn rate across routes.
+    pub worst_burn_rate: f64,
+    /// Max latency burn rate across routes.
+    pub worst_latency_burn_rate: f64,
+}
+
+impl SloReport {
+    /// Flatten into gauge samples for the metrics registry
+    /// (`serve.slo.{route}.burn_rate`, …, `serve.slo.worst_burn_rate`).
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::with_capacity(self.routes.len() * 3 + 2);
+        for r in &self.routes {
+            out.push((format!("serve.slo.{}.error_rate", r.route), r.error_rate));
+            out.push((format!("serve.slo.{}.burn_rate", r.route), r.burn_rate));
+            out.push((
+                format!("serve.slo.{}.latency_burn_rate", r.route),
+                r.latency_burn_rate,
+            ));
+        }
+        out.push((
+            "serve.slo.worst_burn_rate".to_string(),
+            self.worst_burn_rate,
+        ));
+        out.push((
+            "serve.slo.worst_latency_burn_rate".to_string(),
+            self.worst_latency_burn_rate,
+        ));
+        out
+    }
+}
+
+/// Score every RED family in `snapshot` against `cfg`.
+pub fn evaluate(snapshot: &MetricsSnapshot, cfg: &SloConfig) -> SloReport {
+    // route -> class -> (count, slow-beyond-objective)
+    let mut routes: BTreeMap<String, BTreeMap<String, (u64, u64)>> = BTreeMap::new();
+    let mut p99s: BTreeMap<String, f64> = BTreeMap::new();
+    for (name, hist) in &snapshot.histograms {
+        let Some(tail) = name.strip_prefix(RED_PREFIX) else {
+            continue;
+        };
+        let Some(stem) = tail.strip_suffix(RED_SUFFIX) else {
+            continue;
+        };
+        let Some((route, class)) = stem.rsplit_once('.') else {
+            continue;
+        };
+        // Successes at or under the objective: cumulative count of the
+        // buckets whose upper bound fits the objective. The objective
+        // should sit on a bucket edge; anything between edges is scored
+        // conservatively (the straddling bucket counts as slow).
+        let within: u64 = hist
+            .bounds
+            .iter()
+            .zip(&hist.counts)
+            .filter(|(b, _)| **b <= cfg.p99_ms)
+            .map(|(_, c)| *c)
+            .sum();
+        let slow = hist.count - within.min(hist.count);
+        routes
+            .entry(route.to_string())
+            .or_default()
+            .insert(class.to_string(), (hist.count, slow));
+        if class == "2xx" {
+            if let Some(p99) = hist.quantile(0.99) {
+                p99s.insert(route.to_string(), p99);
+            }
+        }
+    }
+
+    let budget = 1.0 - cfg.availability;
+    let mut report = SloReport {
+        objectives: *cfg,
+        routes: Vec::with_capacity(routes.len()),
+        worst_burn_rate: 0.0,
+        worst_latency_burn_rate: 0.0,
+    };
+    for (route, classes) in routes {
+        let requests: u64 = classes.values().map(|(n, _)| n).sum();
+        let errors: u64 = ERROR_CLASSES
+            .iter()
+            .filter_map(|c| classes.get(*c))
+            .map(|(n, _)| n)
+            .sum();
+        let (successes, slow) = classes.get("2xx").copied().unwrap_or((0, 0));
+        let error_rate = if requests == 0 {
+            0.0
+        } else {
+            errors as f64 / requests as f64
+        };
+        let slow_fraction = if successes == 0 {
+            0.0
+        } else {
+            slow as f64 / successes as f64
+        };
+        let slo = RouteSlo {
+            p99_ms: p99s.get(&route).copied().unwrap_or(0.0),
+            route,
+            requests,
+            errors,
+            error_rate,
+            burn_rate: error_rate / budget,
+            slow,
+            latency_burn_rate: slow_fraction / budget,
+        };
+        report.worst_burn_rate = report.worst_burn_rate.max(slo.burn_rate);
+        report.worst_latency_burn_rate = report.worst_latency_burn_rate.max(slo.latency_burn_rate);
+        report.routes.push(slo);
+    }
+    report
+}
+
+/// Drift-monitor tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DriftConfig {
+    /// Residuals retained per key (sliding window).
+    pub window: usize,
+    /// Minimum residuals before a window may be called degraded —
+    /// guards against one noisy request tripping the health state.
+    pub min_samples: usize,
+    /// Degraded once window NRMSE exceeds `multiple × baseline`.
+    pub multiple: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 256,
+            min_samples: 32,
+            multiple: 3.0,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Reject unusable windows and non-positive multiples.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("drift.window must hold at least one residual".to_string());
+        }
+        if self.min_samples == 0 || self.min_samples > self.window {
+            return Err(format!(
+                "drift.min_samples must be in [1, window={}], got {}",
+                self.window, self.min_samples
+            ));
+        }
+        if !self.multiple.is_finite() || self.multiple <= 0.0 {
+            return Err(format!(
+                "drift.multiple must be finite and positive, got {}",
+                self.multiple
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct DriftWindow {
+    /// `(signed residual, |truth|)` pairs, oldest first.
+    residuals: VecDeque<(f64, f64)>,
+}
+
+impl DriftWindow {
+    /// NRMSE% of the current window: RMSE / mean(|truth|) × 100.
+    fn nrmse_pct(&self) -> Option<f64> {
+        if self.residuals.is_empty() {
+            return None;
+        }
+        let n = self.residuals.len() as f64;
+        let mse: f64 = self.residuals.iter().map(|(r, _)| r * r).sum::<f64>() / n;
+        let mean_truth: f64 = self.residuals.iter().map(|(_, t)| t).sum::<f64>() / n;
+        if mean_truth <= 0.0 {
+            return None;
+        }
+        Some(mse.sqrt() / mean_truth * 100.0)
+    }
+}
+
+/// One key's drift state at observation time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DriftState {
+    /// Window key (`{kind}.{role}` in the serving layer).
+    pub key: String,
+    /// Residuals currently windowed.
+    pub samples: u64,
+    /// Window NRMSE%, 0 until computable.
+    pub nrmse_pct: f64,
+    /// The Table VII baseline this key is compared against.
+    pub baseline_pct: f64,
+    /// Is this window past `multiple × baseline` with enough samples?
+    pub degraded: bool,
+}
+
+/// Windowed per-key residual drift monitor.
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    baselines: BTreeMap<String, f64>,
+    default_baseline: f64,
+    windows: Mutex<BTreeMap<String, DriftWindow>>,
+}
+
+impl DriftMonitor {
+    /// A monitor with per-key NRMSE baselines (percent). Keys without a
+    /// configured baseline compare against `default_baseline`.
+    pub fn new(
+        cfg: DriftConfig,
+        baselines: impl IntoIterator<Item = (String, f64)>,
+        default_baseline: f64,
+    ) -> DriftMonitor {
+        DriftMonitor {
+            cfg,
+            baselines: baselines.into_iter().collect(),
+            default_baseline,
+            windows: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn baseline(&self, key: &str) -> f64 {
+        self.baselines
+            .get(key)
+            .copied()
+            .unwrap_or(self.default_baseline)
+    }
+
+    /// Stream one `(predicted, truth)` pair into `key`'s window and
+    /// return the window's updated state. `truth` must be positive and
+    /// finite to count (a zero/absurd truth would poison the
+    /// normalisation).
+    pub fn record(&self, key: &str, predicted: f64, truth: f64) -> Option<DriftState> {
+        if !truth.is_finite() || truth <= 0.0 || !predicted.is_finite() {
+            return None;
+        }
+        let mut windows = self.windows.lock().unwrap_or_else(|p| p.into_inner());
+        let window = windows
+            .entry(key.to_string())
+            .or_insert_with(|| DriftWindow {
+                residuals: VecDeque::with_capacity(self.cfg.window),
+            });
+        if window.residuals.len() == self.cfg.window {
+            window.residuals.pop_front();
+        }
+        window.residuals.push_back((predicted - truth, truth.abs()));
+        Some(self.state_of(key, window))
+    }
+
+    fn state_of(&self, key: &str, window: &DriftWindow) -> DriftState {
+        let samples = window.residuals.len() as u64;
+        let nrmse_pct = window.nrmse_pct().unwrap_or(0.0);
+        let baseline_pct = self.baseline(key);
+        DriftState {
+            key: key.to_string(),
+            samples,
+            nrmse_pct,
+            baseline_pct,
+            degraded: samples >= self.cfg.min_samples as u64
+                && nrmse_pct > self.cfg.multiple * baseline_pct,
+        }
+    }
+
+    /// Every key's current state, key order.
+    pub fn states(&self) -> Vec<DriftState> {
+        let windows = self.windows.lock().unwrap_or_else(|p| p.into_inner());
+        windows.iter().map(|(k, w)| self.state_of(k, w)).collect()
+    }
+
+    /// Keys currently degraded, key order — the `/healthz` payload.
+    pub fn degraded_keys(&self) -> Vec<String> {
+        self.states()
+            .into_iter()
+            .filter(|s| s.degraded)
+            .map(|s| s.key)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{buckets, Registry};
+
+    #[test]
+    fn slo_config_validation() {
+        assert!(SloConfig::default().validate().is_ok());
+        for bad in [
+            SloConfig {
+                availability: 1.0,
+                ..SloConfig::default()
+            },
+            SloConfig {
+                availability: -0.1,
+                ..SloConfig::default()
+            },
+            SloConfig {
+                availability: f64::NAN,
+                ..SloConfig::default()
+            },
+            SloConfig {
+                p99_ms: 0.0,
+                ..SloConfig::default()
+            },
+            SloConfig {
+                p99_ms: f64::INFINITY,
+                ..SloConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn evaluate_burns_budget_for_overload_not_client_bugs() {
+        let r = Registry::new();
+        // predict: 96 ok, 2 shed, 1 injected fault, 1 chaos drop, and 10
+        // client errors that must NOT spend budget.
+        for _ in 0..96 {
+            r.observe(&red_metric("predict", "2xx"), buckets::LATENCY_MS, 5.0);
+        }
+        for _ in 0..2 {
+            r.observe(&red_metric("predict", "429"), buckets::LATENCY_MS, 1.0);
+        }
+        r.observe(&red_metric("predict", "5xx"), buckets::LATENCY_MS, 2.0);
+        r.observe(&red_metric("predict", "drop"), buckets::LATENCY_MS, 2.0);
+        for _ in 0..10 {
+            r.observe(&red_metric("predict", "4xx"), buckets::LATENCY_MS, 1.0);
+        }
+        let cfg = SloConfig {
+            availability: 0.99,
+            p99_ms: 500.0,
+        };
+        let report = evaluate(&r.snapshot(), &cfg);
+        assert_eq!(report.routes.len(), 1);
+        let p = &report.routes[0];
+        assert_eq!(p.route, "predict");
+        assert_eq!(p.requests, 110);
+        assert_eq!(p.errors, 4);
+        let expected_rate = 4.0 / 110.0;
+        assert!((p.error_rate - expected_rate).abs() < 1e-12);
+        assert!((p.burn_rate - expected_rate / 0.01).abs() < 1e-9);
+        assert_eq!(report.worst_burn_rate, p.burn_rate);
+        assert!(p.p99_ms > 0.0);
+        assert_eq!(p.slow, 0);
+        assert_eq!(p.latency_burn_rate, 0.0);
+        // Gauges carry the same numbers under the expected names.
+        let gauges = report.gauges();
+        assert!(gauges
+            .iter()
+            .any(|(n, v)| n == "serve.slo.predict.burn_rate" && *v == p.burn_rate));
+        assert!(gauges.iter().any(|(n, _)| n == "serve.slo.worst_burn_rate"));
+    }
+
+    #[test]
+    fn latency_budget_burns_on_slow_successes() {
+        let r = Registry::new();
+        for _ in 0..9 {
+            r.observe(&red_metric("plan", "2xx"), buckets::LATENCY_MS, 10.0);
+        }
+        // One success way beyond the 100 ms objective.
+        r.observe(&red_metric("plan", "2xx"), buckets::LATENCY_MS, 900.0);
+        let cfg = SloConfig {
+            availability: 0.9,
+            p99_ms: 100.0,
+        };
+        let report = evaluate(&r.snapshot(), &cfg);
+        let p = &report.routes[0];
+        assert_eq!(p.slow, 1);
+        assert!((p.latency_burn_rate - 0.1 / 0.1).abs() < 1e-9);
+        assert_eq!(p.errors, 0);
+        assert_eq!(p.burn_rate, 0.0);
+    }
+
+    #[test]
+    fn evaluate_ignores_non_red_histograms_and_idles_at_zero() {
+        let r = Registry::new();
+        r.observe("serve.latency_ms", buckets::LATENCY_MS, 3.0);
+        r.observe("migration.transfer_s", buckets::DURATION_S, 3.0);
+        let report = evaluate(&r.snapshot(), &SloConfig::default());
+        assert!(report.routes.is_empty());
+        assert_eq!(report.worst_burn_rate, 0.0);
+        // The report still serialises for /debug/slo.
+        let json = serde_json::to_string(&report).expect("report serialises");
+        assert!(json.contains("worst_burn_rate"));
+    }
+
+    #[test]
+    fn drift_config_validation() {
+        assert!(DriftConfig::default().validate().is_ok());
+        for bad in [
+            DriftConfig {
+                window: 0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                min_samples: 0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                window: 8,
+                min_samples: 9,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                multiple: 0.0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                multiple: f64::NAN,
+                ..DriftConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn drift_window_flags_a_misfitted_model_but_not_noise() {
+        let cfg = DriftConfig {
+            window: 64,
+            min_samples: 16,
+            multiple: 3.0,
+        };
+        let monitor = DriftMonitor::new(cfg, [("live.source".to_string(), 11.8)], 11.8);
+        // Healthy: ±3% noise around truth 1000 — NRMSE ≈ 3% « 35.4%.
+        for i in 0..32 {
+            let truth = 1000.0;
+            let predicted = truth * (1.0 + if i % 2 == 0 { 0.03 } else { -0.03 });
+            let state = monitor.record("live.source", predicted, truth).unwrap();
+            assert!(!state.degraded, "noise must not trip drift: {state:?}");
+        }
+        assert!(monitor.degraded_keys().is_empty());
+        // Mis-fitted: predictions 2× truth — NRMSE 100% > 3 × 11.8%.
+        for _ in 0..32 {
+            monitor.record("live.source", 2000.0, 1000.0);
+        }
+        let states = monitor.states();
+        assert_eq!(states.len(), 1);
+        assert!(states[0].nrmse_pct > 35.4, "{:?}", states[0]);
+        assert!(states[0].degraded);
+        assert_eq!(monitor.degraded_keys(), vec!["live.source".to_string()]);
+    }
+
+    #[test]
+    fn drift_needs_min_samples_and_rejects_poisonous_truth() {
+        let monitor = DriftMonitor::new(
+            DriftConfig {
+                window: 16,
+                min_samples: 8,
+                multiple: 2.0,
+            },
+            [],
+            10.0,
+        );
+        // Way off, but below min_samples: never degraded.
+        for _ in 0..7 {
+            let state = monitor.record("k", 100.0, 1.0).unwrap();
+            assert!(!state.degraded, "{state:?}");
+        }
+        // Zero, negative, and non-finite truths are dropped.
+        assert!(monitor.record("k", 1.0, 0.0).is_none());
+        assert!(monitor.record("k", 1.0, -5.0).is_none());
+        assert!(monitor.record("k", 1.0, f64::NAN).is_none());
+        assert!(monitor.record("k", f64::NAN, 1.0).is_none());
+        // The eighth valid sample tips it.
+        let state = monitor.record("k", 100.0, 1.0).unwrap();
+        assert!(state.degraded, "{state:?}");
+    }
+
+    #[test]
+    fn drift_window_slides() {
+        let monitor = DriftMonitor::new(
+            DriftConfig {
+                window: 4,
+                min_samples: 2,
+                multiple: 2.0,
+            },
+            [],
+            10.0,
+        );
+        // Fill with terrible residuals, then flush with perfect ones:
+        // the window must forget.
+        for _ in 0..4 {
+            monitor.record("k", 300.0, 100.0);
+        }
+        assert_eq!(monitor.degraded_keys(), vec!["k".to_string()]);
+        for _ in 0..4 {
+            monitor.record("k", 100.0, 100.0);
+        }
+        let state = &monitor.states()[0];
+        assert_eq!(state.samples, 4);
+        assert_eq!(state.nrmse_pct, 0.0);
+        assert!(!state.degraded);
+    }
+}

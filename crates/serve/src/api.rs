@@ -32,6 +32,11 @@ pub struct ApiRequest {
     pub source_other_cores: f64,
     /// Other demand on the target, cores.
     pub target_other_cores: f64,
+    /// Ground-truth source-host migration energy (loadgen replay mode),
+    /// joules — feeds the online drift monitor when present.
+    pub truth_source_energy_j: Option<f64>,
+    /// Ground-truth target-host migration energy, joules.
+    pub truth_target_energy_j: Option<f64>,
 }
 
 impl ApiRequest {
@@ -73,6 +78,8 @@ impl ApiRequest {
             page_write_rate: optional_f64(v, "page_write_rate", 2_000.0)?,
             source_other_cores: optional_f64(v, "source_other_cores", 4.0)?,
             target_other_cores: optional_f64(v, "target_other_cores", 4.0)?,
+            truth_source_energy_j: optional_truth(v, "truth_source_energy_j")?,
+            truth_target_energy_j: optional_truth(v, "truth_target_energy_j")?,
         };
         req.validate()?;
         Ok(req)
@@ -210,6 +217,24 @@ fn optional_f64(v: &Value, key: &str, default: f64) -> Result<f64, String> {
     }
 }
 
+/// Optional ground-truth energy: absent stays `None`; present must be a
+/// finite positive number (a zero or negative "truth" would poison the
+/// drift monitor's normalisation).
+fn optional_truth(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(field) => {
+            let x = as_f64(field).ok_or_else(|| format!("field `{key}` must be a number"))?;
+            if !x.is_finite() || x <= 0.0 {
+                return Err(format!(
+                    "field `{key}` must be finite and positive, got {x}"
+                ));
+            }
+            Ok(Some(x))
+        }
+    }
+}
+
 /// `/predict` response body.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PredictResponse {
@@ -260,7 +285,10 @@ pub struct PlanResponse {
     pub breaker: String,
 }
 
-/// Error body for every non-2xx the service emits.
+/// Error body for every non-2xx the service emits. Carries the
+/// correlation context (trace id, chaos key, breaker position) so a
+/// shed or breached request is joinable end to end from the client side
+/// alone.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ErrorResponse {
     /// Machine-readable error class (`bad_request`, `overloaded`,
@@ -268,14 +296,35 @@ pub struct ErrorResponse {
     pub error: String,
     /// Human-readable detail.
     pub detail: String,
+    /// Trace id of the failed request (`-` when unknown).
+    pub trace_id: String,
+    /// The client's chaos key (`-` when absent).
+    pub chaos_key: String,
+    /// Breaker position when the error was formed.
+    pub breaker: String,
 }
 
 impl ErrorResponse {
-    /// Serialise to the JSON body.
+    /// Serialise to the JSON body without request context (startup /
+    /// test paths that have no trace).
     pub fn body(error: &str, detail: impl Into<String>) -> String {
+        Self::with_context(error, detail, "-", "-", "-")
+    }
+
+    /// Serialise to the JSON body with full correlation context.
+    pub fn with_context(
+        error: &str,
+        detail: impl Into<String>,
+        trace_id: &str,
+        chaos_key: &str,
+        breaker: &str,
+    ) -> String {
         serde_json::to_string(&ErrorResponse {
             error: error.to_string(),
             detail: detail.into(),
+            trace_id: trace_id.to_string(),
+            chaos_key: chaos_key.to_string(),
+            breaker: breaker.to_string(),
         })
         .expect("error body serialises")
     }
@@ -335,6 +384,48 @@ mod tests {
             let err = parse(json).expect_err(json);
             assert!(err.contains(needle), "{json}: {err}");
         }
+    }
+
+    #[test]
+    fn truth_fields_are_optional_but_strict_when_present() {
+        let bare = parse(r#"{"kind": "live", "ram_mib": 4096}"#).unwrap();
+        assert_eq!(bare.truth_source_energy_j, None);
+        assert_eq!(bare.truth_target_energy_j, None);
+        let with = parse(
+            r#"{"kind": "live", "ram_mib": 4096,
+                "truth_source_energy_j": 1234.5, "truth_target_energy_j": 600}"#,
+        )
+        .unwrap();
+        assert_eq!(with.truth_source_energy_j, Some(1234.5));
+        assert_eq!(with.truth_target_energy_j, Some(600.0));
+        for bad in [
+            r#"{"kind": "live", "ram_mib": 1, "truth_source_energy_j": 0}"#,
+            r#"{"kind": "live", "ram_mib": 1, "truth_source_energy_j": -2}"#,
+            r#"{"kind": "live", "ram_mib": 1, "truth_target_energy_j": "x"}"#,
+        ] {
+            assert!(parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_bodies_carry_correlation_context() {
+        let body = ErrorResponse::with_context(
+            "overloaded",
+            "queue full",
+            "0af7651916cd43dd8448eb211c80319c",
+            "7:1",
+            "closed",
+        );
+        for needle in [
+            "\"error\":\"overloaded\"",
+            "\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\"",
+            "\"chaos_key\":\"7:1\"",
+            "\"breaker\":\"closed\"",
+        ] {
+            assert!(body.contains(needle), "{body}");
+        }
+        // The context-free helper still renders placeholders.
+        assert!(ErrorResponse::body("bad_request", "x").contains("\"trace_id\":\"-\""));
     }
 
     #[test]

@@ -22,6 +22,8 @@ usage: wavm3-loadgen --addr HOST:PORT [options]
   --multiplier X     backoff growth factor (default 2)
   --jitter-ms MS     max uniform retry jitter (default 10)
   --endpoint E       predict | plan | mixed (default mixed)
+  --truth            attach seeded ground-truth energies (drift monitoring)
+  --log-out PATH     per-attempt JSONL log with trace ids
   --help             this text
 ";
 
@@ -56,6 +58,8 @@ fn parse_args(args: &[String]) -> Result<LoadgenConfig, String> {
                     other => return Err(format!("unknown endpoint {other:?}")),
                 }
             }
+            "--truth" => cfg.truth = true,
+            "--log-out" => cfg.log_out = Some(value("--log-out")?.into()),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n\n{USAGE}")),
         }

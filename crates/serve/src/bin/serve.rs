@@ -25,6 +25,16 @@ usage: wavm3-serve [options]
   --chaos-latency-max MS    injected latency upper bound (default 100)
   --chaos-error P           500-injection probability (default 0)
   --chaos-drop P            connection-drop probability (default 0)
+  --access-log PATH         structured per-request access log (JSONL-ish key=value)
+  --trace-out DIR           write spans.jsonl / trace.json / canonical.txt at drain
+  --sample-seed N           tail-sampler seed (default 0)
+  --sample-keep-1-in N      keep 1 in N non-tail traces (default 16, 1 = all)
+  --trace-tail-ms MS        latency above which a trace is always kept (default 250)
+  --slo-availability F      availability objective in (0,1) (default 0.99)
+  --slo-p99-ms MS           p99 latency objective (default 500)
+  --drift-window N          residual window per model x role (default 256)
+  --drift-min-samples N     samples before drift gauges fire (default 32)
+  --drift-multiple X        degraded when NRMSE > X * Table VII baseline (default 3)
   --help                    this text
 ";
 
@@ -65,6 +75,22 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
             "--chaos-latency-max" => chaos.max_latency_ms = parse(value("--chaos-latency-max")?)?,
             "--chaos-error" => chaos.error_probability = parse(value("--chaos-error")?)?,
             "--chaos-drop" => chaos.drop_probability = parse(value("--chaos-drop")?)?,
+            "--access-log" => cfg.obs.access_log = Some(value("--access-log")?.into()),
+            "--trace-out" => cfg.obs.trace_out = Some(value("--trace-out")?.into()),
+            "--sample-seed" => cfg.obs.sampler.seed = parse(value("--sample-seed")?)?,
+            "--sample-keep-1-in" => {
+                cfg.obs.sampler.keep_1_in = parse(value("--sample-keep-1-in")?)?
+            }
+            "--trace-tail-ms" => {
+                cfg.obs.sampler.tail_latency_ms = parse(value("--trace-tail-ms")?)?
+            }
+            "--slo-availability" => cfg.obs.slo.availability = parse(value("--slo-availability")?)?,
+            "--slo-p99-ms" => cfg.obs.slo.p99_ms = parse(value("--slo-p99-ms")?)?,
+            "--drift-window" => cfg.obs.drift.window = parse(value("--drift-window")?)?,
+            "--drift-min-samples" => {
+                cfg.obs.drift.min_samples = parse(value("--drift-min-samples")?)?
+            }
+            "--drift-multiple" => cfg.obs.drift.multiple = parse(value("--drift-multiple")?)?,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other}\n\n{USAGE}")),
         }

@@ -4,6 +4,61 @@ use crate::breaker::BreakerConfig;
 use crate::chaos::ChaosConfig;
 use std::path::PathBuf;
 use wavm3_harness::Wavm3Error;
+use wavm3_obs::reqtrace::TailSampler;
+use wavm3_obs::slo::{DriftConfig, SloConfig};
+
+/// Request-observability options: tracing, access logs, SLOs, drift.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Structured access log (one line per request); `None` disables.
+    pub access_log: Option<PathBuf>,
+    /// Directory for span exports written at drain (`spans.jsonl`,
+    /// `trace.json`, `canonical.txt`); `None` leaves trace collection
+    /// disarmed unless [`collect_traces`](Self::collect_traces) forces
+    /// it (tests do).
+    pub trace_out: Option<PathBuf>,
+    /// Collect sampled traces in memory even without `trace_out` — for
+    /// embedders that export through `ServerHandle` instead of files.
+    pub collect_traces: bool,
+    /// Tail-sampling policy (seed, keep-1-in rate, tail threshold).
+    pub sampler: TailSampler,
+    /// Service-level objectives scored on `/metrics` + `/debug/slo`.
+    pub slo: SloConfig,
+    /// Residual drift monitoring (window, min samples, baseline
+    /// multiple) surfaced on `/healthz`.
+    pub drift: DriftConfig,
+}
+
+impl ObsOptions {
+    /// Is span collection armed?
+    pub fn tracing_armed(&self) -> bool {
+        self.collect_traces || self.trace_out.is_some()
+    }
+
+    fn validate(&self) -> Result<(), Wavm3Error> {
+        if self.sampler.keep_1_in == 0 {
+            return Err(Wavm3Error::invalid_config(
+                "serve.obs.sampler.keep_1_in",
+                "must be >= 1 (1 keeps every trace)",
+            ));
+        }
+        if self.sampler.tail_latency_ms.is_nan() || self.sampler.tail_latency_ms < 0.0 {
+            return Err(Wavm3Error::invalid_config(
+                "serve.obs.sampler.tail_latency_ms",
+                format!(
+                    "must be non-negative (f64::INFINITY disables), got {}",
+                    self.sampler.tail_latency_ms
+                ),
+            ));
+        }
+        self.slo
+            .validate()
+            .map_err(|e| Wavm3Error::invalid_config("serve.obs.slo", e))?;
+        self.drift
+            .validate()
+            .map_err(|e| Wavm3Error::invalid_config("serve.obs.drift", e))
+    }
+}
 
 /// Everything `Server::start` needs.
 #[derive(Debug, Clone)]
@@ -26,6 +81,8 @@ pub struct ServeConfig {
     pub coeffs_live: Option<PathBuf>,
     /// Optional fitted non-live coefficients; Table III when absent.
     pub coeffs_non_live: Option<PathBuf>,
+    /// Request-observability options.
+    pub obs: ObsOptions,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +96,7 @@ impl Default for ServeConfig {
             chaos: ChaosConfig::off(),
             coeffs_live: None,
             coeffs_non_live: None,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -67,7 +125,8 @@ impl ServeConfig {
             ));
         }
         self.breaker.validate()?;
-        self.chaos.validate()
+        self.chaos.validate()?;
+        self.obs.validate()
     }
 }
 
@@ -93,6 +152,36 @@ mod tests {
             },
             ServeConfig {
                 default_deadline_ms: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                obs: ObsOptions {
+                    sampler: TailSampler {
+                        keep_1_in: 0,
+                        ..TailSampler::default()
+                    },
+                    ..ObsOptions::default()
+                },
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                obs: ObsOptions {
+                    slo: SloConfig {
+                        availability: 1.0,
+                        ..SloConfig::default()
+                    },
+                    ..ObsOptions::default()
+                },
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                obs: ObsOptions {
+                    drift: DriftConfig {
+                        window: 0,
+                        ..DriftConfig::default()
+                    },
+                    ..ObsOptions::default()
+                },
                 ..ServeConfig::default()
             },
         ] {

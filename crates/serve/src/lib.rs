@@ -36,11 +36,13 @@ pub mod http;
 pub mod loadgen;
 pub mod queue;
 pub mod server;
+pub mod telemetry;
 
 pub use api::{ApiRequest, ErrorResponse, PlanResponse, PredictResponse};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{ChaosConfig, ChaosDecision, Fate};
-pub use config::ServeConfig;
+pub use config::{ObsOptions, ServeConfig};
 pub use loadgen::{LoadReport, LoadgenConfig, RetryConfig, Target};
 pub use queue::{BoundedQueue, PushOutcome};
 pub use server::{start, DrainReport, ServerHandle};
+pub use telemetry::Telemetry;

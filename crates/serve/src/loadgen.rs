@@ -1,21 +1,35 @@
 //! Deterministic load generator for the serving stack.
 //!
-//! Request *content* and chaos *fate* are both pure functions of
-//! `(seed, request id, attempt)`: bodies come from per-request RNG
-//! streams, and each attempt carries `x-wavm3-chaos-key: "{id}:{attempt}"`
-//! so the server's chaos middleware makes the same injection decisions on
-//! every rerun. With `concurrency = 1` the entire interaction sequence is
-//! reproducible, which is what the golden test pins; at higher
-//! concurrency, per-request outcomes are still seed-deterministic but the
-//! interleaving (and therefore breaker-coupled counts) is not.
+//! Request *content*, chaos *fate* and *trace identity* are all pure
+//! functions of `(seed, request id, attempt)`: bodies come from
+//! per-request RNG streams, each attempt carries
+//! `x-wavm3-chaos-key: "{id}:{attempt}"` so the server's chaos
+//! middleware makes the same injection decisions on every rerun, and
+//! each attempt stamps a derived `x-wavm3-trace-id` (plus a matching
+//! W3C `traceparent`) so the server-side sampled span set is
+//! reproducible too. With `concurrency = 1` the entire interaction
+//! sequence is reproducible, which is what the golden test pins; at
+//! higher concurrency, per-request outcomes are still
+//! seed-deterministic but the interleaving (and therefore
+//! breaker-coupled counts) is not.
+//!
+//! Client-side latency quantiles use the **same bucket ladder and
+//! interpolating estimator** as the server's `serve.latency_ms`
+//! histogram ([`buckets::LATENCY_MS`]), so the client's p50/p95/p99 and
+//! the server's are directly comparable — the serve-smoke gate asserts
+//! they agree to within a bucket.
 
 use crate::http;
 use rand::Rng;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wavm3_harness::Wavm3Error;
+use wavm3_models::{EnergyModel, HostRole};
+use wavm3_obs::metrics::{buckets, HistogramSnapshot};
+use wavm3_obs::reqtrace::TraceId;
 use wavm3_simkit::RngFactory;
 
 /// Client retry schedule (wall-clock milliseconds; exponential + jitter).
@@ -130,6 +144,16 @@ pub struct LoadgenConfig {
     pub retry: RetryConfig,
     /// Endpoint mix.
     pub target: Target,
+    /// Attach seeded ground-truth energies (`truth_*_energy_j`) to every
+    /// body so the server's online drift monitor has residuals to chew
+    /// on. Truth is the paper model's own prediction perturbed by a
+    /// seeded ±3%, so a correctly fitted server stays healthy and a
+    /// mis-fitted one drifts.
+    pub truth: bool,
+    /// Write a per-attempt JSONL log (id, attempt, trace id, path,
+    /// status, outcome), sorted by `(id, attempt)` so it is
+    /// seed-deterministic regardless of concurrency.
+    pub log_out: Option<PathBuf>,
 }
 
 impl Default for LoadgenConfig {
@@ -143,6 +167,8 @@ impl Default for LoadgenConfig {
             deadline_ms: 2_000,
             retry: RetryConfig::default(),
             target: Target::Mixed,
+            truth: false,
+            log_out: None,
         }
     }
 }
@@ -241,8 +267,9 @@ struct Counters {
     failed: AtomicU64,
 }
 
-/// Deterministic request body for `id` under `seed`.
-fn body_for(seed: u64, id: u64) -> String {
+/// Deterministic request body for `id` under `seed`. With `truth` the
+/// body additionally carries seeded ground-truth energies.
+fn body_for(seed: u64, id: u64, truth: bool) -> String {
     let mut rng = RngFactory::new(seed).child(id).stream("loadgen.body");
     let ram_mib = 512 * rng.gen_range(1u64..=8);
     let kind = match rng.gen_range(0u32..3) {
@@ -251,7 +278,39 @@ fn body_for(seed: u64, id: u64) -> String {
         _ => "post_copy",
     };
     let cpu: f64 = rng.gen_range(0.1..0.9);
-    format!("{{\"kind\": \"{kind}\", \"ram_mib\": {ram_mib}, \"vm_cpu_fraction\": {cpu:.3}}}")
+    let base =
+        format!("{{\"kind\": \"{kind}\", \"ram_mib\": {ram_mib}, \"vm_cpu_fraction\": {cpu:.3}}}");
+    if !truth {
+        return base;
+    }
+    truth_body(seed, id, &base).unwrap_or(base)
+}
+
+/// Extend `base` with ground-truth energies: the paper model's own
+/// prediction for this workload, perturbed by a seeded uniform ±3%.
+/// Against a server running the same (default) coefficients the
+/// residual NRMSE sits well under every Table VII baseline; against
+/// deliberately mis-fitted coefficients the drift monitor trips.
+fn truth_body(seed: u64, id: u64, base: &str) -> Option<String> {
+    let value: serde::Value = serde_json::from_str(base).ok()?;
+    let req = crate::api::ApiRequest::from_value(&value).ok()?;
+    let record = req.plan().to_record();
+    let model = match req.kind_label() {
+        "non_live" => wavm3_models::paper::wavm3_non_live(),
+        _ => wavm3_models::paper::wavm3_live(),
+    };
+    let mut rng = RngFactory::new(seed).child(id).stream("loadgen.truth");
+    let mut noisy = |role: HostRole| {
+        let predicted = model.predict_energy(role, &record);
+        let noise: f64 = rng.gen_range(-0.03..=0.03);
+        (predicted * (1.0 + noise)).max(1e-3)
+    };
+    let source = noisy(HostRole::Source);
+    let target = noisy(HostRole::Target);
+    let trimmed = base.trim_end().strip_suffix('}')?;
+    Some(format!(
+        "{trimmed}, \"truth_source_energy_j\": {source:.6}, \"truth_target_energy_j\": {target:.6}}}"
+    ))
 }
 
 fn path_for(target: Target, id: u64) -> &'static str {
@@ -268,11 +327,43 @@ fn path_for(target: Target, id: u64) -> &'static str {
     }
 }
 
+/// One attempt's worth of client-side evidence, joinable with the
+/// server's access log / spans / exemplars by `trace_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LogEntry {
+    id: u64,
+    attempt: u32,
+    trace_id: String,
+    path: &'static str,
+    /// HTTP status of the attempt; 0 when the connection failed.
+    status: u16,
+    outcome: &'static str,
+}
+
+impl LogEntry {
+    fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"id\":{},\"attempt\":{},\"trace_id\":\"{}\",\"path\":\"{}\",\"status\":{},\"outcome\":\"{}\"}}",
+            self.id, self.attempt, self.trace_id, self.path, self.status, self.outcome
+        )
+    }
+}
+
+/// Shared mutable run state: final-attempt latencies bucketed on the
+/// server's ladder, plus the per-attempt log.
+struct RunState {
+    latencies: Mutex<HistogramSnapshot>,
+    log: Mutex<Vec<LogEntry>>,
+}
+
 /// Run the configured load against the server and aggregate the outcome.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, Wavm3Error> {
     cfg.validate()?;
     let counters = Arc::new(Counters::default());
-    let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+    let state = Arc::new(RunState {
+        latencies: Mutex::new(HistogramSnapshot::new(buckets::LATENCY_MS)),
+        log: Mutex::new(Vec::new()),
+    });
     let next_id = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
 
@@ -280,7 +371,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, Wavm3Error> {
         .map(|_| {
             let cfg = cfg.clone();
             let counters = Arc::clone(&counters);
-            let latencies = Arc::clone(&latencies);
+            let state = Arc::clone(&state);
             let next_id = Arc::clone(&next_id);
             std::thread::spawn(move || loop {
                 let id = next_id.fetch_add(1, Ordering::SeqCst);
@@ -294,7 +385,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, Wavm3Error> {
                         std::thread::sleep(due - now);
                     }
                 }
-                issue_request(&cfg, id, &counters, &latencies);
+                issue_request(&cfg, id, &counters, &state);
             })
         })
         .collect();
@@ -302,15 +393,21 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, Wavm3Error> {
         t.join().expect("loadgen thread panicked");
     }
 
-    let mut lat = latencies.lock().expect("latencies poisoned").clone();
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let quantile = |q: f64| -> f64 {
-        if lat.is_empty() {
-            return 0.0;
+    if let Some(path) = &cfg.log_out {
+        let mut log = state.log.lock().expect("log poisoned");
+        log.sort_by_key(|e| (e.id, e.attempt));
+        let mut text = String::new();
+        for entry in log.iter() {
+            text.push_str(&entry.to_jsonl());
+            text.push('\n');
         }
-        let idx = ((lat.len() - 1) as f64 * q).round() as usize;
-        lat[idx]
-    };
+        std::fs::write(path, text).map_err(|e| {
+            Wavm3Error::invalid_config("loadgen.log_out", format!("cannot write {path:?}: {e}"))
+        })?;
+    }
+
+    let lat = state.latencies.lock().expect("latencies poisoned");
+    let quantile = |q: f64| lat.quantile(q).unwrap_or(0.0);
     let load = |c: &AtomicU64| c.load(Ordering::SeqCst);
     Ok(LoadReport {
         sent: cfg.requests,
@@ -328,24 +425,33 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, Wavm3Error> {
     })
 }
 
-fn issue_request(cfg: &LoadgenConfig, id: u64, counters: &Counters, latencies: &Mutex<Vec<f64>>) {
-    let body = body_for(cfg.seed, id);
+fn issue_request(cfg: &LoadgenConfig, id: u64, counters: &Counters, state: &RunState) {
+    let body = body_for(cfg.seed, id, cfg.truth);
     let path = path_for(cfg.target, id);
     let mut jitter_rng = RngFactory::new(cfg.seed).child(id).stream("loadgen.jitter");
 
     for attempt in 0..cfg.retry.max_attempts {
         let attempt_started = Instant::now();
-        let outcome = one_attempt(cfg, path, &body, id, attempt);
+        let (outcome, status) = one_attempt(cfg, path, &body, id, attempt);
+        state.log.lock().expect("log poisoned").push(LogEntry {
+            id,
+            attempt,
+            trace_id: TraceId::derive(cfg.seed, id, attempt).as_hex(),
+            path,
+            status,
+            outcome: outcome.label(),
+        });
         match outcome {
             AttemptOutcome::Ok { degraded } => {
                 counters.ok.fetch_add(1, Ordering::SeqCst);
                 if degraded {
                     counters.degraded.fetch_add(1, Ordering::SeqCst);
                 }
-                latencies
+                state
+                    .latencies
                     .lock()
                     .expect("latencies poisoned")
-                    .push(attempt_started.elapsed().as_secs_f64() * 1e3);
+                    .observe(attempt_started.elapsed().as_secs_f64() * 1e3);
                 return;
             }
             AttemptOutcome::ClientError => {
@@ -385,29 +491,51 @@ enum AttemptOutcome {
     ConnectionError,
 }
 
+impl AttemptOutcome {
+    fn label(&self) -> &'static str {
+        match self {
+            AttemptOutcome::Ok { degraded: false } => "ok",
+            AttemptOutcome::Ok { degraded: true } => "ok_degraded",
+            AttemptOutcome::Shed => "shed",
+            AttemptOutcome::ServerError => "server_error",
+            AttemptOutcome::ClientError => "client_error",
+            AttemptOutcome::ConnectionError => "connection_error",
+        }
+    }
+}
+
 fn one_attempt(
     cfg: &LoadgenConfig,
     path: &str,
     body: &str,
     id: u64,
     attempt: u32,
-) -> AttemptOutcome {
+) -> (AttemptOutcome, u16) {
     let stream = TcpStream::connect(&cfg.addr);
     let mut stream = match stream {
         Ok(s) => s,
-        Err(_) => return AttemptOutcome::ConnectionError,
+        Err(_) => return (AttemptOutcome::ConnectionError, 0),
     };
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let trace_id = TraceId::derive(cfg.seed, id, attempt).as_hex();
     let headers = [
         ("x-wavm3-chaos-key", format!("{id}:{attempt}")),
         ("x-wavm3-deadline-ms", cfg.deadline_ms.to_string()),
+        ("x-wavm3-trace-id", trace_id.clone()),
+        (
+            "traceparent",
+            format!(
+                "00-{trace_id}-{}-01",
+                TraceId::derived_span_hex(cfg.seed, id, attempt)
+            ),
+        ),
     ];
     let response = match http::roundtrip(&mut stream, "POST", path, &headers, body.as_bytes()) {
         Ok(r) => r,
-        Err(_) => return AttemptOutcome::ConnectionError,
+        Err(_) => return (AttemptOutcome::ConnectionError, 0),
     };
-    match response.status {
+    let outcome = match response.status {
         200 => {
             let degraded = serde_json::from_str::<serde::Value>(&response.body_text())
                 .ok()
@@ -421,7 +549,8 @@ fn one_attempt(
         429 => AttemptOutcome::Shed,
         500..=599 => AttemptOutcome::ServerError,
         _ => AttemptOutcome::ClientError,
-    }
+    };
+    (outcome, response.status)
 }
 
 #[cfg(test)]
@@ -430,9 +559,71 @@ mod tests {
 
     #[test]
     fn bodies_are_deterministic_per_seed_and_id() {
-        assert_eq!(body_for(7, 3), body_for(7, 3));
-        assert_ne!(body_for(7, 3), body_for(7, 4));
-        assert_ne!(body_for(7, 3), body_for(8, 3));
+        assert_eq!(body_for(7, 3, false), body_for(7, 3, false));
+        assert_ne!(body_for(7, 3, false), body_for(7, 4, false));
+        assert_ne!(body_for(7, 3, false), body_for(8, 3, false));
+    }
+
+    #[test]
+    fn truth_bodies_carry_plausible_ground_truth() {
+        let body = body_for(7, 3, true);
+        assert_eq!(body, body_for(7, 3, true), "truth bodies are seeded");
+        let v: serde::Value = serde_json::from_str(&body).unwrap();
+        let req = crate::api::ApiRequest::from_value(&v).unwrap();
+        let (truth_s, truth_t) = (
+            req.truth_source_energy_j.expect("source truth"),
+            req.truth_target_energy_j.expect("target truth"),
+        );
+        // Truth is the paper model's own prediction within ±3%.
+        let record = req.plan().to_record();
+        let model = match req.kind_label() {
+            "non_live" => wavm3_models::paper::wavm3_non_live(),
+            _ => wavm3_models::paper::wavm3_live(),
+        };
+        for (role, truth) in [(HostRole::Source, truth_s), (HostRole::Target, truth_t)] {
+            let predicted = model.predict_energy(role, &record);
+            let rel = (truth - predicted).abs() / predicted;
+            assert!(
+                rel <= 0.031,
+                "{role:?}: truth {truth} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_entries_render_compact_jsonl() {
+        let entry = LogEntry {
+            id: 3,
+            attempt: 1,
+            trace_id: TraceId::derive(7, 3, 1).as_hex(),
+            path: "/plan",
+            status: 429,
+            outcome: "shed",
+        };
+        let line = entry.to_jsonl();
+        assert!(line.starts_with("{\"id\":3,\"attempt\":1,\"trace_id\":\""));
+        assert!(line.ends_with("\",\"path\":\"/plan\",\"status\":429,\"outcome\":\"shed\"}"));
+        // The line is valid JSON and round-trips the trace id.
+        let v: serde::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(
+            v.get("trace_id").unwrap().as_str(),
+            Some(entry.trace_id.as_str())
+        );
+    }
+
+    #[test]
+    fn client_quantiles_use_the_server_bucket_ladder() {
+        let mut hist = HistogramSnapshot::new(buckets::LATENCY_MS);
+        for v in [0.7, 0.8, 1.5, 3.0, 40.0] {
+            hist.observe(v);
+        }
+        let p50 = hist.quantile(0.50).unwrap();
+        assert!(p50 <= 2.0, "p50 within the 2ms bucket, got {p50}");
+        let p99 = hist.quantile(0.99).unwrap();
+        assert!(
+            (20.0..=50.0).contains(&p99),
+            "p99 in the 50ms bucket, got {p99}"
+        );
     }
 
     #[test]

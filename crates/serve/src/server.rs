@@ -16,11 +16,24 @@
 //! |---|---|
 //! | `POST /predict` | energy/downtime prediction for one migration |
 //! | `POST /plan`    | full analytic plan via `wavm3-consolidation` |
-//! | `GET /metrics`  | Prometheus exposition of the request counters |
-//! | `GET /healthz`  | liveness + breaker position |
+//! | `GET /metrics`  | Prometheus exposition (+ SLO gauges, exemplars) |
+//! | `GET /healthz`  | liveness + breaker position + drift state |
+//! | `GET /debug/slo` | JSON SLO report (burn rates per route) |
+//! | `GET /debug/metrics` | JSON metrics snapshot (regress input) |
 //!
-//! `/metrics` and `/healthz` never touch the counters they report, so the
+//! The introspection routes never touch the counters they report, so the
 //! exposition is byte-stable while the server is quiescent.
+//!
+//! ## Request observability
+//!
+//! Every request carries a [`wavm3_obs::reqtrace::ReqTrace`] span tree
+//! (accept → queue → read → breaker → plan/predict → respond) resolved
+//! from the client's `x-wavm3-trace-id` / `traceparent` headers (or a
+//! server-generated fallback — malformed telemetry headers never fail a
+//! request). The trace id is echoed on every response as
+//! `x-wavm3-trace-id` and embedded in every error body, the access log
+//! gets one line per request, and [`crate::telemetry::Telemetry`]
+//! tail-samples the span trees into per-worker shards exported at drain.
 
 use crate::api::{kind_label, ApiRequest, ErrorResponse, PlanResponse, PredictResponse};
 use crate::breaker::{Admission, BreakerState, CircuitBreaker};
@@ -28,6 +41,7 @@ use crate::chaos::{self, Fate};
 use crate::config::ServeConfig;
 use crate::http::{read_request, Request, Response};
 use crate::queue::{BoundedQueue, PushOutcome};
+use crate::telemetry::{route_label, Telemetry};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -38,6 +52,8 @@ use wavm3_harness::Wavm3Error;
 use wavm3_migration::MigrationKind;
 use wavm3_models::{EnergyModel, HostRole, Wavm3Model};
 use wavm3_obs::metrics::{buckets, Registry};
+use wavm3_obs::reqtrace::{ReqTrace, TraceSink};
+use wavm3_obs::slo::{DriftState, SloReport};
 
 /// Per-connection I/O timeout (keeps a wedged peer from pinning a worker).
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
@@ -79,6 +95,7 @@ fn kind_index(kind: MigrationKind) -> usize {
 struct Shared {
     cfg: ServeConfig,
     registry: Registry,
+    telemetry: Telemetry,
     breaker: Mutex<CircuitBreaker>,
     known_good: Mutex<[KnownGood; 3]>,
     model_live: Wavm3Model,
@@ -103,8 +120,13 @@ impl Shared {
         }
     }
 
-    /// Run the breaker closure and count state transitions.
-    fn with_breaker<R>(&self, f: impl FnOnce(&mut CircuitBreaker) -> R) -> R {
+    /// Run the breaker closure, count state transitions, and stamp the
+    /// observed position (and any transition) into the request trace.
+    fn with_breaker<R>(
+        &self,
+        trace: Option<&mut ReqTrace>,
+        f: impl FnOnce(&mut CircuitBreaker) -> R,
+    ) -> R {
         let mut breaker = self.breaker.lock().expect("breaker poisoned");
         let before = breaker.state();
         let result = f(&mut breaker);
@@ -117,6 +139,12 @@ impl Shared {
             };
             self.registry.counter_add(name, 1);
         }
+        if let Some(trace) = trace {
+            trace.set_breaker(after.label());
+            if before != after {
+                trace.mark_breaker_transition();
+            }
+        }
         result
     }
 
@@ -126,6 +154,24 @@ impl Shared {
             .expect("breaker poisoned")
             .state()
             .label()
+    }
+
+    /// `/healthz` body: liveness, breaker position, and the drift keys
+    /// currently degraded — `status` flips to `"degraded"` once any
+    /// model×role window drifts past its Table VII baseline multiple.
+    fn health_body(&self) -> String {
+        let degraded = self.telemetry.degraded_keys();
+        let status = if degraded.is_empty() {
+            "ok"
+        } else {
+            "degraded"
+        };
+        let keys: Vec<String> = degraded.iter().map(|k| format!("\"{k}\"")).collect();
+        format!(
+            "{{\"status\": \"{status}\", \"breaker\": \"{}\", \"drift_degraded\": [{}]}}",
+            self.breaker_label(),
+            keys.join(", "),
+        )
     }
 }
 
@@ -172,6 +218,29 @@ impl ServerHandle {
         &self.shared.registry
     }
 
+    /// The current SLO report (what `GET /debug/slo` serves).
+    pub fn slo_report(&self) -> SloReport {
+        self.shared.telemetry.slo_report(&self.shared.registry)
+    }
+
+    /// Every drift window's current state.
+    pub fn drift_states(&self) -> Vec<DriftState> {
+        self.shared.telemetry.drift_states()
+    }
+
+    /// Timing-free canonical projection of the sampled traces so far
+    /// (`None` when tracing is disarmed). Only complete after
+    /// [`join`](Self::join)-style quiescence — a response can reach the
+    /// client a beat before its trace record lands in the shard.
+    pub fn canonical_trace_export(&self) -> Option<String> {
+        self.shared.telemetry.canonical_export()
+    }
+
+    /// JSONL span export (`None` when tracing is disarmed).
+    pub fn trace_jsonl(&self) -> Option<String> {
+        self.shared.telemetry.jsonl_export()
+    }
+
     /// Begin graceful shutdown without waiting: the accept loop stops,
     /// queued and in-flight requests keep draining.
     pub fn shutdown(&self) {
@@ -190,6 +259,9 @@ impl ServerHandle {
         self.shared
             .registry
             .counter_add("serve.drain.completed_inflight", completed);
+        // Workers have quiesced: flush the access log and write the
+        // span exports before reporting.
+        self.shared.telemetry.export(&self.shared.registry);
         DrainReport {
             accepted: stats.accepted,
             completed,
@@ -223,10 +295,12 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, Wavm3Error> {
         .set_nonblocking(true)
         .expect("nonblocking accept is supported");
 
+    let telemetry = Telemetry::new(&cfg.obs)?;
     let shared = Arc::new(Shared {
         known_good: Mutex::new(seed_known_good(&model_live, &model_non_live)),
         breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
         registry: Registry::new(),
+        telemetry,
         model_live,
         model_non_live,
         started: Instant::now(),
@@ -321,6 +395,8 @@ fn reference_request(kind: MigrationKind) -> ApiRequest {
         page_write_rate: 2_000.0,
         source_other_cores: 4.0,
         target_other_cores: 4.0,
+        truth_source_energy_j: None,
+        truth_target_energy_j: None,
     }
 }
 
@@ -334,6 +410,9 @@ fn accept_loop(
         accepted: 0,
         shed: 0,
     };
+    // The accept thread owns its own trace shard — shed requests are
+    // traced too (they are exactly the errors tail sampling must keep).
+    let sink = shared.telemetry.register_sink();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -346,7 +425,7 @@ fn accept_loop(
                     PushOutcome::Queued => {}
                     PushOutcome::Full(job) | PushOutcome::Closed(job) => {
                         stats.shed += 1;
-                        shed(job, &shared);
+                        shed(job, &shared, sink.as_ref());
                     }
                 }
             }
@@ -369,72 +448,160 @@ fn accept_loop(
 /// accept thread) before the response is written: closing a socket with
 /// unread bytes in its receive buffer sends an RST, which would destroy
 /// the very 429 the client is supposed to see.
-fn shed(mut job: Job, shared: &Shared) {
+fn shed(mut job: Job, shared: &Shared, sink: Option<&TraceSink>) {
     shared.registry.counter_add("serve.shed", 1);
     let _ = job.stream.set_read_timeout(Some(SHED_DRAIN_TIMEOUT));
     let _ = job.stream.set_write_timeout(Some(IO_TIMEOUT));
-    let _ = read_request(&mut job.stream);
+    let request = read_request(&mut job.stream).ok();
+    let mut trace = shared.telemetry.begin(request.as_ref(), job.accepted_at, 0);
+    trace.enter("shed");
+    if let Some(request) = &request {
+        trace.set_route(route_label(&request.path));
+        if let Some(key) = request.header("x-wavm3-chaos-key") {
+            trace.set_chaos_key(key);
+        }
+    }
+    let breaker = shared.breaker_label();
+    trace.set_breaker(breaker);
+    let trace_hex = trace.trace_id().as_hex();
+    let chaos_key = request
+        .as_ref()
+        .and_then(|r| r.header("x-wavm3-chaos-key"))
+        .unwrap_or("-");
     let response = Response::json(
         429,
-        ErrorResponse::body("overloaded", "admission queue full, retry later"),
+        ErrorResponse::with_context(
+            "overloaded",
+            "admission queue full, retry later",
+            &trace_hex,
+            chaos_key,
+            breaker,
+        ),
     )
-    .with_header("retry-after", "1");
+    .with_header("retry-after", "1")
+    .with_header("x-wavm3-trace-id", trace_hex);
+    trace.set_status(429);
+    trace.exit();
+    trace.enter("respond");
     let _ = response.write_to(&mut job.stream);
+    trace.exit();
+    shared.telemetry.finish(&shared.registry, sink, trace);
 }
 
 fn worker_loop(queue: Arc<BoundedQueue<Job>>, shared: Arc<Shared>) {
+    // One trace shard per worker: the shard mutex is never contended.
+    let sink = shared.telemetry.register_sink();
     while let Some(job) = queue.pop() {
-        handle_connection(job, &shared);
+        handle_connection(job, &shared, sink.as_ref());
         shared.completed.fetch_add(1, Ordering::SeqCst);
     }
 }
 
-fn handle_connection(mut job: Job, shared: &Shared) {
+fn handle_connection(mut job: Job, shared: &Shared, sink: Option<&TraceSink>) {
     let _ = job.stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = job.stream.set_write_timeout(Some(IO_TIMEOUT));
+    let queue_us = job.accepted_at.elapsed().as_micros() as u64;
     let request = match read_request(&mut job.stream) {
         Ok(request) => request,
         Err(e) => {
-            let response = Response::json(400, ErrorResponse::body("bad_request", e.to_string()));
+            // Unreadable request: no headers to resolve a trace from,
+            // so the fallback id still correlates the 400 end to end.
+            let mut trace = shared.telemetry.begin(None, job.accepted_at, queue_us);
+            let breaker = shared.breaker_label();
+            trace.set_breaker(breaker);
+            let trace_hex = trace.trace_id().as_hex();
+            let response = Response::json(
+                400,
+                ErrorResponse::with_context("bad_request", e.to_string(), &trace_hex, "-", breaker),
+            )
+            .with_header("x-wavm3-trace-id", trace_hex);
+            trace.set_status(400);
+            trace.enter("respond");
             let _ = response.write_to(&mut job.stream);
+            trace.exit();
+            shared.telemetry.finish(&shared.registry, sink, trace);
             return;
         }
     };
+    let mut trace = shared
+        .telemetry
+        .begin(Some(&request), job.accepted_at, queue_us);
+    trace.enter_at("read", queue_us);
+    trace.exit();
+    trace.set_route(route_label(&request.path));
+    if let Some(key) = request.header("x-wavm3-chaos-key") {
+        trace.set_chaos_key(key);
+    }
+    trace.set_breaker(shared.breaker_label());
+    let trace_hex = trace.trace_id().as_hex();
     let response = match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Some(Response::json(
-            200,
-            format!(
-                "{{\"status\": \"ok\", \"breaker\": \"{}\"}}",
-                shared.breaker_label()
-            ),
-        )),
+        ("GET", "/healthz") => Some(Response::json(200, shared.health_body())),
         ("GET", "/metrics") => Some(Response::text(
             200,
-            shared.registry.snapshot().to_prometheus_text(),
+            shared.telemetry.render_metrics(&shared.registry),
         )),
-        ("POST", "/predict") | ("POST", "/plan") => handle_api(&request, job.accepted_at, shared),
-        (_, "/healthz") | (_, "/metrics") | (_, "/predict") | (_, "/plan") => Some(Response::json(
+        ("GET", "/debug/slo") => Some(Response::json(
+            200,
+            serde_json::to_string(&shared.telemetry.slo_report(&shared.registry))
+                .expect("slo report serialises"),
+        )),
+        ("GET", "/debug/metrics") => Some(Response::json(
+            200,
+            serde_json::to_string(&shared.registry.snapshot()).expect("snapshot serialises"),
+        )),
+        ("POST", "/predict") | ("POST", "/plan") => {
+            handle_api(&request, job.accepted_at, shared, &mut trace)
+        }
+        (_, "/healthz")
+        | (_, "/metrics")
+        | (_, "/debug/slo")
+        | (_, "/debug/metrics")
+        | (_, "/predict")
+        | (_, "/plan") => Some(Response::json(
             405,
-            ErrorResponse::body("bad_request", "method not allowed"),
+            ErrorResponse::with_context(
+                "bad_request",
+                "method not allowed",
+                &trace_hex,
+                trace.chaos_key(),
+                shared.breaker_label(),
+            ),
         )),
         _ => Some(Response::json(
             404,
-            ErrorResponse::body("not_found", format!("no route {}", request.path)),
+            ErrorResponse::with_context(
+                "not_found",
+                format!("no route {}", request.path),
+                &trace_hex,
+                trace.chaos_key(),
+                shared.breaker_label(),
+            ),
         )),
     };
     match response {
         Some(response) => {
+            let response = response.with_header("x-wavm3-trace-id", trace_hex);
+            trace.set_status(response.status);
+            trace.enter("respond");
             let _ = response.write_to(&mut job.stream);
+            trace.exit();
         }
-        // Chaos drop: close without responding.
+        // Chaos drop: close without responding (trace status stays 0,
+        // class `drop`).
         None => {
             shared.chaos_dropped.fetch_add(1, Ordering::SeqCst);
         }
     }
+    shared.telemetry.finish(&shared.registry, sink, trace);
 }
 
 /// `/predict` and `/plan`. Returns `None` when chaos drops the connection.
-fn handle_api(request: &Request, accepted_at: Instant, shared: &Shared) -> Option<Response> {
+fn handle_api(
+    request: &Request,
+    accepted_at: Instant,
+    shared: &Shared,
+    trace: &mut ReqTrace,
+) -> Option<Response> {
     let is_plan = request.path == "/plan";
     let registry = &shared.registry;
     registry.counter_add(
@@ -452,6 +619,7 @@ fn handle_api(request: &Request, accepted_at: Instant, shared: &Shared) -> Optio
         .header("x-wavm3-deadline-ms")
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(shared.cfg.default_deadline_ms);
+    let budget_left = || deadline_ms as i64 - accepted_at.elapsed().as_millis() as i64;
 
     // Chaos fate for this request, keyed by the client-supplied chaos key
     // (deterministic per seed) or a fallback counter (unique, not
@@ -460,11 +628,14 @@ fn handle_api(request: &Request, accepted_at: Instant, shared: &Shared) -> Optio
         Some(key) => chaos::decide(&shared.cfg.chaos, key),
         None => {
             let n = shared.fallback_key.fetch_add(1, Ordering::Relaxed);
-            chaos::decide(&shared.cfg.chaos, &format!("fallback:{n}"))
+            let key = format!("fallback:{n}");
+            trace.set_chaos_key(&key);
+            chaos::decide(&shared.cfg.chaos, &key)
         }
     };
     if decision.fate == Fate::Drop {
         registry.counter_add("serve.chaos.drop_injected", 1);
+        trace.set_deadline_remaining_ms(budget_left());
         return None;
     }
 
@@ -476,57 +647,86 @@ fn handle_api(request: &Request, accepted_at: Instant, shared: &Shared) -> Optio
     if decision.latency_ms > 0 {
         registry.counter_add("serve.chaos.latency_injected", 1);
         if decision.latency_ms >= remaining_ms {
-            return Some(deadline_exceeded(deadline_ms, shared));
+            return Some(deadline_exceeded(deadline_ms, shared, trace, accepted_at));
         }
+        trace.enter("chaos");
         std::thread::sleep(Duration::from_millis(decision.latency_ms));
+        trace.exit();
     } else if remaining_ms == 0 {
-        return Some(deadline_exceeded(deadline_ms, shared));
+        return Some(deadline_exceeded(deadline_ms, shared, trace, accepted_at));
     }
 
     // Parse after the chaos gate: a malformed body is the client's
     // fault and never feeds the breaker.
+    trace.enter("parse");
     let body = std::str::from_utf8(&request.body).unwrap_or("");
     let parsed = serde_json::from_str::<serde::Value>(body)
         .map_err(|e| e.to_string())
         .and_then(|v| ApiRequest::from_value(&v));
+    trace.exit();
     let api = match parsed {
         Ok(api) => api,
         Err(detail) => {
             registry.counter_add("serve.responses.client_error", 1);
+            trace.set_deadline_remaining_ms(budget_left());
             return Some(Response::json(
                 400,
-                ErrorResponse::body("bad_request", detail),
+                ErrorResponse::with_context(
+                    "bad_request",
+                    detail,
+                    &trace.trace_id().as_hex(),
+                    trace.chaos_key(),
+                    shared.breaker_label(),
+                ),
             ));
         }
     };
 
-    let admission = shared.with_breaker(|b| b.try_acquire(shared.now_us()));
+    trace.enter("breaker");
+    let admission = shared.with_breaker(Some(&mut *trace), |b| b.try_acquire(shared.now_us()));
+    trace.exit();
     let response = match admission {
         Admission::Degrade => {
             registry.counter_add("serve.responses.degraded", 1);
-            Some(degraded_response(&api, is_plan, shared))
+            trace.mark_degraded();
+            trace.enter(if is_plan { "plan" } else { "predict" });
+            let response = degraded_response(&api, is_plan, shared);
+            trace.exit();
+            Some(response)
         }
         Admission::Allow => {
             if decision.fate == Fate::Error {
                 registry.counter_add("serve.chaos.error_injected", 1);
-                shared.with_breaker(|b| b.on_failure(shared.now_us()));
+                shared.with_breaker(Some(&mut *trace), |b| b.on_failure(shared.now_us()));
                 registry.counter_add("serve.responses.server_error", 1);
+                trace.set_deadline_remaining_ms(budget_left());
                 return Some(Response::json(
                     500,
-                    ErrorResponse::body("injected_fault", "chaos middleware failure"),
+                    ErrorResponse::with_context(
+                        "injected_fault",
+                        "chaos middleware failure",
+                        &trace.trace_id().as_hex(),
+                        trace.chaos_key(),
+                        shared.breaker_label(),
+                    ),
                 ));
             }
+            trace.enter(if is_plan { "plan" } else { "predict" });
             let plan = api.plan();
             // The planner itself counts against the deadline.
             if accepted_at.elapsed().as_millis() as u64 >= deadline_ms {
-                shared.with_breaker(|b| b.on_failure(shared.now_us()));
-                return Some(deadline_exceeded(deadline_ms, shared));
+                trace.exit();
+                shared.with_breaker(Some(&mut *trace), |b| b.on_failure(shared.now_us()));
+                return Some(deadline_exceeded(deadline_ms, shared, trace, accepted_at));
             }
-            shared.with_breaker(|b| b.on_success(shared.now_us()));
+            shared.with_breaker(Some(&mut *trace), |b| b.on_success(shared.now_us()));
             registry.counter_add("serve.responses.ok", 1);
-            Some(live_response(&api, &plan, is_plan, shared))
+            let response = live_response(&api, &plan, is_plan, shared);
+            trace.exit();
+            Some(response)
         }
     };
+    trace.set_deadline_remaining_ms(budget_left());
     registry.observe(
         "serve.latency_ms",
         buckets::LATENCY_MS,
@@ -535,17 +735,26 @@ fn handle_api(request: &Request, accepted_at: Instant, shared: &Shared) -> Optio
     response
 }
 
-fn deadline_exceeded(deadline_ms: u64, shared: &Shared) -> Response {
+fn deadline_exceeded(
+    deadline_ms: u64,
+    shared: &Shared,
+    trace: &mut ReqTrace,
+    accepted_at: Instant,
+) -> Response {
     shared.registry.counter_add("serve.deadline.breached", 1);
-    shared.with_breaker(|b| b.on_failure(shared.now_us()));
+    shared.with_breaker(Some(&mut *trace), |b| b.on_failure(shared.now_us()));
     shared
         .registry
         .counter_add("serve.responses.server_error", 1);
+    trace.set_deadline_remaining_ms(deadline_ms as i64 - accepted_at.elapsed().as_millis() as i64);
     Response::json(
         503,
-        ErrorResponse::body(
+        ErrorResponse::with_context(
             "deadline_exceeded",
             format!("request exceeded its {deadline_ms} ms deadline"),
+            &trace.trace_id().as_hex(),
+            trace.chaos_key(),
+            shared.breaker_label(),
         ),
     )
     .with_header("retry-after", "1")
@@ -562,6 +771,26 @@ fn live_response(
     let model = shared.model_for(api.kind);
     let source_energy_j = model.predict_energy(HostRole::Source, &record);
     let target_energy_j = model.predict_energy(HostRole::Target, &record);
+    // Ground-truth replay: requests carrying observed energies feed the
+    // online drift monitor, one window per model × host role.
+    if let Some(truth) = api.truth_source_energy_j {
+        shared.telemetry.record_drift(
+            &shared.registry,
+            kind_label(api.kind),
+            "source",
+            source_energy_j,
+            truth,
+        );
+    }
+    if let Some(truth) = api.truth_target_energy_j {
+        shared.telemetry.record_drift(
+            &shared.registry,
+            kind_label(api.kind),
+            "target",
+            target_energy_j,
+            truth,
+        );
+    }
     let summary = KnownGood {
         ram_mib: api.ram_mib,
         source_energy_j,

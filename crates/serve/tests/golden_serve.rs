@@ -39,9 +39,13 @@ fn metrics_endpoint_is_byte_identical_to_the_snapshot_exposition() {
         Some("text/plain; charset=utf-8")
     );
 
-    // `/metrics` itself records nothing, so a snapshot taken after the
-    // scrape must render the exact bytes the endpoint served.
-    let expected = handle.registry().snapshot().to_prometheus_text();
+    // `/metrics` itself records nothing and the SLO gauges it refreshes
+    // are pure functions of the RED counters, so a snapshot taken after
+    // the scrape must render the exact bytes the endpoint served.
+    let expected = handle
+        .registry()
+        .snapshot()
+        .to_prometheus_text_with_exemplars(&handle.registry().exemplars());
     assert_eq!(scraped.body_text(), expected);
     assert!(scraped.body_text().contains("serve_requests_predict"));
     assert!(scraped.body_text().contains("serve_latency_ms_bucket"));
@@ -87,6 +91,8 @@ fn loadgen_config(addr: std::net::SocketAddr) -> LoadgenConfig {
             max_jitter_ms: 1.0,
         },
         target: Target::Mixed,
+        truth: false,
+        log_out: None,
     }
 }
 

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Join the serving layer's observability surfaces by trace-id.
+
+The serve-smoke `obs-correlation` gate runs a chaos drill and then feeds
+this checker the four artefacts the drill produced:
+
+  --access-log  key=value lines written by `wavm3-serve --access-log`
+  --spans       `spans.jsonl` from the server's `--trace-out` directory
+  --metrics     Prometheus exposition scraped from `GET /metrics`
+  --client-log  per-attempt JSONL from `wavm3-loadgen --log-out`
+  --slo         JSON from `GET /debug/slo`            (optional)
+  --counts      loadgen stdout `counts:` line         (optional, needs --slo)
+  --availability  SLO availability objective           (default 0.99)
+
+Checks (any failure exits 1):
+
+1. Every error-class access-log line (429 / 503 / 5xx / drop on an API
+   route) joins by trace-id to the sampled span export — the tail
+   sampler always keeps errors — and to a pinned `/metrics` exemplar.
+   Client-error 4xx lines must still join to the span export.
+2. Every `/metrics` exemplar trace-id joins back to both the access log
+   and the span export (no dangling metric→trace pointers).
+3. Every loadgen attempt joins to an access-log line with the same
+   trace-id, and every API-route access-log line joins back to the
+   client log (introspection scrapes carry server-generated ids and are
+   exempt).
+4. `obs.exemplars.evicted` stayed zero — the join in (1) is only
+   complete while nothing was evicted.
+5. With --slo and --counts: the per-route SLO error totals equal the
+   client's `shed_seen + server_errors_seen + connection_errors`, and
+   each route's `burn_rate` equals `error_rate / (1 - availability)`.
+6. With --counts: the client-side latency quantiles (estimated on the
+   server's own `buckets::LATENCY_MS` ladder) sit at or above the
+   server-side `serve_latency_ms` quantiles and within per-request
+   connection overhead of them — a unit or ladder mismatch would put
+   them orders of magnitude apart.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+ERROR_CLASSES = {"429", "503", "5xx", "drop"}
+API_ROUTES = {"predict", "plan"}
+
+EXEMPLAR_RE = re.compile(
+    r'^# exemplar (?P<metric>[A-Za-z0-9_:]+)\{le="[^"]*",trace_id="(?P<tid>[0-9a-f]{32})"\}'
+)
+
+
+def fail(errors):
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_access_log(path):
+    entries = []
+    with open(path) as f:
+        for n, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            fields = dict(tok.split("=", 1) for tok in line.split() if "=" in tok)
+            for key in ("trace_id", "route", "status", "class"):
+                assert key in fields, f"{path}:{n}: missing {key}: {line}"
+            entries.append(fields)
+    return entries
+
+
+def parse_spans(path):
+    ids = set()
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                ids.add(json.loads(line)["trace_id"])
+    return ids
+
+
+def parse_metrics(path):
+    """Exemplar (metric, trace_id) pairs plus the raw exposition text."""
+    exemplars = []
+    text = open(path).read()
+    for line in text.splitlines():
+        m = EXEMPLAR_RE.match(line)
+        if m:
+            exemplars.append((m.group("metric"), m.group("tid")))
+    return exemplars, text
+
+
+def parse_client_log(path):
+    entries = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def parse_counts(path):
+    text = open(path).read()
+    m = re.search(
+        r"counts: sent=(\d+) ok=(\d+) degraded=(\d+) shed_seen=(\d+) "
+        r"server_errors_seen=(\d+) connection_errors=(\d+)",
+        text,
+    )
+    assert m, f"{path}: no loadgen counts line"
+    counts = {
+        "shed_seen": int(m.group(4)),
+        "server_errors_seen": int(m.group(5)),
+        "connection_errors": int(m.group(6)),
+    }
+    q = re.search(
+        r"latency_ms: p50=([0-9.]+) p95=([0-9.]+) p99=([0-9.]+)", text
+    )
+    assert q, f"{path}: no loadgen latency line"
+    counts["quantiles"] = {
+        "p50": float(q.group(1)),
+        "p95": float(q.group(2)),
+        "p99": float(q.group(3)),
+    }
+    return counts
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--access-log", required=True)
+    ap.add_argument("--spans", required=True)
+    ap.add_argument("--metrics", required=True)
+    ap.add_argument("--client-log", required=True)
+    ap.add_argument("--slo")
+    ap.add_argument("--counts")
+    ap.add_argument("--availability", type=float, default=0.99)
+    args = ap.parse_args()
+
+    access = parse_access_log(args.access_log)
+    span_ids = parse_spans(args.spans)
+    exemplars, metrics_text = parse_metrics(args.metrics)
+    client = parse_client_log(args.client_log)
+
+    errors = []
+    access_ids = {e["trace_id"] for e in access}
+    exemplar_ids = {tid for _, tid in exemplars}
+
+    # 1. Error-class access lines join to spans and pinned exemplars.
+    error_lines = [
+        e
+        for e in access
+        if e["route"] in API_ROUTES and e["class"] in ERROR_CLASSES
+    ]
+    for e in error_lines:
+        if e["trace_id"] not in span_ids:
+            errors.append(
+                f"orphaned error: {e['class']} {e['trace_id']} has no sampled span"
+            )
+        if e["trace_id"] not in exemplar_ids:
+            errors.append(
+                f"orphaned error: {e['class']} {e['trace_id']} has no /metrics exemplar"
+            )
+    for e in access:
+        if e["route"] in API_ROUTES and e["class"] == "4xx":
+            if e["trace_id"] not in span_ids:
+                errors.append(
+                    f"orphaned client error: 4xx {e['trace_id']} has no sampled span"
+                )
+
+    # 2. Exemplars join back to the access log and span export.
+    for metric, tid in exemplars:
+        if tid not in access_ids:
+            errors.append(f"dangling exemplar on {metric}: {tid} not in access log")
+        if tid not in span_ids:
+            errors.append(f"dangling exemplar on {metric}: {tid} not in span export")
+
+    # 3. Client attempts join to the access log and vice versa.
+    client_ids = {c["trace_id"] for c in client}
+    for c in client:
+        if c["trace_id"] not in access_ids:
+            errors.append(
+                f"client attempt id={c['id']} attempt={c['attempt']} "
+                f"({c['outcome']}) trace {c['trace_id']} never reached the access log"
+            )
+    for e in access:
+        if e["route"] in API_ROUTES and e["trace_id"] not in client_ids:
+            errors.append(
+                f"access line {e['trace_id']} on /{e['route']} "
+                "matches no client attempt"
+            )
+
+    # 4. The exemplar store must not have evicted anything.
+    m = re.search(r"^obs_exemplars_evicted (\d+)", metrics_text, re.M)
+    if m and int(m.group(1)) != 0:
+        errors.append(f"exemplar evictions: {m.group(1)} (join incomplete)")
+
+    counts = parse_counts(args.counts) if args.counts else None
+
+    # 5. SLO burn-rate consistency against the client's observed errors.
+    if args.slo:
+        slo = json.load(open(args.slo))
+        budget = 1.0 - args.availability
+        route_errors = 0
+        for route in slo["routes"]:
+            route_errors += route["errors"]
+            want = route["error_rate"] / budget if budget > 0 else 0.0
+            if abs(route["burn_rate"] - want) > 1e-6:
+                errors.append(
+                    f"route {route['route']}: burn_rate {route['burn_rate']} "
+                    f"!= error_rate/budget {want}"
+                )
+        if counts:
+            client_errors = (
+                counts["shed_seen"]
+                + counts["server_errors_seen"]
+                + counts["connection_errors"]
+            )
+            if route_errors != client_errors:
+                errors.append(
+                    f"SLO error total {route_errors} != client-observed "
+                    f"{client_errors} ({counts})"
+                )
+
+    # 6. Client and server latency quantiles share the bucket ladder.
+    if counts:
+        for name, client_q in counts["quantiles"].items():
+            m = re.search(
+                rf"^serve_latency_ms_{name} ([0-9.eE+-]+)", metrics_text, re.M
+            )
+            if not m:
+                errors.append(f"/metrics has no serve_latency_ms_{name}")
+                continue
+            server_q = float(m.group(1))
+            if client_q + 0.5 < server_q:
+                errors.append(
+                    f"{name}: client {client_q}ms below server {server_q}ms"
+                )
+            if client_q > server_q + 50.0:
+                errors.append(
+                    f"{name}: client {client_q}ms vs server {server_q}ms — "
+                    "more than connection overhead apart"
+                )
+
+    if errors:
+        fail(errors)
+
+    print(
+        f"ok: {len(error_lines)} error responses joinable across "
+        f"{len(access)} access lines, {len(span_ids)} sampled traces, "
+        f"{len(exemplars)} exemplars, {len(client)} client attempts"
+    )
+
+
+if __name__ == "__main__":
+    main()
