@@ -156,7 +156,10 @@ impl Campaign {
         let elapsed = started.elapsed().as_secs_f64();
         if elapsed > 0.0 {
             let runs: usize = results.iter().map(Vec::len).sum();
-            wavm3_obs::metrics::gauge_set("runner.throughput_runs_per_s", runs as f64 / elapsed);
+            wavm3_obs::metrics::gauge_set(
+                crate::runner::throughput_gauge(&self.runner),
+                runs as f64 / elapsed,
+            );
         }
         ExperimentDataset {
             runs: scenarios

@@ -15,7 +15,9 @@
 //! plus the crash-safety set: `--checkpoint-dir DIR` (journal per-scenario
 //! results), `--resume` (reload verified checkpoints instead of
 //! recomputing), and `--wall-budget-s S` / `--sim-budget-s S`
-//! (per-scenario runtime budgets).
+//! (per-scenario runtime budgets). `--threads N` sizes the campaign's
+//! worker pool (default: the machine's core count); every value produces
+//! byte-identical output, and `--threads 1` is an exact serial run.
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` invalid flags or
 //! configuration, `3` partial success (the campaign completed but at
@@ -91,6 +93,11 @@ pub struct CliOptions {
     pub obs: ObsCliOptions,
     /// Crash-safety supervision (checkpoints, resume, budgets).
     pub supervisor: SupervisorOptions,
+    /// `--threads N`: worker threads for the campaign pool. `None` lets
+    /// rayon size the pool from the machine's core count. Seeds are a
+    /// pure function of `(scenario, rep)`, so every value — including
+    /// `--threads 1` — produces byte-identical campaign output.
+    pub threads: Option<usize>,
 }
 
 impl Default for CliOptions {
@@ -100,6 +107,7 @@ impl Default for CliOptions {
             out_dir: PathBuf::from("out"),
             obs: ObsCliOptions::default(),
             supervisor: SupervisorOptions::default(),
+            threads: None,
         }
     }
 }
@@ -192,6 +200,14 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> CliOptions {
             "--resume" => {
                 opts.supervisor.resume = true;
             }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|v| *v > 0)
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+                opts.threads = Some(v);
+            }
             "--wall-budget-s" => {
                 let v = it
                     .next()
@@ -227,7 +243,8 @@ fn usage(err: &str) -> ! {
          [--path sampled|analytic] \
          [--trace PATH] [--log-level LVL] [--metrics-out PATH] \
          [--ledger-out PATH] [--html-report PATH] [--profile-out DIR] \
-         [--checkpoint-dir DIR] [--resume] [--wall-budget-s S] [--sim-budget-s S]"
+         [--checkpoint-dir DIR] [--resume] [--wall-budget-s S] [--sim-budget-s S] \
+         [--threads N]"
     );
     eprintln!("  default repetition policy: paper variance rule (>=10 runs, <10% variance delta)");
     eprintln!(
@@ -249,6 +266,8 @@ fn usage(err: &str) -> ! {
     );
     eprintln!("  --wall-budget-s / --sim-budget-s: per-scenario runtime budgets; on exhaustion");
     eprintln!("      the repetition rule is cut short and the result flagged budget_truncated");
+    eprintln!("  --threads: campaign worker threads (default: machine core count); output is");
+    eprintln!("      byte-identical at every thread count, --threads 1 reproduces a serial run");
     eprintln!("  exit codes: 0 ok, 1 runtime error, 2 bad flags/config, 3 partial success");
     std::process::exit(if err.is_empty() { 0 } else { EXIT_USAGE as i32 });
 }
@@ -276,12 +295,24 @@ pub fn run(body: impl FnOnce(&CliOptions, &Campaign) -> Result<(), Wavm3Error>) 
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    // Pin the campaign pool to `--threads N` before any parallel work
+    // starts; results never depend on the count, only throughput does.
+    let pool = match rayon::ThreadPoolBuilder::new()
+        .num_threads(opts.threads.unwrap_or(0))
+        .build()
+    {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("error: could not build thread pool: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
     let session = opts
         .obs
         .any()
         .then(|| Session::install(opts.obs.session_config()));
 
-    let result = body(&opts, &campaign);
+    let result = pool.install(|| body(&opts, &campaign));
 
     let mut sink_result: Result<(), Wavm3Error> = Ok(());
     let obs_report = session.map(Session::finish);
@@ -549,6 +580,16 @@ mod tests {
         let cfg = o.obs.session_config();
         assert!(cfg.ledger && cfg.metrics, "html report arms both sinks");
         assert!(!cfg.profiling);
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        let o = parse_from(std::iter::empty());
+        assert_eq!(o.threads, None, "default pool size is the core count");
+        let o = parse_from(["--threads", "4"].iter().map(|s| s.to_string()));
+        assert_eq!(o.threads, Some(4));
+        let o = parse_from(["--threads", "1"].iter().map(|s| s.to_string()));
+        assert_eq!(o.threads, Some(1));
     }
 
     #[test]

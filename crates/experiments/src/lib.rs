@@ -54,7 +54,7 @@ pub use dataset::{mean_trace, ExperimentDataset, ScenarioRuns};
 pub use regress::{compare, RegressionReport, Tolerances, Verdict};
 pub use report::render_campaign_html;
 pub use runner::{
-    run_all, run_scenario, run_scenario_supervised, RepetitionPolicy, RunnerConfig,
-    ScenarioFailure, ScenarioResult,
+    run_all, run_scenario, run_scenario_supervised, throughput_gauge, RepetitionPolicy,
+    RunnerConfig, ScenarioFailure, ScenarioResult,
 };
 pub use scenario::{ExperimentFamily, Scenario, DR_LEVELS_PCT, LOAD_VM_LEVELS};

@@ -5,18 +5,42 @@
 //! in at least ten runs for each experiment."* The repetition criterion is
 //! applied to the run's total source-side migration energy.
 //!
-//! Scenarios are independent, so [`run_all`] fans them out over rayon;
-//! every run is seeded as `base.child(scenario-id hash).child(rep)`, making
-//! results identical regardless of the thread count.
+//! Scenarios are independent, so [`run_all`] fans them out over rayon —
+//! and repetitions within a scenario shard over the same pool: every run
+//! is seeded as `base.child(scenario-id hash).child(rep)`, a pure
+//! function of the campaign structure, so results are identical
+//! regardless of the thread count or execution order.
+//!
+//! ## The hot path
+//!
+//! On the analytic path (with no trace sink recording) a scenario builds
+//! one prototype [`MigrationSimulation`] and re-runs it for every
+//! repetition with that repetition's RNG root, threading a worker-local
+//! [`RunSlot`] arena through
+//! [`MigrationSimulation::run_analytic_reusing`] so the steady-state
+//! loop performs no heap allocation. Run keys and panic contexts are
+//! built lazily ([`wavm3_obs::run_scope_with`],
+//! [`wavm3_harness::run_isolated_with`]), so with observability off a
+//! repetition costs the simulation itself and nothing else.
 
 use crate::scenario::Scenario;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use wavm3_faults::{FaultConfig, FaultPlan, RetryPolicy};
 use wavm3_harness::{Budget, BudgetTracker, Wavm3Error};
-use wavm3_migration::{MigrationConfig, MigrationRecord, SimulationPath};
+use wavm3_migration::{
+    MigrationConfig, MigrationRecord, MigrationSimulation, RunSlot, SimulationPath,
+};
 use wavm3_simkit::{RngFactory, SimDuration, SimTime};
 use wavm3_stats::VarianceStopper;
+
+thread_local! {
+    /// Each rayon worker's recycled analytic-run buffers. Capacity is
+    /// retained across every repetition the worker executes; results
+    /// never depend on what the buffers held before.
+    static RUN_SLOT: RefCell<RunSlot> = RefCell::new(RunSlot::default());
+}
 
 /// How many repetitions to run per scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -188,15 +212,86 @@ impl ScenarioFailure {
     }
 }
 
-fn scenario_rng(cfg: &RunnerConfig, scenario: &Scenario) -> RngFactory {
+fn scenario_rng(cfg: &RunnerConfig, id: &str) -> RngFactory {
     // Hash the scenario id into a child scope so adding scenarios never
     // perturbs the seeds of existing ones.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in scenario.id().bytes() {
+    for b in id.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     RngFactory::new(cfg.base_seed).child(h)
+}
+
+/// Trace run key of one attempt: sorts by scenario, then repetition, then
+/// attempt, giving the merged JSONL stream its deterministic order.
+fn run_key(id: &str, rep: u64, attempt: u32) -> String {
+    format!("{id}|rep{rep:03}|att{attempt}")
+}
+
+/// Everything a scenario's repetitions share, computed exactly once: the
+/// id string, the RNG scope, the migration config, and — on the analytic
+/// path with no trace sink recording — a prototype simulation that every
+/// repetition re-runs with its own RNG root instead of rebuilding the
+/// cluster, workloads and config from scratch.
+struct ScenarioCtx<'a> {
+    scenario: &'a Scenario,
+    cfg: &'a RunnerConfig,
+    id: String,
+    scope: RngFactory,
+    config: MigrationConfig,
+    /// Fault config when injection is enabled (the retry protocol only
+    /// engages on this path).
+    faults: Option<FaultConfig>,
+    prototype: Option<MigrationSimulation>,
+}
+
+impl<'a> ScenarioCtx<'a> {
+    fn new(scenario: &'a Scenario, cfg: &'a RunnerConfig) -> Self {
+        let id = scenario.id();
+        let scope = scenario_rng(cfg, &id);
+        let faults = cfg.faults.filter(|f| f.is_enabled());
+        let mut config = match faults {
+            Some(f) => MigrationConfig::with_faults(scenario.kind, f),
+            None => MigrationConfig::new(scenario.kind),
+        };
+        config.path = cfg.path;
+        // Mirror `MigrationSimulation::run`'s dispatch: the analytic path
+        // only runs when no trace sink needs per-sample rows. The stored
+        // RNG is a placeholder — `run_analytic_reusing` takes the real
+        // per-repetition root as an argument. A panic during construction
+        // falls back to the per-repetition build, where supervision
+        // captures it as a structured rep-0 failure exactly as before.
+        let prototype = if cfg.path == SimulationPath::Analytic && !wavm3_obs::tracing_active() {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                scenario.build_with_config(scope.child(0), config)
+            }))
+            .ok()
+        } else {
+            None
+        };
+        ScenarioCtx {
+            scenario,
+            cfg,
+            id,
+            scope,
+            config,
+            faults,
+            prototype,
+        }
+    }
+
+    /// One simulation run with the given RNG root — through the
+    /// prototype and the worker's recycled [`RunSlot`] when eligible,
+    /// otherwise the classic build-and-run (bit-identical either way).
+    fn run_once(&self, rng: RngFactory) -> MigrationRecord {
+        match &self.prototype {
+            Some(sim) => {
+                RUN_SLOT.with(|slot| sim.run_analytic_reusing(rng, &mut slot.borrow_mut()))
+            }
+            None => self.scenario.build_with_config(rng, self.config).run(),
+        }
+    }
 }
 
 /// One repetition, with the runner's retry-on-abort protocol.
@@ -212,30 +307,15 @@ fn scenario_rng(cfg: &RunnerConfig, scenario: &Scenario) -> RngFactory {
 /// record's `rollback_j` (energy spent and rolled back), and
 /// `retry_backoff` accumulates the exponential backoff simulated between
 /// attempts.
-/// Trace run key of one attempt: sorts by scenario, then repetition, then
-/// attempt, giving the merged JSONL stream its deterministic order.
-fn run_key(scenario: &Scenario, rep: u64, attempt: u32) -> String {
-    format!("{}|rep{rep:03}|att{attempt}", scenario.id())
-}
-
-fn run_repetition(
-    scenario: &Scenario,
-    cfg: &RunnerConfig,
-    scope: &RngFactory,
-    rep: u64,
-) -> MigrationRecord {
+fn run_repetition(ctx: &ScenarioCtx, rep: u64) -> MigrationRecord {
     let _timer = wavm3_obs::perf::scope("runner.repetition");
-    let faults = match cfg.faults {
-        Some(f) if f.is_enabled() => f,
-        _ => {
-            let mut config = MigrationConfig::new(scenario.kind);
-            config.path = cfg.path;
-            return wavm3_obs::run_scope(run_key(scenario, rep, 0), || {
-                scenario.build_with_config(scope.child(rep), config).run()
-            });
-        }
-    };
-    let max_attempts = cfg.retry.max_attempts.max(1);
+    if ctx.faults.is_none() {
+        return wavm3_obs::run_scope_with(
+            || run_key(&ctx.id, rep, 0),
+            || ctx.run_once(ctx.scope.child(rep)),
+        );
+    }
+    let max_attempts = ctx.cfg.retry.max_attempts.max(1);
     let mut carried_events = Vec::new();
     let mut wasted_source_j = 0.0;
     let mut wasted_target_j = 0.0;
@@ -243,35 +323,36 @@ fn run_repetition(
     let mut attempt = 0u32;
     loop {
         let rng = if attempt == 0 {
-            scope.child(rep)
+            ctx.scope.child(rep)
         } else {
-            scope.child(rep).child(attempt as u64)
+            ctx.scope.child(rep).child(attempt as u64)
         };
-        let mut config = MigrationConfig::with_faults(scenario.kind, faults);
-        config.path = cfg.path;
         // The whole attempt (including the retry decision) runs inside its
         // run scope so every event lands in the attempt's own buffer —
         // worker threads never write the shared root buffer.
-        let (done, mut record) = wavm3_obs::run_scope(run_key(scenario, rep, attempt), || {
-            let mut record = scenario.build_with_config(rng, config).run();
-            record.attempt = attempt;
-            record.retry_backoff = backoff;
-            if !carried_events.is_empty() {
-                carried_events.append(&mut record.fault_events);
-                record.fault_events = std::mem::take(&mut carried_events);
-            }
-            let done = !record.is_aborted() || attempt + 1 >= max_attempts;
-            if !done {
-                wavm3_obs::metrics::counter_add("runner.retries", 1);
-                wavm3_obs::event!(
-                    wavm3_obs::Level::Warn, "wavm3_experiments", "runner.retry",
-                    record.phases.me,
-                    "attempt" => attempt,
-                    "next_backoff_s" => cfg.retry.backoff_before(attempt + 1).as_secs_f64(),
-                );
-            }
-            (done, record)
-        });
+        let (done, mut record) = wavm3_obs::run_scope_with(
+            || run_key(&ctx.id, rep, attempt),
+            || {
+                let mut record = ctx.run_once(rng);
+                record.attempt = attempt;
+                record.retry_backoff = backoff;
+                if !carried_events.is_empty() {
+                    carried_events.append(&mut record.fault_events);
+                    record.fault_events = std::mem::take(&mut carried_events);
+                }
+                let done = !record.is_aborted() || attempt + 1 >= max_attempts;
+                if !done {
+                    wavm3_obs::metrics::counter_add("runner.retries", 1);
+                    wavm3_obs::event!(
+                        wavm3_obs::Level::Warn, "wavm3_experiments", "runner.retry",
+                        record.phases.me,
+                        "attempt" => attempt,
+                        "next_backoff_s" => ctx.cfg.retry.backoff_before(attempt + 1).as_secs_f64(),
+                    );
+                }
+                (done, record)
+            },
+        );
         if done {
             record.source_energy.rollback_j += wasted_source_j;
             record.target_energy.rollback_j += wasted_target_j;
@@ -281,7 +362,7 @@ fn run_repetition(
         wasted_target_j += record.target_energy.total_j();
         carried_events = record.fault_events;
         attempt += 1;
-        backoff += cfg.retry.backoff_before(attempt);
+        backoff += ctx.cfg.retry.backoff_before(attempt);
     }
 }
 
@@ -316,27 +397,61 @@ pub fn run_scenario_supervised(
     budget: &Budget,
 ) -> Result<ScenarioResult, Box<ScenarioFailure>> {
     let _timer = wavm3_obs::perf::scope("runner.scenario");
-    let scope = scenario_rng(cfg, scenario);
+    let ctx = ScenarioCtx::new(scenario, cfg);
     let mut tracker = BudgetTracker::start(*budget);
     let mut truncated = false;
 
     // One isolated repetition: panics become taxonomy errors, completed
     // runs charge their simulated span (start to end of measurement) to
     // the budget.
-    let supervised_rep = |rep: u64,
-                          tracker: &mut BudgetTracker|
-     -> Result<MigrationRecord, Box<ScenarioFailure>> {
-        let context = format!("{}|rep{rep:03}", scenario.id());
-        match wavm3_harness::run_isolated(&context, || run_repetition(scenario, cfg, &scope, rep)) {
-            Ok(record) => {
-                tracker.charge_sim(record.phases.me.saturating_since(SimTime::ZERO));
-                Ok(record)
+    let supervised_rep =
+        |rep: u64, tracker: &mut BudgetTracker| -> Result<MigrationRecord, Box<ScenarioFailure>> {
+            match wavm3_harness::run_isolated_with(
+                || format!("{}|rep{rep:03}", ctx.id),
+                || run_repetition(&ctx, rep),
+            ) {
+                Ok(record) => {
+                    tracker.charge_sim(record.phases.me.saturating_since(SimTime::ZERO));
+                    Ok(record)
+                }
+                Err(e) => Err(ScenarioFailure::capture(scenario, cfg, &ctx.scope, rep, &e)),
             }
-            Err(e) => Err(ScenarioFailure::capture(scenario, cfg, &scope, rep, &e)),
-        }
-    };
+        };
+
+    // A block of repetitions sharded over the rayon pool. Seeds are a
+    // pure function of `(scenario, rep)`, metrics are commutative atomics
+    // and trace/ledger shards merge in run-key order at session finish,
+    // so the outcome is byte-identical to running the block serially.
+    // Panic isolation is per shard; when shards fail, the lowest failing
+    // repetition is reported — the same one the serial loop stops at.
+    let sharded_reps =
+        |reps: std::ops::Range<u64>| -> Result<Vec<MigrationRecord>, Box<ScenarioFailure>> {
+            let outcomes: Vec<Result<MigrationRecord, Box<ScenarioFailure>>> = {
+                let _shard = wavm3_obs::perf::scope("runner.shard");
+                let reps: Vec<u64> = reps.collect();
+                reps.par_iter()
+                    .map(|&rep| {
+                        wavm3_harness::run_isolated_with(
+                            || format!("{}|rep{rep:03}", ctx.id),
+                            || run_repetition(&ctx, rep),
+                        )
+                        .map_err(|e| ScenarioFailure::capture(scenario, cfg, &ctx.scope, rep, &e))
+                    })
+                    .collect()
+            };
+            let _merge = wavm3_obs::perf::scope("runner.merge");
+            let mut records = Vec::with_capacity(outcomes.len());
+            for outcome in outcomes {
+                records.push(outcome?);
+            }
+            Ok(records)
+        };
 
     let records = match cfg.repetitions {
+        // An armed budget serialises the repetitions: `exhausted()` must
+        // observe every completed rep's sim-time charge before the next
+        // rep starts for truncation to stay deterministic.
+        RepetitionPolicy::Fixed(n) if budget.is_unlimited() => sharded_reps(0..n.max(1) as u64)?,
         RepetitionPolicy::Fixed(n) => {
             let mut records = Vec::new();
             for rep in 0..n.max(1) as u64 {
@@ -353,33 +468,56 @@ pub fn run_scenario_supervised(
             max,
             threshold,
         } => {
+            let min_reps = min.max(2);
+            let max_reps = max.max(min_reps);
+            // The stopper cannot be satisfied before `min_reps` runs, so
+            // an unlimited-budget scenario shards that prefix and feeds
+            // the stopper afterwards, in repetition order — its state
+            // (and the progress events) are a pure function of the
+            // records in order, not of when they were computed.
+            let prefix = if budget.is_unlimited() {
+                sharded_reps(0..min_reps as u64)?
+            } else {
+                Vec::new()
+            };
             // Progress events collect under their own run key ("z-" sorts
             // after every "repNNN" buffer of the same scenario).
-            wavm3_obs::run_scope(format!("{}|z-progress", scenario.id()), || {
-                let mut stopper = VarianceStopper::new(min.max(2), max.max(min.max(2)), threshold);
-                let mut records = Vec::new();
-                let mut rep = 0u64;
-                while !stopper.is_satisfied() {
-                    if rep > 0 && tracker.exhausted().is_some() {
-                        truncated = true;
-                        break;
+            wavm3_obs::run_scope_with(
+                || format!("{}|z-progress", ctx.id),
+                || {
+                    let mut stopper = VarianceStopper::new(min_reps, max_reps, threshold);
+                    let mut records = Vec::new();
+                    let progress =
+                        |record: &MigrationRecord, rep: u64, stopper: &mut VarianceStopper| {
+                            stopper.push(record.source_energy.total_j());
+                            wavm3_obs::event!(
+                                wavm3_obs::Level::Debug, "wavm3_experiments", "runner.variance_progress",
+                                record.phases.me,
+                                "rep" => rep,
+                                "runs" => stopper.runs() as u64,
+                                "source_energy_j" => record.source_energy.total_j(),
+                                "relative_change" => stopper.relative_change().unwrap_or(f64::NAN),
+                                "satisfied" => stopper.is_satisfied(),
+                            );
+                        };
+                    for record in prefix {
+                        progress(&record, records.len() as u64, &mut stopper);
+                        records.push(record);
                     }
-                    let record = supervised_rep(rep, &mut tracker)?;
-                    stopper.push(record.source_energy.total_j());
-                    wavm3_obs::event!(
-                        wavm3_obs::Level::Debug, "wavm3_experiments", "runner.variance_progress",
-                        record.phases.me,
-                        "rep" => rep,
-                        "runs" => stopper.runs() as u64,
-                        "source_energy_j" => record.source_energy.total_j(),
-                        "relative_change" => stopper.relative_change().unwrap_or(f64::NAN),
-                        "satisfied" => stopper.is_satisfied(),
-                    );
-                    records.push(record);
-                    rep += 1;
-                }
-                Ok::<_, Box<ScenarioFailure>>(records)
-            })?
+                    let mut rep = records.len() as u64;
+                    while !stopper.is_satisfied() {
+                        if rep > 0 && tracker.exhausted().is_some() {
+                            truncated = true;
+                            break;
+                        }
+                        let record = supervised_rep(rep, &mut tracker)?;
+                        progress(&record, rep, &mut stopper);
+                        records.push(record);
+                        rep += 1;
+                    }
+                    Ok::<_, Box<ScenarioFailure>>(records)
+                },
+            )?
         }
     };
     wavm3_obs::metrics::counter_add("runner.repetitions", records.len() as u64);
@@ -390,6 +528,20 @@ pub fn run_scenario_supervised(
         records,
         budget_truncated: truncated,
     })
+}
+
+/// Name of the wall-clock campaign-throughput gauge, labelled with the
+/// path the campaign actually executed: `--path analytic` campaigns that
+/// fall back to the sampled engine (a trace sink needs per-sample rows)
+/// report under the sampled name, so the figure always describes the
+/// engine that produced it.
+pub fn throughput_gauge(cfg: &RunnerConfig) -> &'static str {
+    match cfg.path {
+        SimulationPath::Analytic if !wavm3_obs::tracing_active() => {
+            "runner.throughput_runs_per_s.analytic"
+        }
+        _ => "runner.throughput_runs_per_s.sampled",
+    }
 }
 
 /// Run many scenarios in parallel; output order matches input order.
@@ -403,7 +555,7 @@ pub fn run_all(scenarios: &[Scenario], cfg: &RunnerConfig) -> Vec<Vec<MigrationR
     let elapsed = started.elapsed().as_secs_f64();
     if elapsed > 0.0 {
         let runs: usize = results.iter().map(Vec::len).sum();
-        wavm3_obs::metrics::gauge_set("runner.throughput_runs_per_s", runs as f64 / elapsed);
+        wavm3_obs::metrics::gauge_set(throughput_gauge(cfg), runs as f64 / elapsed);
     }
     results
 }

@@ -37,4 +37,6 @@ pub use error::{
     ensure_finite, ensure_non_negative, ensure_ordered, ensure_probability, Wavm3Error,
 };
 pub use fsx::{write_atomic, write_atomic_str};
-pub use supervisor::{panic_message, run_isolated, Budget, BudgetKind, BudgetTracker};
+pub use supervisor::{
+    panic_message, run_isolated, run_isolated_with, Budget, BudgetKind, BudgetTracker,
+};

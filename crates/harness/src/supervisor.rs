@@ -31,13 +31,23 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// deterministic RNG scope rebuilds everything from seeds), so no
 /// broken invariant outlives the failed call.
 pub fn run_isolated<T>(context: &str, f: impl FnOnce() -> T) -> Result<T, Wavm3Error> {
+    run_isolated_with(|| context.to_string(), f)
+}
+
+/// [`run_isolated`] with a lazily-built context label: the closure is
+/// only evaluated on the panic path, so hot loops pay nothing for the
+/// `format!` that names the failing unit of work.
+pub fn run_isolated_with<T>(
+    context: impl FnOnce() -> String,
+    f: impl FnOnce() -> T,
+) -> Result<T, Wavm3Error> {
     let _perf = wavm3_obs::perf::scope("harness.isolated");
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(v) => Ok(v),
         Err(payload) => {
             wavm3_obs::metrics::counter_add("harness.panics_isolated", 1);
             Err(Wavm3Error::ScenarioPanicked {
-                context: context.to_string(),
+                context: context(),
                 message: panic_message(payload.as_ref()),
             })
         }

@@ -55,7 +55,7 @@ use wavm3_power::{
     EnergyBreakdown, OuIntegrator, PhaseTimes, PowerInputs, PowerTerms, PowerTrace,
     TelemetryRecorder, TermIntegral,
 };
-use wavm3_simkit::{CounterRng, SimDuration, SimTime};
+use wavm3_simkit::{CounterRng, RngFactory, SimDuration, SimTime};
 use wavm3_workloads::{DemandProfile, Workload};
 
 /// Coarse engine state, mirroring the sampled engine's stage machine.
@@ -151,6 +151,24 @@ struct TickSums {
     write_rate: f64,
 }
 
+/// Recycled per-worker buffers for repeated analytic runs.
+///
+/// A campaign worker holds one `RunSlot` and threads it through every
+/// repetition it executes
+/// ([`MigrationSimulation::run_analytic_reusing`]); the host slot
+/// vectors, round-statistics buffer and fault-window bitmap keep their
+/// capacity between runs, so the steady-state tick loop performs no heap
+/// allocation at all. A default (empty) slot behaves identically to the
+/// one-shot path — results are a pure function of the scenario and RNG,
+/// never of what the buffers held before.
+#[derive(Default)]
+pub struct RunSlot {
+    src_slots: Vec<Slot>,
+    dst_slots: Vec<Slot>,
+    rounds: Vec<RoundStats>,
+    link_seen: Vec<bool>,
+}
+
 /// One host's mutable simulation state.
 struct HostState {
     capacity: f64,
@@ -158,55 +176,55 @@ struct HostState {
 }
 
 impl HostState {
+    /// Build the host's slot array into `slots` (a recycled buffer —
+    /// cleared first, so only its capacity survives between runs).
     fn from_host(
         host: &Host,
         workloads: &BTreeMap<VmId, Arc<dyn Workload>>,
         migrant: VmId,
         t0: SimTime,
         dt_s: f64,
+        mut slots: Vec<Slot>,
     ) -> Self {
         use std::f64::consts::TAU;
-        let slots = host
-            .vms()
-            .iter()
-            .map(|vm| {
-                let wl = workloads.get(&vm.id).cloned();
-                let profile = wl.as_ref().map(|w| w.demand_profile());
-                let cpu = match profile.as_ref().map(|p| p.cpu) {
-                    Some(DemandProfile::Constant(c)) => CpuCurve::Constant(c),
-                    Some(DemandProfile::Ripple {
+        slots.clear();
+        slots.extend(host.vms().iter().map(|vm| {
+            let wl = workloads.get(&vm.id).cloned();
+            let profile = wl.as_ref().map(|w| w.demand_profile());
+            let cpu = match profile.as_ref().map(|p| p.cpu) {
+                Some(DemandProfile::Constant(c)) => CpuCurve::Constant(c),
+                Some(DemandProfile::Ripple {
+                    target,
+                    ripple,
+                    period_s,
+                    phase,
+                }) => {
+                    let arg = TAU * (t0.as_secs_f64() / period_s + phase);
+                    let step = TAU * (dt_s / period_s);
+                    CpuCurve::Osc {
+                        s: arg.sin(),
+                        c: arg.cos(),
+                        step_s: step.sin(),
+                        step_c: step.cos(),
                         target,
-                        ripple,
-                        period_s,
-                        phase,
-                    }) => {
-                        let arg = TAU * (t0.as_secs_f64() / period_s + phase);
-                        let step = TAU * (dt_s / period_s);
-                        CpuCurve::Osc {
-                            s: arg.sin(),
-                            c: arg.cos(),
-                            step_s: step.sin(),
-                            step_c: step.cos(),
-                            target,
-                            half_ripple: 0.5 * ripple,
-                        }
+                        half_ripple: 0.5 * ripple,
                     }
-                    Some(DemandProfile::General) => CpuCurve::General,
-                    // No workload attached: demand is never refreshed.
-                    None => CpuCurve::Constant(0.0),
-                };
-                Slot {
-                    vcpus: vm.spec.vcpus as f64,
-                    demand: 0.0,
-                    running: vm.is_running(),
-                    is_migrant: vm.id == migrant,
-                    cpu,
-                    write_rate: profile.as_ref().and_then(|p| p.page_write_rate),
-                    line_share: profile.as_ref().and_then(|p| p.line_share),
-                    wl,
                 }
-            })
-            .collect();
+                Some(DemandProfile::General) => CpuCurve::General,
+                // No workload attached: demand is never refreshed.
+                None => CpuCurve::Constant(0.0),
+            };
+            Slot {
+                vcpus: vm.spec.vcpus as f64,
+                demand: 0.0,
+                running: vm.is_running(),
+                is_migrant: vm.id == migrant,
+                cpu,
+                write_rate: profile.as_ref().and_then(|p| p.page_write_rate),
+                line_share: profile.as_ref().and_then(|p| p.line_share),
+                wl,
+            }
+        }));
         HostState {
             capacity: host.spec.cpu_capacity(),
             slots,
@@ -473,16 +491,26 @@ fn note_link_windows(
 /// Run the scenario on the analytic path. See the module docs for the
 /// contract with the sampled reference engine.
 pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
+    let rng = sim.rng;
+    run_analytic_reusing(&sim, rng, &mut RunSlot::default())
+}
+
+/// [`run_analytic`] on a borrowed scenario with recycled buffers and a
+/// caller-supplied RNG root: campaign workers rebuild neither the cluster
+/// nor the slot arrays between repetitions. Bit-identical to the one-shot
+/// path for the same `(sim, rng)`.
+pub(crate) fn run_analytic_reusing(
+    sim: &MigrationSimulation,
+    rng: RngFactory,
+    arena: &mut RunSlot,
+) -> MigrationRecord {
     let _perf = wavm3_obs::perf::scope("migration.run.analytic");
-    let MigrationSimulation {
-        cluster,
-        workloads,
-        migrant,
-        source,
-        target,
-        config: cfg,
-        rng,
-    } = sim;
+    let cluster = &sim.cluster;
+    let workloads = &sim.workloads;
+    let migrant = sim.migrant;
+    let source = sim.source;
+    let target = sim.target;
+    let cfg = sim.config;
 
     let dt = cfg.timing.tick;
     let dt_s = dt.as_secs_f64();
@@ -536,7 +564,9 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
 
     let fault_plan = FaultPlan::generate(&cfg.faults, &rng);
     let mut fault_events: Vec<FaultEvent> = Vec::new();
-    let mut link_window_seen = vec![false; fault_plan.link_windows().len()];
+    let mut link_window_seen = std::mem::take(&mut arena.link_seen);
+    link_window_seen.clear();
+    link_window_seen.resize(fault_plan.link_windows().len(), false);
     let mut aborted = false;
 
     // Phase instants (`ts` collapses on an abort during initiation).
@@ -550,15 +580,28 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
     // `[ms, ·)` remainder belongs to the initiation window).
     let k0 = ms.as_micros() / dt_us;
     let mut now = SimTime::from_micros(k0 * dt_us);
-    let mut hsrc = HostState::from_host(cluster.host(source), &workloads, migrant, now, dt_s);
-    let mut hdst = HostState::from_host(cluster.host(target), &workloads, migrant, now, dt_s);
+    let mut hsrc = HostState::from_host(
+        cluster.host(source),
+        workloads,
+        migrant,
+        now,
+        dt_s,
+        std::mem::take(&mut arena.src_slots),
+    );
+    let mut hdst = HostState::from_host(
+        cluster.host(target),
+        workloads,
+        migrant,
+        now,
+        dt_s,
+        std::mem::take(&mut arena.dst_slots),
+    );
     let mut m_idx = hsrc.migrant_index().expect("migrant starts on the source");
     let migrant_wl = workloads.get(&migrant).cloned();
     let migrant_ws_pages = migrant_wl
         .as_ref()
         .map(|w| w.working_set_fraction() * migrant_total_pages as f64)
         .unwrap_or(0.0);
-    drop(cluster);
 
     let mut pow_src = PowCache::new(src_power.cpu_exponent);
     let mut pow_dst = PowCache::new(dst_power.cpu_exponent);
@@ -573,7 +616,8 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
     let mut resume_time: Option<SimTime> = None;
     let mut migrant_on_target = false;
     let mut migrant_running = true;
-    let mut rounds: Vec<RoundStats> = Vec::new();
+    let mut rounds = std::mem::take(&mut arena.rounds);
+    rounds.clear();
 
     // Per-phase deterministic integrals: [initiation, transfer, tail].
     let mut int_src = [TermIntegral::default(); 3];
@@ -1308,7 +1352,7 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
         });
     }
 
-    MigrationRecord {
+    let record = MigrationRecord {
         kind: cfg.kind,
         machine_set,
         phases,
@@ -1318,7 +1362,7 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
         target_truth: PowerTrace::new(dst_name),
         telemetry: TelemetryRecorder::new(),
         samples: Vec::new(),
-        rounds,
+        rounds: rounds.clone(),
         total_bytes: total_bytes.round() as u64,
         downtime,
         vm_ram_mib,
@@ -1333,5 +1377,13 @@ pub(crate) fn run_analytic(sim: MigrationSimulation) -> MigrationRecord {
         fault_events,
         attempt: 0,
         retry_backoff: SimDuration::ZERO,
-    }
+    };
+
+    // Hand the warm buffers back so the next repetition reuses their
+    // capacity (the tick loop's pushes then never touch the allocator).
+    arena.rounds = rounds;
+    arena.link_seen = link_window_seen;
+    arena.src_slots = hsrc.slots;
+    arena.dst_slots = hdst.slots;
+    record
 }

@@ -52,6 +52,7 @@ pub mod record;
 pub mod simulation;
 pub mod sla;
 
+pub use analytic::RunSlot;
 pub use config::{
     EnvNoise, MigrationConfig, MigrationCpuCost, MigrationKind, PrecopyConfig, ServicePower,
     SimulationPath, TimingConfig,

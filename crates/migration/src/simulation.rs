@@ -290,6 +290,28 @@ impl MigrationSimulation {
         }
     }
 
+    /// Run the analytic path on a borrowed scenario, with the per-run
+    /// RNG root supplied by the caller and all transient buffers
+    /// recycled through `slot`.
+    ///
+    /// This is the campaign engine's hot loop: one simulation prototype
+    /// is built per scenario and re-run for every repetition with a
+    /// different `rng`, skipping the cluster/workload rebuild and every
+    /// per-run buffer allocation. For the same `(self, rng)` the result
+    /// is bit-identical to `self.run()` on the analytic path.
+    ///
+    /// Callers are responsible for the fallback rule [`Self::run`]
+    /// applies: when a trace sink is recording, the analytic path cannot
+    /// serve it (no per-sample rows) and the sampled engine must be used
+    /// instead.
+    pub fn run_analytic_reusing(
+        &self,
+        rng: RngFactory,
+        slot: &mut crate::analytic::RunSlot,
+    ) -> MigrationRecord {
+        crate::analytic::run_analytic_reusing(self, rng, slot)
+    }
+
     /// The sampled reference engine: step the meter grid tick by tick.
     /// A zero tick is rejected by [`MigrationConfig::validate`] at
     /// construction, so the division by `dt` below is always sound.

@@ -200,12 +200,17 @@ pub fn ledger_active() -> bool {
 /// Record one migration's attribution under the innermost
 /// [`run_scope`](crate::run_scope) key (root key when none is open).
 /// No-op without a ledger session.
+///
+/// Inside a run scope the entry is buffered thread-locally and flushed
+/// with the scope — one session-lock acquisition per run instead of one
+/// per entry.
 pub fn record(entry: LedgerEntry) {
     if !session::ledger_active() {
         return;
     }
-    let key = crate::trace::current_run_key().unwrap_or_default();
-    session::push_ledger_entry(key, entry);
+    if let Some(entry) = crate::trace::buffer_ledger_entry(entry) {
+        session::push_ledger_entry(String::new(), entry);
+    }
 }
 
 #[cfg(test)]

@@ -71,7 +71,9 @@ pub use event::{Event, FieldValue};
 pub use ledger::{ledger_active, LedgerEntry, RoleLedger, TermEnergy};
 pub use level::Level;
 pub use session::{ObsConfig, ObsReport, Session};
-pub use trace::{emit, emit_span, event_enabled, run_scope, span, tracing_active, RunScope, Span};
+pub use trace::{
+    emit, emit_span, event_enabled, run_scope, run_scope_with, span, tracing_active, RunScope, Span,
+};
 
 /// `true` when any observability subsystem (tracing, console, metrics)
 /// is live — the cheapest "should I bother computing attributes" probe.

@@ -85,8 +85,22 @@ pub(crate) fn push_root_event(event: Event) {
     lock_collected().root.push(event);
 }
 
-pub(crate) fn push_run_buffer(key: String, events: Vec<Event>) {
-    lock_collected().runs.push((key, events));
+/// Drain one closed run scope into the session in a single lock
+/// acquisition: the event buffer (when the scope kept one) and every
+/// ledger entry recorded inside it, all under the scope's run key.
+pub(crate) fn push_run_shard(key: String, events: Option<Vec<Event>>, ledger: Vec<LedgerEntry>) {
+    if events.is_none() && ledger.is_empty() {
+        return;
+    }
+    let mut collected = lock_collected();
+    if !ledger.is_empty() {
+        collected
+            .ledger
+            .extend(ledger.into_iter().map(|entry| (key.clone(), entry)));
+    }
+    if let Some(events) = events {
+        collected.runs.push((key, events));
+    }
 }
 
 pub(crate) fn push_ledger_entry(key: String, entry: LedgerEntry) {

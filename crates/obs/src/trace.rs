@@ -14,6 +14,7 @@
 //! main thread) land in the session's root buffer, which sorts first.
 
 use crate::event::{Event, FieldValue};
+use crate::ledger::LedgerEntry;
 use crate::level::Level;
 use crate::session;
 use std::cell::RefCell;
@@ -27,12 +28,23 @@ thread_local! {
 struct RunBuf {
     key: String,
     events: Vec<Event>,
+    /// Ledger entries recorded inside this scope; flushed with the
+    /// events in one session-lock acquisition when the scope closes.
+    ledger: Vec<LedgerEntry>,
 }
 
-/// The key of the innermost open [`run_scope`] on this thread, if any
-/// (used by the energy ledger to attribute entries to runs).
-pub(crate) fn current_run_key() -> Option<String> {
-    RUN_BUF.with(|b| b.borrow().as_ref().map(|buf| buf.key.clone()))
+/// Buffer a ledger entry into the innermost open run scope on this
+/// thread. Returns the entry back (`Some`) when no scope is open so the
+/// caller can fall back to a direct session push under the root key.
+pub(crate) fn buffer_ledger_entry(entry: LedgerEntry) -> Option<LedgerEntry> {
+    RUN_BUF.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.ledger.push(entry);
+            None
+        } else {
+            Some(entry)
+        }
+    })
 }
 
 /// `true` when any trace sink (JSONL buffer or console) is installed.
@@ -210,6 +222,7 @@ impl RunScope {
             b.borrow_mut().replace(RunBuf {
                 key,
                 events: Vec::new(),
+                ledger: Vec::new(),
             })
         });
         RunScope {
@@ -234,9 +247,12 @@ impl Drop for RunScope {
         if let Some(buf) = closed {
             // A ledger-only scope buffers no events; pushing it would
             // only pad the report with empty run buffers.
-            if session::trace_active() || !buf.events.is_empty() {
-                session::push_run_buffer(buf.key, buf.events);
-            }
+            let events = if session::trace_active() || !buf.events.is_empty() {
+                Some(buf.events)
+            } else {
+                None
+            };
+            session::push_run_shard(buf.key, events, buf.ledger);
         }
     }
 }
@@ -250,10 +266,17 @@ impl Drop for RunScope {
 /// tracing nor the energy ledger is armed this is exactly `f()` (the
 /// ledger needs the scope open so its entries pick up the run key).
 pub fn run_scope<R>(key: String, f: impl FnOnce() -> R) -> R {
+    run_scope_with(move || key, f)
+}
+
+/// [`run_scope`] with a lazily-built key: `key` is only evaluated when a
+/// trace or ledger sink is actually armed, so hot paths pay nothing for
+/// the `format!` that builds run keys when observability is off.
+pub fn run_scope_with<R>(key: impl FnOnce() -> String, f: impl FnOnce() -> R) -> R {
     if !session::trace_active() && !session::ledger_active() {
         return f();
     }
-    let _scope = RunScope::open(key);
+    let _scope = RunScope::open(key());
     f()
 }
 

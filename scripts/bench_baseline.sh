@@ -104,13 +104,34 @@ done
     --out "$TMPDIR/pout" --profile-out "$TMPDIR/profile" \
     >"$TMPDIR/profile-stdout.txt"
 
+# Thread-scaling sweep of the parallel campaign engine: the analytic
+# campaign at each pool size, recording the throughput gauge per thread
+# count. Thread counts above the machine's cores are skipped — they
+# would only measure oversubscription noise.
+CORES="$(nproc)"
+THREAD_COUNTS=()
+for t in 1 2 4 8; do
+    if [ "$t" -le "$CORES" ] || [ "$t" -eq 1 ]; then
+        THREAD_COUNTS+=("$t")
+    fi
+done
+for t in "${THREAD_COUNTS[@]}"; do
+    ./target/release/campaign \
+        --reps "$ANALYTIC_REPS" --seed "$SEED" --path analytic --threads "$t" \
+        --out "$TMPDIR/tout$t" \
+        --metrics-out "$TMPDIR/tmetrics$t.json" \
+        >"$TMPDIR/tstdout$t.txt"
+    echo "parallel sweep: $t thread(s) done"
+done
+
 GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 RUSTC="$(rustc --version)"
 
 TMPDIR="$TMPDIR" RUNS="$RUNS" REPS="$REPS" SEED="$SEED" \
 GIT_SHA="$GIT_SHA" RUSTC="$RUSTC" WALL_TIMES="${WALL_TIMES[*]}" \
 ANALYTIC_REPS="$ANALYTIC_REPS" \
-ANALYTIC_WALL_TIMES="${ANALYTIC_WALL_TIMES[*]}" python3 - <<'PY'
+ANALYTIC_WALL_TIMES="${ANALYTIC_WALL_TIMES[*]}" \
+THREAD_COUNTS="${THREAD_COUNTS[*]}" CORES="$CORES" python3 - <<'PY'
 import json, os, statistics
 
 tmp = os.environ["TMPDIR"]
@@ -128,15 +149,18 @@ for key in ("counters", "histograms"):
             raise SystemExit(f"non-deterministic {key}: run 1 vs run {i} differ")
 
 metrics = snapshots[0]
-# Gauges carry wall-clock data; pin the throughput gauge to the median
-# of the repeated runs so one noisy run cannot skew the baseline.
+# Gauges carry wall-clock data; pin the throughput gauge (labelled with
+# the executed path) to the median of the repeated runs so one noisy run
+# cannot skew the baseline.
+SAMPLED_GAUGE = "runner.throughput_runs_per_s.sampled"
+ANALYTIC_GAUGE = "runner.throughput_runs_per_s.analytic"
 throughputs = [
-    s["gauges"]["runner.throughput_runs_per_s"]
+    s["gauges"][SAMPLED_GAUGE]
     for s in snapshots
-    if "runner.throughput_runs_per_s" in s.get("gauges", {})
+    if SAMPLED_GAUGE in s.get("gauges", {})
 ]
 if throughputs:
-    metrics["gauges"]["runner.throughput_runs_per_s"] = statistics.median(throughputs)
+    metrics["gauges"][SAMPLED_GAUGE] = statistics.median(throughputs)
 
 wall_times = [float(w) for w in os.environ["WALL_TIMES"].split()]
 
@@ -152,10 +176,14 @@ analytic = []
 for i in range(1, runs + 1):
     with open(f"{tmp}/ametrics{i}.json") as f:
         analytic.append(json.load(f))
-analytic_tp = statistics.median(
-    s["gauges"]["runner.throughput_runs_per_s"] for s in analytic
-)
+analytic_tp = statistics.median(s["gauges"][ANALYTIC_GAUGE] for s in analytic)
 analytic_wall = [float(w) for w in os.environ["ANALYTIC_WALL_TIMES"].split()]
+
+# Thread-scaling sweep: the analytic campaign's throughput per pool size.
+parallel_tp = {}
+for t in os.environ["THREAD_COUNTS"].split():
+    with open(f"{tmp}/tmetrics{t}.json") as f:
+        parallel_tp[t] = json.load(f)["gauges"][ANALYTIC_GAUGE]
 
 # Per-stage breakdown from the wavm3-profile run: aggregate the call
 # tree by scope name and normalise self time by profiled migration runs.
@@ -191,6 +219,12 @@ baseline = {
             "stage_self_us_per_run": stage_us_per_run,
         },
     },
+    "parallel": {
+        "cores": int(os.environ["CORES"]),
+        "throughput_runs_per_s_by_threads": {
+            t: round(tp, 1) for t, tp in parallel_tp.items()
+        },
+    },
     "benchmark": "campaign --reps %s --seed %s (machine sets M+O, release)"
     % (os.environ["REPS"], os.environ["SEED"]),
     "git_sha": os.environ["GIT_SHA"],
@@ -206,7 +240,7 @@ with open("BENCH_baseline.json", "w") as f:
     f.write("\n")
 print(
     "wrote BENCH_baseline.json (median wall %.1fs over %d runs, %d counters, "
-    "analytic %.0f runs/s at %s reps, profiler coverage %.1f%%)"
+    "analytic %.0f runs/s at %s reps, profiler coverage %.1f%%, parallel %s)"
     % (
         baseline["wall_time_s"],
         runs,
@@ -214,6 +248,9 @@ print(
         analytic_tp,
         baseline["analytic"]["reps"],
         baseline["analytic"]["profile"]["coverage_pct"],
+        ", ".join(
+            f"{t}t={tp:.0f}/s" for t, tp in sorted(parallel_tp.items(), key=lambda kv: int(kv[0]))
+        ),
     )
 )
 PY

@@ -24,10 +24,14 @@ import sys
 # scope name (aggregated over every tree node with that name). Locally
 # measured release values are in the comments.
 BUDGETS_US_PER_RUN = {
-    "analytic.tick_loop": 200.0,  # ~40 us/run locally
-    "migration.run.analytic": 35.0,  # ~6 us/run locally (self, excl. children)
-    "analytic.finalise": 10.0,  # ~1 us/run locally
-    "runner.repetition": 90.0,  # ~16 us/run locally (self, excl. children)
+    "analytic.tick_loop": 200.0,  # ~33 us/run locally
+    "migration.run.analytic": 10.0,  # ~1.2 us/run locally (self, excl. children)
+    "analytic.finalise": 10.0,  # ~0.9 us/run locally
+    # The arena-reusing repetition engine: per-rep setup/teardown is gone,
+    # so the repetition scope itself must stay within noise of zero.
+    "runner.repetition": 2.0,  # ~0.2 us/run locally (self, excl. children)
+    "runner.shard": 2.0,  # ~0.2 us/run locally (shard dispatch per scenario)
+    "runner.merge": 2.0,  # ~0.3 us/run locally (deterministic drain per scenario)
 }
 
 # The profiler must account for nearly all of the campaign wall time on

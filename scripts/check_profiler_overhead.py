@@ -4,7 +4,8 @@
 The default build compiles the `perf::scope` probes in but leaves them
 disarmed (one relaxed atomic load per probe); a build with the
 `perf-off` feature compiles them out entirely. This script compares the
-`runner.throughput_runs_per_s` gauge from repeated runs of each binary
+path-labelled `runner.throughput_runs_per_s.*` gauge from repeated runs
+of each binary
 and fails when the default build's best run is more than `--tolerance`
 (default 0.02) slower than the no-obs build's best run. Best-of-N is
 used on both sides because shared-runner noise only ever slows a run
@@ -17,12 +18,23 @@ import argparse
 import json
 
 
+def throughput_of(gauges):
+    """The path-labelled campaign-throughput gauge, whichever path ran."""
+    for key in (
+        "runner.throughput_runs_per_s.analytic",
+        "runner.throughput_runs_per_s.sampled",
+    ):
+        if key in gauges:
+            return gauges[key]
+    raise SystemExit(f"no runner.throughput_runs_per_s.* gauge in {sorted(gauges)}")
+
+
 def best_throughput(paths):
     best = 0.0
     for path in paths:
         with open(path) as f:
             metrics = json.load(f)
-        best = max(best, metrics["gauges"]["runner.throughput_runs_per_s"])
+        best = max(best, throughput_of(metrics["gauges"]))
     return best
 
 

@@ -6,12 +6,23 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use wavm3_experiments::{
     Campaign, ExperimentFamily, RepetitionPolicy, RunnerConfig, Scenario, SupervisorOptions,
 };
 use wavm3_faults::{FaultConfig, LinkFaultConfig};
-use wavm3_harness::Budget;
+use wavm3_harness::{signal, Budget};
 use wavm3_simkit::SimDuration;
+
+/// The interrupt flag is process-global: every test in this binary takes
+/// this lock so the mid-campaign interrupt test can raise the flag
+/// without draining a sibling test's campaign.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
 
 fn tmp_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("wavm3-resume-{tag}-{}", std::process::id()));
@@ -56,6 +67,7 @@ fn as_json(ds: &wavm3_experiments::ExperimentDataset) -> String {
 
 #[test]
 fn interrupted_campaign_resumes_byte_identical() {
+    let _serial = serial();
     let dir = tmp_dir("interrupt");
     let baseline = Campaign::plain(cfg()).collect(scenarios());
 
@@ -94,6 +106,7 @@ fn interrupted_campaign_resumes_byte_identical() {
 
 #[test]
 fn budget_truncated_scenarios_are_not_checkpointed_and_resume_cleanly() {
+    let _serial = serial();
     let dir = tmp_dir("budget");
     let baseline = Campaign::plain(cfg()).collect(scenarios());
 
@@ -128,6 +141,7 @@ fn budget_truncated_scenarios_are_not_checkpointed_and_resume_cleanly() {
 
 #[test]
 fn corrupted_checkpoint_is_quarantined_and_recomputed() {
+    let _serial = serial();
     let dir = tmp_dir("corrupt");
     let baseline = Campaign::plain(cfg()).collect(scenarios());
     supervised(&dir, false).collect(scenarios());
@@ -166,6 +180,7 @@ fn corrupted_checkpoint_is_quarantined_and_recomputed() {
 
 #[test]
 fn stale_fingerprints_are_quarantined_on_resume() {
+    let _serial = serial();
     let dir = tmp_dir("fingerprint");
     supervised(&dir, false).collect(scenarios());
 
@@ -198,6 +213,7 @@ fn stale_fingerprints_are_quarantined_on_resume() {
 
 #[test]
 fn panicking_scenario_becomes_a_partial_result() {
+    let _serial = serial();
     // Enabled but invalid fault config: passes the planner's is_enabled
     // gate, trips its validation panic on every repetition. Campaign::new
     // would reject it up-front, which is exactly what a robustness test
@@ -241,4 +257,56 @@ fn panicking_scenario_becomes_a_partial_result() {
     let mut sorted = ids.clone();
     sorted.sort();
     assert_eq!(ids, sorted);
+}
+
+#[test]
+fn interrupt_mid_parallel_campaign_resumes_byte_identical() {
+    let _serial = serial();
+    let dir = tmp_dir("par-interrupt");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("build rayon pool");
+    let baseline = pool.install(|| Campaign::plain(cfg()).collect(scenarios()));
+
+    // Phase 1: the campaign completes k scenarios on a 4-thread pool and
+    // journals them — the work that finished before the signal landed.
+    signal::clear_for_tests();
+    let first = supervised(&dir, false);
+    let k = 2;
+    let head: Vec<Scenario> = scenarios().into_iter().take(k).collect();
+    pool.install(|| first.collect(head));
+    assert_eq!(first.report().stats.completed, k);
+
+    // Phase 2: the signal is up. Even a --resume run over the full list
+    // drains: nothing restores, nothing computes, every scenario is a
+    // recorded failure naming the signal — the shape `cli::run` maps to
+    // exit code 3.
+    signal::raise_for_tests(true);
+    let drained = supervised(&dir, true);
+    let partial = pool.install(|| drained.collect(scenarios()));
+    let report = drained.report();
+    signal::clear_for_tests();
+    assert!(partial.runs.iter().all(|r| r.records.is_empty()));
+    assert_eq!(report.stats.resumed, 0, "a drain never touches the journal");
+    assert_eq!(report.stats.failed, 4);
+    assert!(report
+        .failures
+        .iter()
+        .all(|f| f.message.contains("interrupted by SIGTERM")));
+
+    // Phase 3: restart with --resume on the parallel pool. The journaled
+    // scenarios load from disk, the rest compute, and the merged dataset
+    // is byte-identical to the uninterrupted parallel baseline.
+    let second = supervised(&dir, true);
+    let resumed = pool.install(|| second.collect(scenarios()));
+    let stats = second.report().stats;
+    assert_eq!(stats.resumed, k, "the finished scenarios come from disk");
+    assert_eq!(stats.completed, 4 - k, "the rest are computed");
+    assert_eq!(
+        as_json(&resumed),
+        as_json(&baseline),
+        "resumed parallel run must be byte-identical to the uninterrupted one"
+    );
+    fs::remove_dir_all(&dir).ok();
 }

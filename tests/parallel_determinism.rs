@@ -1,0 +1,147 @@
+//! Parallel campaign engine determinism: the sharded repetition engine
+//! must produce byte-identical artefacts — metrics counters and
+//! histograms, the `--ledger-out` JSONL, and rendered golden tables — at
+//! every thread count, on both integration paths. Repetition seeds are a
+//! pure function of `(scenario, rep)` and trace/ledger shards merge in
+//! run-key order at session finish, so 1, 2 and 8 workers must agree to
+//! the byte.
+//!
+//! Also pins the throughput-gauge labelling: the gauge is named after
+//! the engine that actually executed (`.analytic` / `.sampled`), never
+//! after the one that was merely requested.
+
+use wavm3::cluster::MachineSet;
+use wavm3::experiments::scenario::ExperimentFamily;
+use wavm3::experiments::{throughput_gauge, Campaign, RepetitionPolicy, RunnerConfig, Scenario};
+use wavm3::migration::SimulationPath;
+use wavm3::obs::{Level, ObsConfig, ObsReport, Session};
+
+fn scenarios() -> Vec<Scenario> {
+    let mut all = Scenario::family_scenarios(ExperimentFamily::CpuloadSource, MachineSet::M);
+    all.retain(|s| s.label == "0 VM" || s.label == "1 VM");
+    assert_eq!(all.len(), 4, "fixture expects 2 kinds x 2 levels");
+    all
+}
+
+fn cfg(path: SimulationPath) -> RunnerConfig {
+    RunnerConfig {
+        repetitions: RepetitionPolicy::Fixed(3),
+        base_seed: 0x5EED_CAFE,
+        path,
+        ..RunnerConfig::default()
+    }
+}
+
+/// Everything the determinism matrix compares from one campaign run.
+struct Artifacts {
+    report: ObsReport,
+    table1: String,
+}
+
+/// Run the campaign on `threads` workers with metrics + ledger armed and
+/// render Table I from the dataset.
+fn campaign_artifacts(threads: usize, path: SimulationPath) -> Artifacts {
+    let session = Session::install(ObsConfig {
+        trace: false,
+        collect_level: Level::Debug,
+        console: None,
+        metrics: true,
+        profiling: false,
+        ledger: true,
+    });
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    let dataset = pool.install(|| Campaign::plain(cfg(path)).collect(scenarios()));
+    assert_eq!(dataset.runs.len(), 4);
+    Artifacts {
+        report: session.finish(),
+        table1: wavm3::experiments::tables::table1(&dataset),
+    }
+}
+
+fn assert_matrix_identical(path: SimulationPath, want_gauge: &str) {
+    let reference = campaign_artifacts(1, path);
+    assert!(
+        !reference.report.ledger_jsonl().is_empty(),
+        "ledger must capture the campaign"
+    );
+    assert!(
+        reference.report.metrics.gauges.contains_key(want_gauge),
+        "missing labelled throughput gauge {want_gauge}: {:?}",
+        reference.report.metrics.gauges.keys().collect::<Vec<_>>()
+    );
+    for threads in [2, 8] {
+        let parallel = campaign_artifacts(threads, path);
+        assert_eq!(
+            reference.report.metrics.counters, parallel.report.metrics.counters,
+            "counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference.report.metrics.histograms, parallel.report.metrics.histograms,
+            "histograms diverged at {threads} threads"
+        );
+        // Gauges carry wall-clock data; only the key set is stable.
+        assert_eq!(
+            reference.report.metrics.gauges.keys().collect::<Vec<_>>(),
+            parallel.report.metrics.gauges.keys().collect::<Vec<_>>(),
+            "gauge key set diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference.report.ledger_jsonl(),
+            parallel.report.ledger_jsonl(),
+            "ledger JSONL diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference.table1, parallel.table1,
+            "rendered table diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn analytic_campaign_is_byte_identical_at_1_2_8_threads() {
+    assert_matrix_identical(
+        SimulationPath::Analytic,
+        "runner.throughput_runs_per_s.analytic",
+    );
+}
+
+#[test]
+fn sampled_campaign_is_byte_identical_at_1_2_8_threads() {
+    assert_matrix_identical(
+        SimulationPath::Sampled,
+        "runner.throughput_runs_per_s.sampled",
+    );
+}
+
+#[test]
+fn throughput_gauge_is_labelled_with_the_executed_path() {
+    // No trace sink: the analytic request really runs the analytic engine.
+    assert_eq!(
+        throughput_gauge(&cfg(SimulationPath::Analytic)),
+        "runner.throughput_runs_per_s.analytic"
+    );
+    assert_eq!(
+        throughput_gauge(&cfg(SimulationPath::Sampled)),
+        "runner.throughput_runs_per_s.sampled"
+    );
+
+    // With tracing armed the analytic request falls back to the sampled
+    // engine (per-sample rows feed the trace), and the gauge must say so.
+    let session = Session::install(ObsConfig {
+        trace: true,
+        collect_level: Level::Debug,
+        console: None,
+        metrics: false,
+        profiling: false,
+        ledger: false,
+    });
+    assert_eq!(
+        throughput_gauge(&cfg(SimulationPath::Analytic)),
+        "runner.throughput_runs_per_s.sampled",
+        "tracing forces the sampled engine; the gauge must follow"
+    );
+    session.finish();
+}
